@@ -1,0 +1,184 @@
+"""Shared helpers for the reproduction benchmark harness.
+
+Every table and figure of the paper's evaluation section has one bench
+module; they share instance generation, solver running, and table
+printing through this module.  Results are cached per-process so
+benches that view the same underlying runs from different angles
+(Table II, Figures 11 and 12) do not re-solve everything.
+
+Instance sizes are scaled down from the paper's (pure-Python CDCL and
+a simulated annealer; see DESIGN.md).  The printed tables always quote
+the paper's reported values next to the measured ones so the shapes
+can be compared directly; EXPERIMENTS.md records the conclusions.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis import format_table, reduction_stats
+from repro.annealer import AnnealerDevice, NoiseModel
+from repro.benchgen import BENCHMARKS
+from repro.cdcl import kissat_solver, minisat_solver
+from repro.core import HyQSatConfig, HyQSatResult, HyQSatSolver
+from repro.topology import ChimeraGraph
+
+#: Benchmarks in Table I order.
+SUITE_ORDER = [
+    "GC1", "GC2", "GC3", "CFA", "BP", "II", "IF1", "IF2", "CRY",
+    "AI1", "AI2", "AI3", "AI4", "AI5",
+]
+
+#: Problems per benchmark in the bench harness (paper: 4-100).
+DEFAULT_PROBLEMS = 5
+
+
+@dataclass
+class SuiteRun:
+    """One benchmark problem solved three ways."""
+
+    benchmark: str
+    index: int
+    num_vars: int
+    num_clauses: int
+    minisat_iterations: int
+    minisat_seconds: float
+    kissat_iterations: int
+    kissat_seconds: float
+    hyqsat: HyQSatResult
+    hyqsat_seconds: float
+
+    @property
+    def reduction(self) -> float:
+        """Table I metric: classic CDCL iterations / HyQSAT iterations."""
+        return max(1, self.minisat_iterations) / max(1, self.hyqsat.stats.iterations)
+
+
+_CACHE: Dict[Tuple, List[SuiteRun]] = {}
+
+
+def default_device(noise: Optional[NoiseModel] = None, seed: int = 0) -> AnnealerDevice:
+    """The simulated D-Wave 2000Q."""
+    return AnnealerDevice(
+        ChimeraGraph(16, 16, 4), noise=noise or NoiseModel.noiseless(), seed=seed
+    )
+
+
+def run_suite(
+    names: Optional[List[str]] = None,
+    problems: int = DEFAULT_PROBLEMS,
+    seed: int = 0,
+    noise: Optional[NoiseModel] = None,
+    config_overrides: Optional[dict] = None,
+) -> List[SuiteRun]:
+    """Solve ``problems`` instances of each benchmark three ways."""
+    names = names or SUITE_ORDER
+    key = (
+        tuple(names),
+        problems,
+        seed,
+        repr(noise),
+        tuple(sorted((config_overrides or {}).items())),
+    )
+    if key in _CACHE:
+        return _CACHE[key]
+
+    runs: List[SuiteRun] = []
+    for name in names:
+        spec = BENCHMARKS[name]
+        count = min(problems, spec.num_problems) if problems else spec.num_problems
+        for index in range(count):
+            formula = spec.generate(index, seed=seed)
+
+            start = time.perf_counter()
+            mini = minisat_solver(formula, seed=seed).solve()
+            mini_seconds = time.perf_counter() - start
+
+            start = time.perf_counter()
+            kis = kissat_solver(formula, seed=seed).solve()
+            kis_seconds = time.perf_counter() - start
+
+            config = HyQSatConfig(seed=index, **(config_overrides or {}))
+            solver = HyQSatSolver(
+                formula, device=default_device(noise, seed=index), config=config
+            )
+            start = time.perf_counter()
+            hyq = solver.solve()
+            hyq_seconds = time.perf_counter() - start
+
+            runs.append(
+                SuiteRun(
+                    benchmark=name,
+                    index=index,
+                    num_vars=formula.num_vars,
+                    num_clauses=formula.num_clauses,
+                    minisat_iterations=mini.stats.iterations,
+                    minisat_seconds=mini_seconds,
+                    kissat_iterations=kis.stats.iterations,
+                    kissat_seconds=kis_seconds,
+                    hyqsat=hyq,
+                    hyqsat_seconds=hyq_seconds,
+                )
+            )
+    _CACHE[key] = runs
+    return runs
+
+
+def group_by_benchmark(runs: List[SuiteRun]) -> Dict[str, List[SuiteRun]]:
+    """Runs grouped by benchmark name, preserving SUITE_ORDER."""
+    grouped: Dict[str, List[SuiteRun]] = {}
+    for run in runs:
+        grouped.setdefault(run.benchmark, []).append(run)
+    return grouped
+
+
+def reduction_rows(runs: List[SuiteRun]) -> List[List[object]]:
+    """Table I rows: per-benchmark iteration statistics."""
+    rows: List[List[object]] = []
+    for name, group in group_by_benchmark(runs).items():
+        spec = BENCHMARKS[name]
+        stats = reduction_stats([r.reduction for r in group])
+        cdcl_mean = int(np.mean([r.minisat_iterations for r in group]))
+        hyq_mean = int(np.mean([r.hyqsat.stats.iterations for r in group]))
+        rows.append(
+            [
+                name,
+                spec.domain,
+                len(group),
+                cdcl_mean,
+                hyq_mean,
+                f"{stats.average:.2f}",
+                f"{stats.geomean:.2f}",
+                f"{stats.maximum:.2f}",
+                f"{stats.minimum:.2f}",
+                f"{spec.paper_reduction_avg or '-'}",
+            ]
+        )
+    return rows
+
+
+#: Lines queued for the end-of-run report (pytest captures stdout
+#: during tests; the bench conftest flushes this buffer from a
+#: ``pytest_terminal_summary`` hook, after capture ends).
+REPORT_LINES: List[str] = []
+
+
+def emit(text: str = "") -> None:
+    """Record a reproduction-table line (also printed immediately when
+    running outside pytest)."""
+    for line in str(text).splitlines() or [""]:
+        REPORT_LINES.append(line)
+    print(text)
+
+
+def print_banner(title: str) -> None:
+    """Visual separator in bench output."""
+    emit()
+    emit("=" * 72)
+    emit(title)
+    emit("=" * 72)

@@ -1,0 +1,17 @@
+"""Benchmark-harness configuration.
+
+pytest captures stdout during tests, so the harness buffers its
+reproduction tables (``benchmarks._harness.REPORT_LINES``) and this
+hook prints them after the run, where they reach the terminal and any
+``tee`` pipeline.
+"""
+
+import benchmarks._harness as _harness
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _harness.REPORT_LINES:
+        return
+    terminalreporter.section("paper reproduction tables")
+    for line in _harness.REPORT_LINES:
+        terminalreporter.write_line(line)

@@ -1,0 +1,97 @@
+"""Figure 1: end-to-end time to solve one 3-SAT problem
+(128 variables, 150 clauses) under three approaches.
+
+The paper's bar chart: classic CDCL ~8000 us on an M1 CPU; a pure QA
+flow pays ~10 s of Minorminer embedding plus 8380 us of sampling for
+60 reads; HyQSAT needs ~4000 us end to end with < 16 us embedding.
+Absolute CPU numbers differ here (pure Python), but the *structure*
+must hold: QA-only is dominated by embedding, HyQSAT's embedding is
+microseconds-scale per call and its end-to-end time is in the same
+decade as CDCL while the QA-only flow is orders of magnitude slower.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table, measure_iteration_cost
+from repro.annealer import QpuTimingModel
+from repro.benchgen import random_3sat
+from repro.cdcl import minisat_solver
+from repro.core import HyQSatConfig, HyQSatSolver
+from repro.embedding import MinorminerLikeEmbedder
+from repro.qubo import encode_formula
+
+from benchmarks._harness import emit, default_device, print_banner
+
+NUM_VARS, NUM_CLAUSES = 128, 150
+
+
+def test_fig1_end_to_end(benchmark):
+    rng = np.random.default_rng(0)
+    formula = random_3sat(NUM_VARS, NUM_CLAUSES, rng)
+    timing = QpuTimingModel()
+
+    def run_all():
+        # (a) classic CDCL, measured.
+        start = time.perf_counter()
+        base = minisat_solver(formula).solve()
+        cdcl_seconds = time.perf_counter() - start
+
+        # (b) QA-only: embed the *entire* formula with the Minorminer
+        # baseline, then 60 samples (the paper's Figure 1 accounting).
+        encoding = encode_formula(list(formula.clauses), formula.num_vars)
+        edges = list(encoding.objective.quadratic.keys())
+        embedder = MinorminerLikeEmbedder(
+            default_device().hardware, max_passes=6, timeout_seconds=90
+        )
+        mm = embedder.embed(edges, encoding.objective.variables)
+        qa_only_seconds = mm.elapsed_seconds + timing.total_us(60) * 1e-6
+
+        # (c) HyQSAT, modelled end to end.
+        per_iteration = measure_iteration_cost(trials=2)
+        solver = HyQSatSolver(formula, device=default_device(), config=HyQSatConfig())
+        hyq = solver.solve()
+        breakdown = hyq.time_breakdown(per_iteration)
+        return base, cdcl_seconds, mm, qa_only_seconds, hyq, breakdown
+
+    base, cdcl_s, mm, qa_only_s, hyq, breakdown = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
+
+    hyq_embed_us = (
+        hyq.hybrid.frontend_seconds / max(1, hyq.hybrid.qa_calls) * 1e6
+    )
+    print_banner(f"Figure 1 — end-to-end time, {NUM_VARS} vars / {NUM_CLAUSES} clauses")
+    emit(
+        format_table(
+            ["Approach", "End-to-end", "Embedding", "Notes"],
+            [
+                [
+                    "Classic CDCL",
+                    f"{cdcl_s * 1e3:.2f} ms",
+                    "-",
+                    f"{base.stats.iterations} iterations",
+                ],
+                [
+                    "QA only",
+                    f"{qa_only_s * 1e3:.2f} ms",
+                    f"{mm.elapsed_seconds * 1e3:.1f} ms",
+                    f"minorminer-like, success={mm.success}, 60 samples",
+                ],
+                [
+                    "HyQSAT",
+                    f"{breakdown.total_s * 1e3:.2f} ms",
+                    f"{hyq_embed_us:.1f} us/call",
+                    f"{hyq.stats.iterations} iterations, {hyq.hybrid.qa_calls} QA calls",
+                ],
+            ],
+        )
+    )
+    emit("\nPaper: CDCL ~8 ms, QA-only ~10 s (embedding-bound), HyQSAT ~4 ms")
+    # Structural assertions.
+    assert mm.elapsed_seconds > 10 * breakdown.total_s, (
+        "QA-only embedding must dominate HyQSAT end-to-end"
+    )
+    assert hyq_embed_us * 1e-6 < mm.elapsed_seconds / 100

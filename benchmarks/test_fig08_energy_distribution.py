@@ -1,0 +1,107 @@
+"""Figure 8: QA energy distributions of satisfiable vs unsatisfiable
+problems and the Gaussian Naive Bayes fit.
+
+The paper runs 1000 + 1000 problems (50-200 vars, 50-160 clauses) on
+D-Wave 2000Q, fits a GNB to the energies, and partitions the axis at
+90% posterior confidence (landing at 4.5 and 8).  Scaled: 40 + 40
+problems on the noisy simulated device; the reproduced series are the
+two distributions' summary statistics, the fitted partition points,
+and the classifier accuracy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.annealer import AnnealerDevice, NoiseModel
+from repro.annealer.device import AnnealRequest
+from repro.benchgen import random_3sat
+from repro.embedding import HyQSatEmbedder
+from repro.ml import fit_bands
+from repro.qubo import encode_formula, normalize
+from repro.sat import brute_force_solve
+from repro.topology import ChimeraGraph
+
+from benchmarks._harness import emit, print_banner
+
+PER_CLASS = 20
+
+
+def _energy_of(device, hardware, formula):
+    encoding = encode_formula(list(formula.clauses), formula.num_vars)
+    embedded = HyQSatEmbedder(hardware).embed(encoding)
+    if not embedded.success:
+        return None
+    objective, d_star = normalize(encoding.objective)
+    request = AnnealRequest(
+        objective, embedded.embedding, embedded.edge_couplers, d_star
+    )
+    return device.run(request).best.energy
+
+
+def test_fig8_energy_distribution(benchmark):
+    def run_all():
+        hardware = ChimeraGraph(16, 16, 4)
+        device = AnnealerDevice(hardware, noise=NoiseModel.dwave_2000q(), seed=0)
+        rng = np.random.default_rng(1)
+        # The paper's pools: satisfiable problems are drawn at low
+        # clause/variable ratios (its 50-160 clauses over 50-200 vars
+        # is ratio <= 3.2); unsatisfiable ones need higher ratios.
+        sat_energies, unsat_energies = [], []
+        while len(sat_energies) < PER_CLASS:
+            n = int(rng.integers(10, 18))
+            m = int(n * rng.uniform(1.5, 3.5))
+            formula = random_3sat(n, m, rng)
+            if brute_force_solve(formula) is None:
+                continue
+            energy = _energy_of(device, hardware, formula)
+            if energy is not None:
+                sat_energies.append(energy)
+        while len(unsat_energies) < PER_CLASS:
+            n = int(rng.integers(8, 13))
+            m = int(n * rng.uniform(5.0, 7.0))
+            formula = random_3sat(n, m, rng)
+            if brute_force_solve(formula) is not None:
+                continue
+            energy = _energy_of(device, hardware, formula)
+            if energy is not None:
+                unsat_energies.append(energy)
+        return sat_energies, unsat_energies
+
+    sat_energies, unsat_energies = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    bands, model = fit_bands(sat_energies, unsat_energies)
+    X = np.concatenate([sat_energies, unsat_energies])
+    y = np.concatenate(
+        [np.ones(len(sat_energies), dtype=int), np.zeros(len(unsat_energies), dtype=int)]
+    )
+    accuracy = model.score(X, y)
+
+    print_banner("Figure 8 — energy distributions and GNB fit (noisy device)")
+    emit(
+        format_table(
+            ["Class", "Mean", "Std", "P10", "P90"],
+            [
+                [
+                    "satisfiable",
+                    f"{np.mean(sat_energies):.2f}",
+                    f"{np.std(sat_energies):.2f}",
+                    f"{np.percentile(sat_energies, 10):.2f}",
+                    f"{np.percentile(sat_energies, 90):.2f}",
+                ],
+                [
+                    "unsatisfiable",
+                    f"{np.mean(unsat_energies):.2f}",
+                    f"{np.std(unsat_energies):.2f}",
+                    f"{np.percentile(unsat_energies, 10):.2f}",
+                    f"{np.percentile(unsat_energies, 90):.2f}",
+                ],
+            ],
+        )
+    )
+    emit(
+        f"\n90% confidence partition: near-sat <= {bands.t_sat:.2f} < uncertain "
+        f"<= {bands.t_unsat:.2f} < near-unsat   (paper: 4.5 / 8.0)"
+    )
+    emit(f"GNB accuracy on the pooled energies: {accuracy:.1%}")
+    assert np.mean(unsat_energies) > np.mean(sat_energies)
+    assert accuracy > 0.7

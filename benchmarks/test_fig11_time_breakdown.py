@@ -1,0 +1,59 @@
+"""Figure 11: time spent in each part of HyQSAT.
+
+The paper decomposes HyQSAT's end-to-end time into frontend (2.2%), QA
+execution, backend, and remaining CDCL (the warm-up stage overall is
+41.11%); BP stands out with ~40% QA time because its total iteration
+count is tiny.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table, measure_iteration_cost
+
+from benchmarks._harness import (
+    emit,
+    SUITE_ORDER,
+    group_by_benchmark,
+    print_banner,
+    run_suite,
+)
+
+
+def test_fig11_time_breakdown(benchmark):
+    runs = benchmark.pedantic(
+        lambda: run_suite(SUITE_ORDER, problems=3, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    per_iteration = measure_iteration_cost(trials=2)
+
+    rows = []
+    warmup_shares = []
+    for name, group in group_by_benchmark(runs).items():
+        shares = np.mean(
+            [
+                list(r.hyqsat.time_breakdown(per_iteration).shares().values())
+                for r in group
+            ],
+            axis=0,
+        )
+        frontend, qa, backend, cdcl = shares
+        warmup_shares.append(frontend + qa + backend)
+        rows.append(
+            [
+                name,
+                f"{frontend:.1%}",
+                f"{qa:.1%}",
+                f"{backend:.1%}",
+                f"{cdcl:.1%}",
+            ]
+        )
+    print_banner("Figure 11 — HyQSAT end-to-end time breakdown")
+    emit(format_table(["Bench", "Frontend", "QA", "Backend", "CDCL"], rows))
+    emit(
+        f"\nMean warm-up share (frontend+QA+backend): {np.mean(warmup_shares):.1%} "
+        f"(paper: 41.11%)"
+    )
+    # Every benchmark must attribute some time to the CDCL part.
+    assert all(float(r[4].rstrip('%')) >= 0 for r in rows)

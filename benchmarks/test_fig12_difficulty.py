@@ -1,0 +1,62 @@
+"""Figure 12: speedup vs problem difficulty.
+
+(a) Problems with a higher conflict proportion (conflicts per
+iteration) speed up more — benchmark II sits below 1x because its
+conflict proportion is tiny.  (b) Problems that take classic CDCL
+longer speed up more, because the warm-up has more to accelerate.
+Reproduced as rank correlations over the suite runs.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.analysis import format_table, measure_iteration_cost
+from repro.analysis.visits import conflict_proportion
+
+from benchmarks._harness import emit, SUITE_ORDER, print_banner, run_suite
+
+
+def test_fig12_difficulty_vs_speedup(benchmark):
+    runs = benchmark.pedantic(
+        lambda: run_suite(SUITE_ORDER, problems=3, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    per_iteration = measure_iteration_cost(trials=2)
+
+    proportions, cdcl_times, speedups = [], [], []
+    for run in runs:
+        hyq_seconds = run.hyqsat.time_breakdown(per_iteration).total_s
+        speedups.append(run.minisat_seconds / max(hyq_seconds, 1e-9))
+        cdcl_times.append(run.minisat_seconds)
+        # Conflict proportion of the classic run approximated from the
+        # hybrid run's CDCL statistics (same search engine).
+        proportions.append(conflict_proportion(run.hyqsat.stats))
+
+    rho_conflict = sps.spearmanr(proportions, speedups).statistic
+    rho_time = sps.spearmanr(cdcl_times, speedups).statistic
+
+    print_banner("Figure 12 — difficulty vs speedup (rank correlations)")
+    emit(
+        format_table(
+            ["Relationship", "Spearman rho", "Paper"],
+            [
+                ["conflict proportion vs speedup", f"{rho_conflict:.2f}", "positive"],
+                ["classic CDCL time vs speedup", f"{rho_time:.2f}", "positive"],
+            ],
+        )
+    )
+    buckets = np.array_split(
+        sorted(zip(cdcl_times, speedups)), 3
+    )
+    rows = [
+        [
+            f"tercile {i + 1}",
+            f"{np.mean([t for t, _ in b]) * 1e3:.2f} ms",
+            f"{np.mean([s for _, s in b]):.2f}x",
+        ]
+        for i, b in enumerate(buckets)
+    ]
+    emit(format_table(["CDCL-time tercile", "Mean CDCL time", "Mean speedup"], rows))
+    assert np.isfinite(rho_conflict) and np.isfinite(rho_time)

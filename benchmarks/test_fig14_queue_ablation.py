@@ -1,0 +1,80 @@
+"""Figure 14: activity-ordered BFS clause queue vs a random queue.
+
+The paper reports a 2.77x average improvement of the Section IV-A
+queue generation over random queue selection, with larger gains on the
+later (harder) benchmarks.  Reproduced on a suite slice by flipping
+``use_activity_queue`` — both the iteration reduction and the queue's
+embedding utilisation (clauses embedded per call) are compared.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.benchgen import BENCHMARKS
+from repro.cdcl import minisat_solver
+from repro.core import HyQSatConfig, HyQSatSolver
+
+from benchmarks._harness import emit, default_device, print_banner
+
+NAMES = ("GC1", "II", "AI1", "AI2", "AI3")
+PROBLEMS = 2
+
+
+def test_fig14_queue_generation(benchmark):
+    def run_all():
+        table = {}
+        for name in NAMES:
+            spec = BENCHMARKS[name]
+            base, activity, random_q = [], [], []
+            act_embedded, rand_embedded = [], []
+            for index in range(PROBLEMS):
+                formula = spec.generate(index, seed=0)
+                base.append(minisat_solver(formula, seed=0).solve().stats.iterations)
+                act = HyQSatSolver(
+                    formula,
+                    device=default_device(seed=index),
+                    config=HyQSatConfig(seed=index, use_activity_queue=True),
+                ).solve()
+                rnd = HyQSatSolver(
+                    formula,
+                    device=default_device(seed=index),
+                    config=HyQSatConfig(seed=index, use_activity_queue=False),
+                ).solve()
+                activity.append(act.stats.iterations)
+                random_q.append(rnd.stats.iterations)
+                act_embedded.append(act.hybrid.avg_embedded_clauses)
+                rand_embedded.append(rnd.hybrid.avg_embedded_clauses)
+            table[name] = (base, activity, random_q, act_embedded, rand_embedded)
+        return table
+
+    table = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    act_embedded_all, rand_embedded_all = [], []
+    for name, (base, act, rnd, act_emb, rnd_emb) in table.items():
+        red_act = np.mean(base) / max(1.0, np.mean(act))
+        red_rnd = np.mean(base) / max(1.0, np.mean(rnd))
+        act_embedded_all.extend(act_emb)
+        rand_embedded_all.extend(rnd_emb)
+        rows.append(
+            [
+                name,
+                f"{red_act:.2f}",
+                f"{red_rnd:.2f}",
+                f"{np.mean(act_emb):.0f}",
+                f"{np.mean(rnd_emb):.0f}",
+            ]
+        )
+    print_banner("Figure 14 — activity BFS queue vs random queue")
+    emit(
+        format_table(
+            ["Bench", "Reduction (BFS)", "Reduction (random)",
+             "Embedded/call (BFS)", "Embedded/call (random)"],
+            rows,
+        )
+    )
+    emit("\nPaper: BFS queue gives 2.77x better reduction on average;")
+    emit("locality also raises hardware utilisation per call.")
+    # The locality claim must hold: BFS queues embed more clauses/call.
+    assert np.mean(act_embedded_all) > np.mean(rand_embedded_all)

@@ -1,0 +1,89 @@
+"""Table II: modelled end-to-end time of MiniSAT / Kissat / HyQSAT
+with the noisy device (the paper's real-QPU runs).
+
+Times are modelled per DESIGN.md: measured CPU time for the classical
+baselines, and frontend CPU + modelled QPU device time + backend CPU +
+remaining-CDCL CPU for HyQSAT.  The paper's headline: HyQSAT beats
+MiniSAT on 12/14 and Kissat on 13/14 benchmarks (1.48-12.62x), losing
+only on BP/II where conflict frequency is low; the noise effect
+(#iterations on hardware / noise-free simulator) stays near 1.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table, measure_iteration_cost
+from repro.annealer import NoiseModel
+from repro.benchgen import BENCHMARKS
+
+from benchmarks._harness import (
+    emit,
+    SUITE_ORDER,
+    group_by_benchmark,
+    print_banner,
+    run_suite,
+)
+
+
+def test_table2_running_time(benchmark):
+    def run_all():
+        noisefree = run_suite(SUITE_ORDER, problems=3, seed=0)
+        noisy = run_suite(
+            SUITE_ORDER, problems=3, seed=0, noise=NoiseModel.dwave_2000q()
+        )
+        return noisefree, noisy
+
+    noisefree, noisy = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    per_iteration = measure_iteration_cost(trials=2)
+
+    rows = []
+    wins_minisat = wins_kissat = 0
+    grouped_free = group_by_benchmark(noisefree)
+    for name, group in group_by_benchmark(noisy).items():
+        mini_ms = float(np.mean([r.minisat_seconds for r in group])) * 1e3
+        kis_ms = float(np.mean([r.kissat_seconds for r in group])) * 1e3
+        hyq_ms = float(
+            np.mean(
+                [r.hyqsat.time_breakdown(per_iteration).total_s for r in group]
+            )
+        ) * 1e3
+        speed_mini = mini_ms / hyq_ms
+        speed_kis = kis_ms / hyq_ms
+        wins_minisat += speed_mini > 1
+        wins_kissat += speed_kis > 1
+        noise_variance = float(
+            np.mean(
+                [
+                    r.hyqsat.stats.iterations
+                    / max(1, f.hyqsat.stats.iterations)
+                    for r, f in zip(group, grouped_free[name])
+                ]
+            )
+        )
+        rows.append(
+            [
+                name,
+                f"{mini_ms:.2f}",
+                f"{kis_ms:.2f}",
+                f"{hyq_ms:.2f}",
+                f"{speed_mini:.2f}",
+                f"{speed_kis:.2f}",
+                f"{noise_variance:.2f}",
+            ]
+        )
+    print_banner("Table II — modelled end-to-end time (noisy device)")
+    emit(
+        format_table(
+            [
+                "Bench", "Minisat ms", "Kissat ms", "HyQSAT ms",
+                "Speedup(M)", "Speedup(K)", "#Iter variance",
+            ],
+            rows,
+        )
+    )
+    emit(
+        f"\nHyQSAT faster than MiniSAT on {wins_minisat}/14 and Kissat on "
+        f"{wins_kissat}/14 benchmarks (paper: 12/14 and 13/14)."
+    )
+    emit(f"CDCL per-iteration cost used: {per_iteration * 1e6:.1f} us")
+    assert wins_minisat >= 4  # the hybrid must win on a solid share

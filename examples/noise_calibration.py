@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Calibrate the backend's confidence bands (Figures 8 and 15).
+
+Runs batches of known-satisfiable and known-unsatisfiable problems on a
+noisy simulated annealer, fits the Gaussian Naive Bayes model to the
+energy distributions, and derives the 90% confidence partition the
+backend uses.  Also shows the Section IV-C coefficient adjustment
+widening the energy gap.
+
+Run:  python examples/noise_calibration.py
+"""
+
+import numpy as np
+
+from repro import (
+    AnnealerDevice,
+    ChimeraGraph,
+    NoiseModel,
+    adjust_coefficients,
+    encode_formula,
+    random_3sat,
+)
+from repro.annealer.device import AnnealRequest
+from repro.embedding import HyQSatEmbedder
+from repro.ml import fit_bands
+from repro.qubo import energy_gap, normalize
+from repro.sat import brute_force_solve
+
+
+def sample_energy(device, hardware, formula, adjust=True):
+    encoding = encode_formula(list(formula.clauses), formula.num_vars)
+    if adjust:
+        encoding = adjust_coefficients(encoding).encoding
+    embedded = HyQSatEmbedder(hardware).embed(encoding)
+    if not embedded.success:
+        return None
+    objective, d_star = normalize(encoding.objective)
+    request = AnnealRequest(
+        objective, embedded.embedding, embedded.edge_couplers, d_star
+    )
+    return device.run(request).best.energy
+
+
+def main() -> None:
+    hardware = ChimeraGraph(16, 16, 4)
+    device = AnnealerDevice(hardware, noise=NoiseModel.dwave_2000q(), seed=0)
+    rng = np.random.default_rng(seed=4)
+
+    sat_energies, unsat_energies = [], []
+    while len(sat_energies) < 40 or len(unsat_energies) < 40:
+        n = int(rng.integers(8, 14))
+        m = int(rng.integers(3 * n, 5 * n))
+        formula = random_3sat(n, m, rng)
+        is_sat = brute_force_solve(formula) is not None
+        energy = sample_energy(device, hardware, formula)
+        if energy is None:
+            continue
+        if is_sat and len(sat_energies) < 40:
+            sat_energies.append(energy)
+        elif not is_sat and len(unsat_energies) < 40:
+            unsat_energies.append(energy)
+
+    print(f"satisfiable energies   : mean {np.mean(sat_energies):.2f}, "
+          f"90th pct {np.percentile(sat_energies, 90):.2f}")
+    print(f"unsatisfiable energies : mean {np.mean(unsat_energies):.2f}, "
+          f"10th pct {np.percentile(unsat_energies, 10):.2f}")
+
+    bands, model = fit_bands(sat_energies, unsat_energies)
+    print(f"fitted 90% confidence partition: near-sat <= {bands.t_sat:.2f} "
+          f"< uncertain <= {bands.t_unsat:.2f} < near-unsat")
+    print(f"(paper's D-Wave 2000Q calibration: 4.5 / 8.0)")
+
+    # Section IV-C: the adjustment widens the normalised energy gap.
+    # Mixed clause widths leave room under the d* constraint (uniform
+    # width-3 formulas do not; see EXPERIMENTS.md on Figure 15).
+    from repro.sat.cnf import Clause
+
+    clauses = [Clause([-1, -2]), Clause([-1])]
+    enc = encode_formula(clauses, 2)
+    adjusted = adjust_coefficients(enc)
+    before = energy_gap(enc) / enc.objective.d_star()
+    after = energy_gap(adjusted.encoding) / adjusted.encoding.objective.d_star()
+    print(
+        f"normalised energy gap of a mixed-width clause set: "
+        f"{before:.2f} -> {after:.2f} after coefficient adjustment"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so ``pip install -e . --no-build-isolation`` works on minimal
+environments that lack the ``wheel`` package (the PEP 517 editable path
+requires ``bdist_wheel``); all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

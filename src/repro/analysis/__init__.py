@@ -1,0 +1,30 @@
+"""Experiment analysis: metrics, profiling, and table rendering.
+
+- :mod:`repro.analysis.metrics` — the Table I reduction statistics
+  (average / geomean / max / min) and speedup helpers.
+- :mod:`repro.analysis.visits` — clause visit-frequency profiling
+  (Figure 5) and conflict-proportion measures (Figure 12).
+- :mod:`repro.analysis.tables` — plain-text table rendering used by
+  the benchmark harness and the CLI.
+- :mod:`repro.analysis.calibration` — per-iteration CDCL cost
+  measurement for the modelled end-to-end times (Table II).
+"""
+
+from repro.analysis.calibration import measure_iteration_cost
+from repro.analysis.figures import ascii_histogram, ascii_scatter, ascii_series
+from repro.analysis.metrics import ReductionStats, reduction_stats, speedup
+from repro.analysis.tables import format_table
+from repro.analysis.visits import conflict_proportion, visit_profile
+
+__all__ = [
+    "ReductionStats",
+    "ascii_histogram",
+    "ascii_scatter",
+    "ascii_series",
+    "conflict_proportion",
+    "format_table",
+    "measure_iteration_cost",
+    "reduction_stats",
+    "speedup",
+    "visit_profile",
+]

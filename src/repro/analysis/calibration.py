@@ -1,0 +1,39 @@
+"""Per-iteration CDCL cost measurement.
+
+The Table II end-to-end model converts iteration counts to time with a
+per-iteration cost measured on *this* machine, so the HyQSAT-vs-
+baseline ratio stays meaningful even though absolute times differ from
+the paper's Intel E5 (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.benchgen.random_ksat import random_3sat
+from repro.cdcl.presets import minisat_solver
+from repro.sat.cnf import CNF
+
+
+def measure_iteration_cost(
+    solver_factory: Callable[[CNF], object] = minisat_solver,
+    num_vars: int = 100,
+    num_clauses: int = 420,
+    trials: int = 3,
+    seed: int = 0,
+) -> float:
+    """Seconds per CDCL iteration, averaged over random instances."""
+    rng = np.random.default_rng(seed)
+    total_time = 0.0
+    total_iters = 0
+    for _ in range(trials):
+        formula = random_3sat(num_vars, num_clauses, rng)
+        solver = solver_factory(formula)
+        start = time.perf_counter()
+        result = solver.solve()
+        total_time += time.perf_counter() - start
+        total_iters += max(1, result.stats.iterations)
+    return total_time / total_iters

@@ -1,0 +1,92 @@
+"""Plain-text figure rendering for the bench harness.
+
+The paper's figures are charts; the bench harness reproduces their
+*series* and renders them as monospace histograms / scatter plots so
+``pytest benchmarks/`` output is self-contained without matplotlib.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def ascii_histogram(
+    values: Sequence[float],
+    bins: int = 12,
+    width: int = 40,
+    label: str = "",
+    value_range: Optional[Tuple[float, float]] = None,
+) -> str:
+    """A horizontal-bar histogram.
+
+    Each row is one bin: ``[lo, hi)  ████████  count``.
+    """
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        return f"{label}: (no data)"
+    lo, hi = value_range if value_range else (float(data.min()), float(data.max()))
+    if hi <= lo:
+        hi = lo + 1.0
+    counts, edges = np.histogram(data, bins=bins, range=(lo, hi))
+    peak = max(int(counts.max()), 1)
+    lines: List[str] = []
+    if label:
+        lines.append(label)
+    for count, left, right in zip(counts, edges[:-1], edges[1:]):
+        bar = "█" * max(0, round(width * count / peak))
+        lines.append(f"[{left:7.2f}, {right:7.2f})  {bar:<{width}}  {count}")
+    return "\n".join(lines)
+
+
+def ascii_scatter(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 56,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """A character-grid scatter plot with axis ranges in the footer."""
+    x = np.asarray(list(xs), dtype=float)
+    y = np.asarray(list(ys), dtype=float)
+    if x.size == 0 or x.size != y.size:
+        return "(no data)"
+    x_lo, x_hi = float(x.min()), float(x.max())
+    y_lo, y_hi = float(y.min()), float(y.max())
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for xv, yv in zip(x, y):
+        col = min(width - 1, int((xv - x_lo) / (x_hi - x_lo) * (width - 1)))
+        row = min(height - 1, int((yv - y_lo) / (y_hi - y_lo) * (height - 1)))
+        grid[height - 1 - row][col] = "o" if grid[height - 1 - row][col] == " " else "O"
+    lines = ["+" + "-" * width + "+"]
+    lines.extend("|" + "".join(row) + "|" for row in grid)
+    lines.append("+" + "-" * width + "+")
+    lines.append(
+        f"x: {x_label} in [{x_lo:.3g}, {x_hi:.3g}]   "
+        f"y: {y_label} in [{y_lo:.3g}, {y_hi:.3g}]"
+    )
+    return "\n".join(lines)
+
+
+def ascii_series(
+    points: Sequence[Tuple[float, float]],
+    width: int = 48,
+    label: str = "",
+) -> str:
+    """A labelled one-line-per-point bar series (for sweeps)."""
+    if not points:
+        return f"{label}: (no data)"
+    peak = max(abs(v) for _, v in points) or 1.0
+    lines: List[str] = []
+    if label:
+        lines.append(label)
+    for key, value in points:
+        bar = "█" * max(0, round(width * abs(value) / peak))
+        lines.append(f"{key:>10}  {bar:<{width}}  {value:.3g}")
+    return "\n".join(lines)

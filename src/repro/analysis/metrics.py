@@ -1,0 +1,54 @@
+"""Reduction and speedup metrics (Table I / Table II statistics)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ReductionStats:
+    """Table I row statistics over per-problem reductions."""
+
+    average: float
+    geomean: float
+    maximum: float
+    minimum: float
+    count: int
+
+    def as_row(self) -> List[str]:
+        """Formatted cells for table rendering."""
+        return [
+            f"{self.average:.2f}",
+            f"{self.geomean:.2f}",
+            f"{self.maximum:.2f}",
+            f"{self.minimum:.2f}",
+        ]
+
+
+def reduction_stats(reductions: Sequence[float]) -> ReductionStats:
+    """Average / geometric-mean / max / min of a reduction list.
+
+    Reductions are ratios (baseline / treated); all must be positive.
+    """
+    values = np.asarray(list(reductions), dtype=float)
+    if values.size == 0:
+        raise ValueError("need at least one reduction value")
+    if (values <= 0).any():
+        raise ValueError("reductions must be positive ratios")
+    return ReductionStats(
+        average=float(values.mean()),
+        geomean=float(np.exp(np.log(values).mean())),
+        maximum=float(values.max()),
+        minimum=float(values.min()),
+        count=int(values.size),
+    )
+
+
+def speedup(baseline_seconds: float, treated_seconds: float) -> float:
+    """Baseline-over-treated time ratio (>1 means treated is faster)."""
+    if treated_seconds <= 0:
+        raise ValueError("treated time must be positive")
+    return baseline_seconds / treated_seconds

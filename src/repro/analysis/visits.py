@@ -1,0 +1,57 @@
+"""Clause visit-frequency profiling (Figure 5) and difficulty
+measures (Figure 12)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.cdcl.stats import ClauseCounters
+
+
+@dataclass(frozen=True)
+class VisitProfile:
+    """Figure 5's quintile decomposition of clause visits.
+
+    Clauses are ranked by total visits and split into five equal
+    groups; each group's share of propagation and conflict visits is
+    reported (the paper: the top 1/5 of clauses take 42% of visits,
+    33% propagation + 9% conflict resolving).
+    """
+
+    propagation_share: Tuple[float, ...]
+    conflict_share: Tuple[float, ...]
+
+    @property
+    def total_share(self) -> Tuple[float, ...]:
+        """Combined per-quintile share."""
+        return tuple(
+            p + c for p, c in zip(self.propagation_share, self.conflict_share)
+        )
+
+
+def visit_profile(counters: ClauseCounters, quantiles: int = 5) -> VisitProfile:
+    """Quintile visit shares from a solved instance's clause counters."""
+    if quantiles < 1:
+        raise ValueError("quantiles must be >= 1")
+    prop = np.asarray(counters.propagation_visits, dtype=float)
+    conf = np.asarray(counters.conflict_visits, dtype=float)
+    total = prop + conf
+    grand_total = total.sum()
+    if grand_total == 0:
+        flat = tuple(0.0 for _ in range(quantiles))
+        return VisitProfile(flat, flat)
+    order = np.argsort(-total)
+    groups = np.array_split(order, quantiles)
+    prop_share = tuple(float(prop[g].sum() / grand_total) for g in groups)
+    conf_share = tuple(float(conf[g].sum() / grand_total) for g in groups)
+    return VisitProfile(prop_share, conf_share)
+
+
+def conflict_proportion(stats) -> float:
+    """Conflicts per iteration — Figure 12 (a)'s difficulty axis."""
+    if stats.iterations == 0:
+        return 0.0
+    return stats.conflicts / stats.iterations

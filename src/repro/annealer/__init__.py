@@ -1,0 +1,33 @@
+"""Quantum annealer simulator.
+
+Substitutes for the D-Wave 2000Q QPU (see DESIGN.md): the logical
+objective is compiled onto the embedded hardware graph — chains held
+together by ferromagnetic couplers, problem edges on real couplers —
+and sampled with Metropolis simulated annealing under a configurable
+noise model (coefficient noise before the anneal, readout bit flips
+after).  Chain breaks are resolved by majority vote, and a timing model
+accounts device time with the paper's published constants (20 µs
+anneal, 110 µs readout, Section VI-A).
+"""
+
+from repro.annealer.device import AnnealerDevice, AnnealRequest, AnnealResult, AnnealSample
+from repro.annealer.embedded import EmbeddedProblem, build_embedded_problem
+from repro.annealer.noise import NoiseModel
+from repro.annealer.sampler import SimulatedAnnealingSampler
+from repro.annealer.switching import SwitchingLatencyModel
+from repro.annealer.timing import QpuTimingModel
+from repro.annealer.unembed import majority_vote_unembed
+
+__all__ = [
+    "AnnealRequest",
+    "AnnealResult",
+    "AnnealSample",
+    "AnnealerDevice",
+    "EmbeddedProblem",
+    "NoiseModel",
+    "QpuTimingModel",
+    "SimulatedAnnealingSampler",
+    "SwitchingLatencyModel",
+    "build_embedded_problem",
+    "majority_vote_unembed",
+]

@@ -1,0 +1,145 @@
+"""The annealer device facade.
+
+:class:`AnnealerDevice` bundles a hardware topology, a noise model, a
+timing model, and the SA sampler behind the interface HyQSAT's
+frontend/backend pair consumes: program an embedded problem, draw
+samples, read back logical assignments with their *problem-unit*
+energies and the modelled device time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.annealer.embedded import EmbeddedProblem, build_embedded_problem
+from repro.annealer.noise import NoiseModel
+from repro.annealer.postprocess import logical_greedy_descent
+from repro.annealer.sampler import SamplerConfig, SimulatedAnnealingSampler
+from repro.annealer.timing import QpuTimingModel
+from repro.annealer.unembed import majority_vote_unembed
+from repro.embedding.base import Edge, Embedding
+from repro.qubo.ising import QuadraticObjective
+from repro.sat.assignment import Assignment
+from repro.topology.chimera import ChimeraGraph
+
+
+@dataclass(frozen=True)
+class AnnealRequest:
+    """One problem programmed onto the device.
+
+    ``objective`` is the *normalised* logical objective to run;
+    ``energy_scale`` (the Eq. 6 ``d*``) converts read-back energies to
+    problem units so the backend's confidence intervals are comparable
+    across problems.
+    """
+
+    objective: QuadraticObjective
+    embedding: Embedding
+    edge_couplers: Mapping[Edge, Sequence[Tuple[int, int]]]
+    energy_scale: float = 1.0
+    num_reads: int = 1
+
+    def __post_init__(self) -> None:
+        if self.energy_scale <= 0:
+            raise ValueError("energy_scale must be positive")
+        if self.num_reads < 1:
+            raise ValueError("num_reads must be >= 1")
+
+
+@dataclass(frozen=True)
+class AnnealSample:
+    """One unembedded read.
+
+    ``energy`` is the logical objective evaluated at the unembedded
+    assignment, rescaled to problem units — the quantity Figure 8's
+    distributions and the backend's bands are defined on.
+    """
+
+    assignment: Assignment
+    energy: float
+    chain_break_fraction: float
+
+
+@dataclass(frozen=True)
+class AnnealResult:
+    """All samples of one device call plus modelled device time."""
+
+    samples: Tuple[AnnealSample, ...]
+    qpu_time_us: float
+
+    @property
+    def best(self) -> AnnealSample:
+        """The lowest-energy sample."""
+        return min(self.samples, key=lambda s: s.energy)
+
+    @property
+    def energies(self) -> List[float]:
+        """Energies of all samples, in read order."""
+        return [s.energy for s in self.samples]
+
+
+class AnnealerDevice:
+    """A simulated quantum annealer with a fixed topology and noise."""
+
+    def __init__(
+        self,
+        hardware: Optional[ChimeraGraph] = None,
+        noise: Optional[NoiseModel] = None,
+        timing: Optional[QpuTimingModel] = None,
+        sampler_config: Optional[SamplerConfig] = None,
+        chain_strength: float = 1.0,
+        multi_qubit_correction: bool = True,
+        seed: int = 0,
+    ):
+        self.hardware = hardware or ChimeraGraph(16, 16, 4)
+        self.noise = noise or NoiseModel.noiseless()
+        self.timing = timing or QpuTimingModel()
+        self.sampler_config = sampler_config or SamplerConfig()
+        self.chain_strength = chain_strength
+        self.multi_qubit_correction = multi_qubit_correction
+        self.seed = seed
+        self._call_count = 0
+
+    def run(self, request: AnnealRequest) -> AnnealResult:
+        """Program, anneal, read out, and unembed."""
+        problem = build_embedded_problem(
+            request.objective,
+            request.embedding,
+            self.hardware,
+            request.edge_couplers,
+            chain_strength=self.chain_strength,
+        )
+        # A fresh per-call seed keeps repeated calls independent while
+        # the device as a whole stays reproducible.
+        self._call_count += 1
+        call_seed = (self.seed * 1_000_003 + self._call_count) % (2**32)
+        sampler = SimulatedAnnealingSampler(
+            config=self.sampler_config, noise=self.noise, seed=call_seed
+        )
+        rng = np.random.default_rng(call_seed + 1)
+
+        samples: List[AnnealSample] = []
+        for bits in sampler.sample(problem, num_reads=request.num_reads):
+            assignment, break_fraction = majority_vote_unembed(problem, bits, rng)
+            if self.multi_qubit_correction:
+                assignment, logical_energy = logical_greedy_descent(
+                    request.objective, assignment, rng
+                )
+            else:
+                logical_energy = request.objective.energy(
+                    {v: int(assignment[v]) for v in request.objective.variables}
+                )
+            samples.append(
+                AnnealSample(
+                    assignment=assignment,
+                    energy=logical_energy * request.energy_scale,
+                    chain_break_fraction=break_fraction,
+                )
+            )
+        return AnnealResult(
+            samples=tuple(samples),
+            qpu_time_us=self.timing.total_us(request.num_reads),
+        )

@@ -1,0 +1,148 @@
+"""Compiling a logical objective onto the embedded hardware graph.
+
+Given a (normalised) logical objective and a chain embedding, the
+physical problem is built the way a D-Wave front-end does:
+
+- each logical linear bias ``B_v`` is spread uniformly over the qubits
+  of v's chain;
+- each logical quadratic coefficient ``J_uv`` is spread uniformly over
+  the hardware couplers that join the two chains (found at embed time);
+- every intra-chain hardware coupler receives an equality penalty of
+  ``chain_strength`` — in 0/1 form, ``cs·(x_a + x_b − 2 x_a x_b)`` —
+  which is zero when the chain agrees and positive when it breaks.
+
+The result is a compact indexed problem over only the *used* qubits,
+ready for the vectorised sampler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.embedding.base import Edge, Embedding
+from repro.qubo.ising import QuadraticObjective
+from repro.topology.chimera import ChimeraGraph
+
+
+@dataclass(frozen=True)
+class EmbeddedProblem:
+    """A physical QUBO over the used qubits, in dense-index form.
+
+    Attributes
+    ----------
+    qubits:
+        The used physical qubit ids; index ``i`` in the arrays refers
+        to ``qubits[i]``.
+    linear:
+        Per-qubit bias vector (length ``len(qubits)``).
+    couplings:
+        ``(i, j, weight)`` rows over dense indices, including both
+        problem couplers and chain couplers.
+    chain_edges:
+        The subset of coupling index pairs that are intra-chain.
+    chain_of_index:
+        Dense index -> logical variable.
+    offset:
+        Constant term of the logical objective (carried through so
+        physical energies are comparable).
+    """
+
+    qubits: Tuple[int, ...]
+    linear: np.ndarray
+    couplings: Tuple[Tuple[int, int, float], ...]
+    chain_edges: Tuple[Tuple[int, int], ...]
+    chain_of_index: Tuple[int, ...]
+    offset: float
+
+    @property
+    def num_qubits(self) -> int:
+        """Number of physical qubits in play."""
+        return len(self.qubits)
+
+    def energy(self, bits: np.ndarray) -> float:
+        """Physical energy (including chain penalties) of a 0/1 vector."""
+        total = self.offset + float(self.linear @ bits)
+        for i, j, w in self.couplings:
+            total += w * bits[i] * bits[j]
+        return total
+
+
+def build_embedded_problem(
+    objective: QuadraticObjective,
+    embedding: Embedding,
+    hardware: ChimeraGraph,
+    edge_couplers: Mapping[Edge, Sequence[Tuple[int, int]]],
+    chain_strength: float = 2.0,
+) -> EmbeddedProblem:
+    """Compile ``objective`` onto the hardware through ``embedding``.
+
+    Raises ``ValueError`` if the objective mentions an unembedded
+    variable or a quadratic term has no realising coupler.
+    """
+    if chain_strength <= 0:
+        raise ValueError(f"chain_strength must be positive, got {chain_strength}")
+    missing = [v for v in objective.variables if v not in embedding]
+    if missing:
+        raise ValueError(f"objective variables not embedded: {missing[:5]}")
+
+    qubits: List[int] = []
+    index_of: Dict[int, int] = {}
+    chain_of_index: List[int] = []
+    for var in embedding.variables:
+        for qubit in embedding.chain_of(var):
+            index_of[qubit] = len(qubits)
+            qubits.append(qubit)
+            chain_of_index.append(var)
+
+    linear = np.zeros(len(qubits))
+    coupling_acc: Dict[Tuple[int, int], float] = {}
+
+    def add_coupling(i: int, j: int, weight: float) -> None:
+        key = (i, j) if i < j else (j, i)
+        coupling_acc[key] = coupling_acc.get(key, 0.0) + weight
+
+    # Linear biases spread over chains.
+    for var, bias in objective.linear.items():
+        chain = embedding.chain_of(var)
+        share = bias / len(chain)
+        for qubit in chain:
+            linear[index_of[qubit]] += share
+
+    # Problem couplings spread over realising couplers.
+    for (u, v), weight in objective.quadratic.items():
+        key: Edge = (u, v) if u < v else (v, u)
+        couplers = list(edge_couplers.get(key, ()))
+        if not couplers:
+            raise ValueError(f"no hardware coupler realises problem edge {key}")
+        share = weight / len(couplers)
+        for qa, qb in couplers:
+            add_coupling(index_of[qa], index_of[qb], share)
+
+    # Chain equality penalties on every intra-chain hardware coupler.
+    chain_edge_keys: List[Tuple[int, int]] = []
+    for var in embedding.variables:
+        chain = embedding.chain_of(var)
+        members = set(chain)
+        for qubit in chain:
+            for other in hardware.neighbors(qubit):
+                if other in members and qubit < other:
+                    i, j = index_of[qubit], index_of[other]
+                    linear[i] += chain_strength
+                    linear[j] += chain_strength
+                    add_coupling(i, j, -2.0 * chain_strength)
+                    chain_edge_keys.append((min(i, j), max(i, j)))
+
+    couplings = tuple(
+        (i, j, w) for (i, j), w in sorted(coupling_acc.items()) if w != 0.0
+    )
+    return EmbeddedProblem(
+        qubits=tuple(qubits),
+        linear=linear,
+        couplings=couplings,
+        chain_edges=tuple(sorted(set(chain_edge_keys))),
+        chain_of_index=tuple(chain_of_index),
+        offset=objective.offset,
+    )

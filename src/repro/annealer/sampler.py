@@ -1,0 +1,215 @@
+"""Metropolis simulated-annealing sampler over an embedded problem.
+
+The stand-in for the QPU's anneal: starting from a random state, spins
+are flipped under a geometric inverse-temperature (beta) schedule.  Two
+sweep modes are provided:
+
+- ``sequential`` — textbook single-spin Metropolis, exact but Python-
+  loop bound; used by the tests as the reference dynamics.
+- ``parallel`` — vectorised "diluted" parallel Metropolis: every spin
+  computes its local field at once, acceptance is decided per spin, and
+  a random half of the accepted flips is applied (the dilution breaks
+  the two-cycle oscillations exact parallel updates suffer).  This is
+  the default; it is orders of magnitude faster in numpy and settles to
+  the same low-energy states on the problem sizes HyQSAT embeds.
+
+The sampler is deterministic given its seed, and the noise model hooks
+in at two points: coefficient perturbation before the run and readout
+flips after it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.annealer.embedded import EmbeddedProblem
+from repro.annealer.noise import NoiseModel
+
+
+@dataclass(frozen=True)
+class SamplerConfig:
+    """Anneal-schedule parameters."""
+
+    num_sweeps: int = 256
+    beta_min: float = 0.05
+    beta_max: float = 5.0
+    sweep_mode: str = "parallel"  # "parallel" | "sequential"
+    greedy_descent: bool = True
+    max_descent_sweeps: int = 64
+    #: Independent anneal restarts folded into each read (the best by
+    #: physical energy is returned).  The paper's noise-free simulator
+    #: runs "with a long timeout to avoid simulation error" — i.e. it
+    #: is given enough attempts to reach the true ground state; higher
+    #: restart counts emulate that regime.
+    num_restarts: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_sweeps < 1:
+            raise ValueError("num_sweeps must be >= 1")
+        if self.beta_min <= 0 or self.beta_max < self.beta_min:
+            raise ValueError("need 0 < beta_min <= beta_max")
+        if self.sweep_mode not in ("parallel", "sequential"):
+            raise ValueError(f"unknown sweep_mode {self.sweep_mode!r}")
+        if self.max_descent_sweeps < 0:
+            raise ValueError("max_descent_sweeps must be non-negative")
+        if self.num_restarts < 1:
+            raise ValueError("num_restarts must be >= 1")
+
+
+class SimulatedAnnealingSampler:
+    """Samples low-energy states of an :class:`EmbeddedProblem`."""
+
+    def __init__(
+        self,
+        config: Optional[SamplerConfig] = None,
+        noise: Optional[NoiseModel] = None,
+        seed: int = 0,
+    ):
+        self.config = config or SamplerConfig()
+        self.noise = noise or NoiseModel.noiseless()
+        self.seed = seed
+
+    def sample(
+        self, problem: EmbeddedProblem, num_reads: int = 1
+    ) -> List[np.ndarray]:
+        """Draw ``num_reads`` bit vectors (0/1 per used qubit)."""
+        if num_reads < 1:
+            raise ValueError("num_reads must be >= 1")
+        rng = np.random.default_rng(self.seed)
+        n = problem.num_qubits
+        if n == 0:
+            return [np.zeros(0, dtype=np.int8) for _ in range(num_reads)]
+
+        linear, matrix = self._programmed_arrays(problem, rng)
+        betas = self._schedule()
+        reads: List[np.ndarray] = []
+        for _ in range(num_reads):
+            best_bits: Optional[np.ndarray] = None
+            best_energy = float("inf")
+            for _ in range(self.config.num_restarts):
+                bits = rng.integers(0, 2, size=n).astype(np.int8)
+                if self.config.sweep_mode == "parallel":
+                    bits = self._anneal_parallel(bits, linear, matrix, betas, rng)
+                else:
+                    bits = self._anneal_sequential(bits, linear, matrix, betas, rng)
+                if self.config.greedy_descent:
+                    bits = self._descend(bits, linear, matrix, rng)
+                if self.config.num_restarts == 1:
+                    best_bits = bits
+                    break
+                state = bits.astype(float)
+                energy = float(linear @ state + state @ (matrix @ state) / 2.0)
+                if energy < best_energy:
+                    best_energy, best_bits = energy, bits
+            bits = self.noise.flip_readout(best_bits, rng).astype(np.int8)
+            reads.append(bits)
+        return reads
+
+    # ------------------------------------------------------------------
+
+    def _programmed_arrays(
+        self, problem: EmbeddedProblem, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, sparse.csr_matrix]:
+        """Bias vector and symmetric sparse coupling matrix with
+        programming noise applied (the pre-anneal channel)."""
+        n = problem.num_qubits
+        linear = problem.linear.astype(float).copy()
+        linear = self.noise.perturb_coefficients(linear, rng)
+        if problem.couplings:
+            rows_i = np.array([c[0] for c in problem.couplings])
+            rows_j = np.array([c[1] for c in problem.couplings])
+            weights = np.array([c[2] for c in problem.couplings])
+            # One noise draw per physical coupler, applied symmetrically.
+            weights = self.noise.perturb_coefficients(weights, rng)
+            matrix = sparse.coo_matrix(
+                (
+                    np.concatenate([weights, weights]),
+                    (
+                        np.concatenate([rows_i, rows_j]),
+                        np.concatenate([rows_j, rows_i]),
+                    ),
+                ),
+                shape=(n, n),
+            ).tocsr()
+        else:
+            matrix = sparse.csr_matrix((n, n))
+        return linear, matrix
+
+    def _schedule(self) -> np.ndarray:
+        """Geometric beta ladder; thermal noise caps the final beta."""
+        beta_max = self.config.beta_max
+        if self.noise.thermal_beta is not None:
+            beta_max = min(beta_max, self.noise.thermal_beta)
+        return np.geomspace(self.config.beta_min, beta_max, self.config.num_sweeps)
+
+    def _anneal_parallel(
+        self,
+        bits: np.ndarray,
+        linear: np.ndarray,
+        matrix: np.ndarray,
+        betas: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        state = bits.astype(float)
+        for beta in betas:
+            field = linear + matrix @ state
+            delta = (1.0 - 2.0 * state) * field  # energy change per flip
+            accept = (delta <= 0.0) | (
+                rng.random(state.shape) < np.exp(-beta * np.clip(delta, 0.0, 50.0))
+            )
+            dilution = rng.random(state.shape) < 0.5
+            flips = accept & dilution
+            state = np.where(flips, 1.0 - state, state)
+        return state.astype(np.int8)
+
+    def _descend(
+        self,
+        bits: np.ndarray,
+        linear: np.ndarray,
+        matrix: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Zero-temperature greedy descent to the nearest local minimum.
+
+        The standard post-anneal calibration step (greedy descent,
+        Ayanzadeh et al. [6]): flips are only accepted when they
+        strictly lower the energy, applied with 0.5 dilution so the
+        vectorised update converges instead of oscillating.
+        """
+        state = bits.astype(float)
+        for _ in range(self.config.max_descent_sweeps):
+            field = linear + matrix @ state
+            delta = (1.0 - 2.0 * state) * field
+            improving = delta < -1e-12
+            if not improving.any():
+                break
+            flips = improving & (rng.random(state.shape) < 0.5)
+            if not flips.any():
+                continue
+            state = np.where(flips, 1.0 - state, state)
+        return state.astype(np.int8)
+
+    def _anneal_sequential(
+        self,
+        bits: np.ndarray,
+        linear: np.ndarray,
+        matrix: np.ndarray,
+        betas: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        state = bits.astype(float)
+        n = state.shape[0]
+        indptr, indices, data = matrix.indptr, matrix.indices, matrix.data
+        for beta in betas:
+            order = rng.permutation(n)
+            for i in order:
+                lo, hi = indptr[i], indptr[i + 1]
+                field = linear[i] + data[lo:hi] @ state[indices[lo:hi]]
+                delta = (1.0 - 2.0 * state[i]) * field
+                if delta <= 0.0 or rng.random() < np.exp(-beta * min(delta, 50.0)):
+                    state[i] = 1.0 - state[i]
+        return state.astype(np.int8)

@@ -1,0 +1,61 @@
+"""Classical-quantum switching-latency model (Section VII-A).
+
+The paper's discussion argues the CPU↔QPU switching overhead can be
+hidden: with the CDCL part on an FPGA peripheral the communication
+time vanishes, pulse pre-processing takes ~160 ns on customised FPGAs,
+and real-time feedback bounds post-processing at ~500 ns — all within
+the 130 µs QA execution window.  This model quantifies that argument:
+it prices one hybrid iteration under either a network-attached QPU
+(the paper's experimental setting, ~ms round trips) or the projected
+FPGA-integrated deployment, so the Figure 1 / Table II accounting can
+be re-run under both assumptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.annealer.timing import QpuTimingModel
+
+
+@dataclass(frozen=True)
+class SwitchingLatencyModel:
+    """Per-QA-call switching overheads (microseconds)."""
+
+    communication_us: float = 0.0
+    preprocessing_us: float = 0.16   # pulse generation, Section VII-A
+    postprocessing_us: float = 0.5   # real-time feedback readout
+
+    def __post_init__(self) -> None:
+        for name in ("communication_us", "preprocessing_us", "postprocessing_us"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @classmethod
+    def internet_api(cls) -> "SwitchingLatencyModel":
+        """The paper's experimental setting: D-Wave reached over the
+        network (~10 ms round trip per problem)."""
+        return cls(communication_us=10_000.0, preprocessing_us=100.0,
+                   postprocessing_us=100.0)
+
+    @classmethod
+    def fpga_integrated(cls) -> "SwitchingLatencyModel":
+        """The Section VII-A projection: CDCL on the control FPGA."""
+        return cls(communication_us=0.0, preprocessing_us=0.16,
+                   postprocessing_us=0.5)
+
+    @property
+    def per_call_us(self) -> float:
+        """Total switching overhead of one QA call."""
+        return self.communication_us + self.preprocessing_us + self.postprocessing_us
+
+    def hidden_by_execution(self, timing: QpuTimingModel, num_reads: int = 1) -> bool:
+        """Section VII-A's claim: the switching latency is covered by
+        the QA execution time itself."""
+        return self.per_call_us <= timing.total_us(num_reads)
+
+    def total_overhead_us(self, qa_calls: int) -> float:
+        """Accumulated switching overhead over a hybrid solve."""
+        if qa_calls < 0:
+            raise ValueError("qa_calls must be non-negative")
+        return self.per_call_us * qa_calls

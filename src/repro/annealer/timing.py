@@ -1,0 +1,43 @@
+"""QPU timing model.
+
+Device time is *modelled*, not measured: we use the constants the paper
+publishes for D-Wave 2000Q (Section VI-A sets the annealing time to
+20 µs and the readout time to 110 µs; Figure 1 uses a 20 µs inter-sample
+delay and a programming overhead per problem).  This keeps Table II /
+Figure 1 / Figure 11 accounting faithful to the paper's own arithmetic
+while the samples themselves come from the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class QpuTimingModel:
+    """Per-sample and per-problem device-time constants (microseconds)."""
+
+    anneal_us: float = 20.0
+    readout_us: float = 110.0
+    inter_sample_delay_us: float = 20.0
+    programming_us: float = 10.0
+
+    def __post_init__(self) -> None:
+        for name in ("anneal_us", "readout_us", "inter_sample_delay_us", "programming_us"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @property
+    def sample_us(self) -> float:
+        """Time for one anneal-and-read cycle (~130 µs on 2000Q)."""
+        return self.anneal_us + self.readout_us
+
+    def total_us(self, num_reads: int) -> float:
+        """Device time for one programmed problem with ``num_reads``
+        samples, including inter-sample delays."""
+        if num_reads < 0:
+            raise ValueError(f"num_reads must be non-negative, got {num_reads}")
+        if num_reads == 0:
+            return self.programming_us
+        delays = self.inter_sample_delay_us * (num_reads - 1)
+        return self.programming_us + self.sample_us * num_reads + delays

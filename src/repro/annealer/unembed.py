@@ -1,0 +1,49 @@
+"""Chain-break resolution: majority-vote unembedding.
+
+Each logical variable is read out from its chain; if the chain's
+qubits disagree (a *chain break*), the majority value wins, with ties
+broken by a supplied RNG — the standard D-Wave post-processing the
+paper's related-work section cites ([62], [63]).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.annealer.embedded import EmbeddedProblem
+from repro.sat.assignment import Assignment
+
+
+def majority_vote_unembed(
+    problem: EmbeddedProblem,
+    bits: np.ndarray,
+    rng: np.random.Generator,
+) -> Tuple[Assignment, float]:
+    """Collapse a physical read into a logical assignment.
+
+    Returns ``(assignment, chain_break_fraction)`` where the fraction
+    is the share of logical variables whose chain disagreed.
+    """
+    votes: Dict[int, list] = {}
+    for index, var in enumerate(problem.chain_of_index):
+        votes.setdefault(var, []).append(int(bits[index]))
+
+    assignment = Assignment()
+    breaks = 0
+    for var, chain_bits in votes.items():
+        ones = sum(chain_bits)
+        size = len(chain_bits)
+        if 0 < ones < size:
+            breaks += 1
+        if ones * 2 > size:
+            value = True
+        elif ones * 2 < size:
+            value = False
+        else:
+            value = bool(rng.integers(0, 2))
+        assignment.assign(var, value)
+
+    fraction = breaks / len(votes) if votes else 0.0
+    return assignment, fraction

@@ -1,0 +1,39 @@
+"""Benchmark instance generators for the paper's seven domains.
+
+The paper evaluates on SATLIB / SAT-2002 instances; those archives are
+not redistributable here, so each family is *generated* from the same
+instance distribution (DESIGN.md documents the substitution):
+
+- :mod:`repro.benchgen.random_ksat` — uniform random 3-SAT (the AI
+  UF-series benchmarks).
+- :mod:`repro.benchgen.graph_coloring` — flat-graph 3-colouring (GC).
+- :mod:`repro.benchgen.circuit` — circuit fault analysis miters (CFA).
+- :mod:`repro.benchgen.planning` — blocks-world planning (BP).
+- :mod:`repro.benchgen.inductive` — inductive inference (II).
+- :mod:`repro.benchgen.factoring` — integer factorisation (IF).
+- :mod:`repro.benchgen.crypto` — adder-equivalence miters (CRY).
+- :mod:`repro.benchgen.suites` — the Table I benchmark suite.
+"""
+
+from repro.benchgen.circuit import circuit_fault_instance
+from repro.benchgen.crypto import adder_equivalence_instance
+from repro.benchgen.factoring import factoring_instance
+from repro.benchgen.graph_coloring import flat_graph_coloring_instance
+from repro.benchgen.inductive import inductive_inference_instance
+from repro.benchgen.planning import blocks_world_instance
+from repro.benchgen.random_ksat import random_3sat, random_ksat
+from repro.benchgen.suites import BENCHMARKS, BenchmarkSpec, generate_suite
+
+__all__ = [
+    "BENCHMARKS",
+    "BenchmarkSpec",
+    "adder_equivalence_instance",
+    "blocks_world_instance",
+    "circuit_fault_instance",
+    "factoring_instance",
+    "flat_graph_coloring_instance",
+    "generate_suite",
+    "inductive_inference_instance",
+    "random_3sat",
+    "random_ksat",
+]

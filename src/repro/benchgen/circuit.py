@@ -1,0 +1,207 @@
+"""Circuit fault analysis instances (the CFA benchmark).
+
+The SATLIB ssa ("single-stuck-at") family encodes automatic test
+pattern generation: is there an input vector on which a circuit with a
+stuck-at fault differs from the fault-free circuit?  A *detectable*
+fault gives a satisfiable instance (the test vector); an *undetectable*
+fault — one on logic that is functionally redundant — gives an
+unsatisfiable one.  The paper's CFA benchmark is unsatisfiable
+(Section VI-B), so the default here is the undetectable construction.
+
+Generation: draw a random combinational circuit, then
+
+- ``detectable=False``: splice a functionally-redundant sub-circuit
+  (``net OR (net AND other)`` == ``net``) into a random net and stick
+  the redundant AND's output at 0 in the faulty copy — the functions
+  stay equal, so the miter is UNSAT;
+- ``detectable=True``: stick a live net of the faulty copy at a
+  constant, which differs on some input for almost every draw (the
+  generator verifies small circuits and redraws if the fault happens
+  to be redundant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.benchgen.logic import CnfBuilder
+from repro.sat.cnf import CNF
+
+_OPS = ("and", "or", "xor")
+
+
+@dataclass(frozen=True)
+class RandomCircuit:
+    """A random combinational circuit over ``num_inputs`` inputs.
+
+    ``gates[i] = (op, a, b)`` where a/b index either inputs
+    (0..num_inputs-1) or earlier gates (num_inputs + j), possibly
+    negated via negative index encoding (-1 - idx).
+    """
+
+    num_inputs: int
+    gates: Tuple[Tuple[str, int, int], ...]
+
+    @property
+    def num_nets(self) -> int:
+        """Inputs + gate outputs."""
+        return self.num_inputs + len(self.gates)
+
+    def evaluate(
+        self,
+        inputs: List[bool],
+        stuck_gate: Optional[int] = None,
+        stuck_value: bool = False,
+    ) -> List[bool]:
+        """Value of every net for an input vector (reference model);
+        ``stuck_gate`` forces that gate's output to ``stuck_value``."""
+        values = list(inputs)
+        for index, (op, a, b) in enumerate(self.gates):
+            va = self._read(values, a)
+            vb = self._read(values, b)
+            if op == "and":
+                out = va and vb
+            elif op == "or":
+                out = va or vb
+            else:
+                out = va != vb
+            if stuck_gate is not None and index == stuck_gate:
+                out = stuck_value
+            values.append(out)
+        return values
+
+    def fault_is_detectable(self, stuck_gate: int, stuck_value: bool) -> bool:
+        """Whether some input vector exposes the stuck-at fault
+        (exhaustive over inputs; generator-scale circuits only)."""
+        import itertools
+
+        for bits in itertools.product((False, True), repeat=self.num_inputs):
+            good = self.evaluate(list(bits))[-1]
+            bad = self.evaluate(list(bits), stuck_gate, stuck_value)[-1]
+            if good != bad:
+                return True
+        return False
+
+    @staticmethod
+    def _read(values: List[bool], ref: int) -> bool:
+        if ref < 0:
+            return not values[-1 - ref]
+        return values[ref]
+
+
+def random_circuit(
+    num_inputs: int, num_gates: int, rng: np.random.Generator
+) -> RandomCircuit:
+    """A random circuit whose last gate is the output."""
+    if num_inputs < 2 or num_gates < 1:
+        raise ValueError("need >= 2 inputs and >= 1 gate")
+    gates: List[Tuple[str, int, int]] = []
+    for g in range(num_gates):
+        available = num_inputs + g
+        a, b = rng.integers(0, available, size=2)
+        if rng.random() < 0.25:
+            a = -1 - int(a)
+        if rng.random() < 0.25:
+            b = -1 - int(b)
+        op = _OPS[int(rng.integers(0, len(_OPS)))]
+        gates.append((op, int(a), int(b)))
+    return RandomCircuit(num_inputs=num_inputs, gates=tuple(gates))
+
+
+def _encode_copy(
+    builder: CnfBuilder,
+    circuit: RandomCircuit,
+    input_nets: List[int],
+    stuck_gate: Optional[int] = None,
+    stuck_value: bool = False,
+    redundant_gate: Optional[int] = None,
+    redundant_other: Optional[int] = None,
+    redundant_stuck: bool = False,
+) -> int:
+    """Encode one copy of the circuit; returns the output net.
+
+    ``stuck_gate`` replaces that gate's output with a constant (a
+    stuck-at fault on live logic).  ``redundant_gate`` instead wraps
+    that gate's output ``g`` as ``g OR (g AND other)`` — functionally
+    the identity — and ``redundant_stuck`` sticks the inner AND at 0,
+    which leaves the function unchanged (an undetectable fault buried
+    mid-circuit, so the equivalence proof must reason through all the
+    downstream logic).
+    """
+    nets: List[int] = list(input_nets)
+    for index, (op, a, b) in enumerate(circuit.gates):
+        na = -nets[-1 - a] if a < 0 else nets[a]
+        nb = -nets[-1 - b] if b < 0 else nets[b]
+        if op == "and":
+            out = builder.and_gate(na, nb)
+        elif op == "or":
+            out = builder.or_gate(na, nb)
+        else:
+            out = builder.xor_gate(na, nb)
+        if stuck_gate is not None and index == stuck_gate:
+            out = builder.constant(stuck_value)
+        if redundant_gate is not None and index == redundant_gate:
+            if redundant_stuck:
+                inner = builder.constant(False)  # AND output stuck at 0
+            else:
+                inner = builder.and_gate(out, nets[redundant_other])
+            out = builder.or_gate(out, inner)
+        nets.append(out)
+    return nets[-1]
+
+
+def circuit_fault_instance(
+    num_inputs: int,
+    num_gates: int,
+    rng: np.random.Generator,
+    detectable: bool = False,
+) -> CNF:
+    """An ATPG miter: SAT iff the injected stuck-at fault is detectable.
+
+    ``detectable=False`` (the paper's CFA setting) injects the fault on
+    provably-redundant logic, making the instance UNSAT by
+    construction.
+    """
+    circuit = random_circuit(num_inputs, num_gates, rng)
+    builder = CnfBuilder()
+    inputs = builder.new_vars(num_inputs)
+
+    if detectable:
+        good_out = _encode_copy(builder, circuit, inputs)
+        # Random stuck-at faults are often logically masked in small
+        # random circuits; redraw until the fault is observable (the
+        # ssa family's detectable instances are, by construction).
+        stuck_gate, stuck_value = 0, False
+        for _ in range(64):
+            stuck_gate = int(rng.integers(0, len(circuit.gates)))
+            stuck_value = bool(rng.integers(0, 2))
+            if num_inputs > 14 or circuit.fault_is_detectable(
+                stuck_gate, stuck_value
+            ):
+                break
+        faulty_out = _encode_copy(
+            builder, circuit, inputs, stuck_gate=stuck_gate,
+            stuck_value=stuck_value,
+        )
+    else:
+        # Redundant OR(g, AND(g, x)) wrapper buried mid-circuit; the
+        # faulty copy sticks the inner AND at 0.  Both functions are
+        # identical, so the miter is UNSAT — but proving it requires
+        # reasoning through everything downstream of the wrapper.
+        gate = int(rng.integers(0, max(1, len(circuit.gates) // 2)))
+        other = int(rng.integers(0, num_inputs))
+        good_out = _encode_copy(
+            builder, circuit, inputs,
+            redundant_gate=gate, redundant_other=other, redundant_stuck=False,
+        )
+        faulty_out = _encode_copy(
+            builder, circuit, inputs,
+            redundant_gate=gate, redundant_other=other, redundant_stuck=True,
+        )
+
+    difference = builder.xor_gate(good_out, faulty_out)
+    builder.assert_true(difference)
+    return builder.build()

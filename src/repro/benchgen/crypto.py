@@ -1,0 +1,61 @@
+"""Adder-equivalence miters (the CRY "Cmpadd" benchmark).
+
+Cmpadd-style cryptographic-hardware verification: prove two adder
+implementations equivalent by asking SAT for a counterexample.  The
+two copies here are a textbook ripple-carry adder with majority-gate
+carries and a re-factored variant whose carry is
+``(a AND b) OR (c AND (a XOR b))``; the functions are identical, so the
+miter is unsatisfiable.  ``inject_bug=True`` flips one full adder's
+carry input polarity in the second copy, which makes the miter
+satisfiable (the counterexample is the test the verifier reports).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.benchgen.logic import CnfBuilder
+from repro.sat.cnf import CNF
+
+
+def adder_equivalence_cnf(width: int, bug_position: int = -1) -> CNF:
+    """Miter of two ``width``-bit adders; ``bug_position >= 0`` corrupts
+    that full adder in the second implementation."""
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    builder = CnfBuilder()
+    a = builder.new_vars(width)
+    b = builder.new_vars(width)
+
+    sum1 = builder.ripple_carry_adder(a, b, factored=False)
+
+    # Second implementation, built inline so a bug can be injected.
+    carry = builder.constant(False)
+    sum2: List[int] = []
+    for i in range(width):
+        cin = -carry if i == bug_position else carry
+        s, carry = builder.full_adder_factored(a[i], b[i], cin)
+        sum2.append(s)
+    sum2.append(carry)
+
+    differences = [
+        builder.xor_gate(s1, s2) for s1, s2 in zip(sum1, sum2)
+    ]
+    builder.assert_true(builder.or_many(differences))  # some bit differs
+    return builder.build()
+
+
+def adder_equivalence_instance(
+    width: int,
+    rng: np.random.Generator,
+    inject_bug: bool = False,
+) -> CNF:
+    """A CRY-style equivalence-checking instance.
+
+    Without a bug the miter is UNSAT (the adders are equivalent); with
+    ``inject_bug`` a random stage is corrupted and the instance is SAT.
+    """
+    bug = int(rng.integers(0, width)) if inject_bug else -1
+    return adder_equivalence_cnf(width, bug_position=bug)

@@ -1,0 +1,88 @@
+"""Integer factorisation instances (the IF benchmarks).
+
+The EzFact/Lisa families encode ``A x B = N`` through a multiplier
+circuit: the instance is satisfiable exactly when N has a non-trivial
+factorisation whose factors fit the chosen bit widths.  Semiprimes
+give hard satisfiable instances; primes give unsatisfiable ones.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.benchgen.logic import CnfBuilder
+from repro.sat.cnf import CNF
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic trial-division primality (fine for bench sizes)."""
+    if n < 2:
+        return False
+    if n % 2 == 0:
+        return n == 2
+    d = 3
+    while d * d <= n:
+        if n % d == 0:
+            return False
+        d += 2
+    return True
+
+
+def random_prime(bits: int, rng: np.random.Generator) -> int:
+    """A random prime with exactly ``bits`` bits."""
+    if bits < 2:
+        raise ValueError("primes need at least 2 bits")
+    lo, hi = 1 << (bits - 1), (1 << bits) - 1
+    while True:
+        candidate = int(rng.integers(lo, hi + 1)) | 1
+        if candidate <= hi and is_prime(candidate):
+            return candidate
+
+
+def random_semiprime(
+    factor_bits: int, rng: np.random.Generator
+) -> Tuple[int, int, int]:
+    """(N, p, q) with N = p*q, p and q random ``factor_bits``-bit primes."""
+    p = random_prime(factor_bits, rng)
+    q = random_prime(factor_bits, rng)
+    return p * q, p, q
+
+
+def factoring_cnf(n: int, a_bits: int, b_bits: int) -> CNF:
+    """CNF of ``A x B = n`` with A > 1 and B > 1.
+
+    SAT iff n has a factorisation p*q with 1 < p < 2^a_bits and
+    1 < q < 2^b_bits.
+    """
+    if n < 2:
+        raise ValueError("n must be >= 2")
+    builder = CnfBuilder()
+    a = builder.new_vars(a_bits)
+    b = builder.new_vars(b_bits)
+    product = builder.multiplier(a, b)
+    builder.assert_equals_constant(product, n)
+    # Exclude the trivial factorisations A=1 or B=1: some bit above
+    # the LSB must be set (kept width-<=3 via OR trees).
+    builder.assert_true(builder.or_many(a[1:]))
+    builder.assert_true(builder.or_many(b[1:]))
+    return builder.build()
+
+
+def factoring_instance(
+    factor_bits: int,
+    rng: np.random.Generator,
+    satisfiable: bool = True,
+) -> CNF:
+    """An IF-style instance.
+
+    ``satisfiable=True`` encodes a random semiprime (the planted
+    factorisation is the witness); ``False`` encodes a random prime of
+    comparable size, which has no non-trivial factorisation at all.
+    """
+    if satisfiable:
+        n, _, _ = random_semiprime(factor_bits, rng)
+        return factoring_cnf(n, factor_bits, factor_bits)
+    n = random_prime(2 * factor_bits - 1, rng)
+    return factoring_cnf(n, factor_bits, factor_bits)

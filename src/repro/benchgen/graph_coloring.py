@@ -1,0 +1,91 @@
+"""Flat-graph 3-colouring instances (the GC benchmarks).
+
+SATLIB's flat-series (flat150-360 etc.) encode 3-colourability of
+"flat" random graphs — graphs generated with a hidden 3-colouring so
+the instances are satisfiable but hard.  The standard direct encoding
+over variables ``x_{v,c}`` ("vertex v has colour c"):
+
+- one *at-least-one-colour* clause per vertex (width 3),
+- three pairwise *at-most-one-colour* clauses per vertex (width 2),
+- three *different-colours* clauses per edge (width 2).
+
+For GC1 (150 vertices, 360 edges) this yields exactly the paper's
+450 variables and 150 + 450 + 1080 = 1680 clauses.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+import numpy as np
+
+from repro.sat.cnf import CNF, Clause
+
+NUM_COLOURS = 3
+
+
+def _colour_var(vertex: int, colour: int) -> int:
+    """1-based DIMACS variable for (vertex, colour), vertices 0-based."""
+    return vertex * NUM_COLOURS + colour + 1
+
+
+def flat_graph(
+    num_vertices: int, num_edges: int, rng: np.random.Generator
+) -> List[Tuple[int, int]]:
+    """A random graph with a hidden 3-colouring (edges only between
+    colour classes), the "flat" construction."""
+    max_cross = _max_cross_edges(num_vertices)
+    if num_edges > max_cross:
+        raise ValueError(
+            f"{num_edges} edges exceed the 3-partite maximum {max_cross} "
+            f"for {num_vertices} vertices"
+        )
+    colours = rng.integers(0, NUM_COLOURS, size=num_vertices)
+    # Guarantee all classes non-empty for small graphs.
+    for c in range(min(NUM_COLOURS, num_vertices)):
+        colours[c] = c
+    edges: Set[Tuple[int, int]] = set()
+    while len(edges) < num_edges:
+        u, v = rng.integers(0, num_vertices, size=2)
+        if u == v or colours[u] == colours[v]:
+            continue
+        edge = (min(int(u), int(v)), max(int(u), int(v)))
+        edges.add(edge)
+    return sorted(edges)
+
+
+def _max_cross_edges(num_vertices: int) -> int:
+    base = num_vertices // NUM_COLOURS
+    sizes = [
+        base + (1 if i < num_vertices % NUM_COLOURS else 0)
+        for i in range(NUM_COLOURS)
+    ]
+    total = 0
+    for i in range(NUM_COLOURS):
+        for j in range(i + 1, NUM_COLOURS):
+            total += sizes[i] * sizes[j]
+    return total
+
+
+def colouring_cnf(num_vertices: int, edges: List[Tuple[int, int]]) -> CNF:
+    """Direct 3-colouring encoding of a graph."""
+    clauses: List[Clause] = []
+    for v in range(num_vertices):
+        lits = [_colour_var(v, c) for c in range(NUM_COLOURS)]
+        clauses.append(Clause(lits))  # at least one colour
+        for c1 in range(NUM_COLOURS):
+            for c2 in range(c1 + 1, NUM_COLOURS):
+                clauses.append(
+                    Clause([-_colour_var(v, c1), -_colour_var(v, c2)])
+                )
+    for u, v in edges:
+        for c in range(NUM_COLOURS):
+            clauses.append(Clause([-_colour_var(u, c), -_colour_var(v, c)]))
+    return CNF(clauses, num_vars=num_vertices * NUM_COLOURS)
+
+
+def flat_graph_coloring_instance(
+    num_vertices: int, num_edges: int, rng: np.random.Generator
+) -> CNF:
+    """A satisfiable flat-graph 3-colouring CNF (GC-style)."""
+    return colouring_cnf(num_vertices, flat_graph(num_vertices, num_edges, rng))

@@ -1,0 +1,115 @@
+"""Inductive inference instances (the II benchmarks).
+
+The SATLIB ii family encodes boolean-function identification: find a
+hypothesis (here a k-term DNF over d attributes) consistent with a set
+of labelled examples.  Hypothesis variables ``p(t,a)`` / ``n(t,a)``
+say attribute ``a`` appears positively / negatively in term ``t``.
+
+- a positive example must be covered by some term (via aux cover
+  variables, width-3-friendly),
+- a negative example must be excluded by every term (a wide clause per
+  term, reduced afterwards),
+- terms must not be contradictory (``p`` and ``n`` together).
+
+Examples are sampled and labelled by a hidden DNF, so instances are
+satisfiable whenever ``num_terms`` is at least the hidden term count.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.sat.cnf import CNF, Clause
+from repro.sat.ksat import to_3sat
+
+
+def _hidden_dnf(
+    num_attrs: int, num_terms: int, rng: np.random.Generator
+) -> List[List[int]]:
+    """Hidden DNF: each term is a list of signed attribute indices."""
+    terms: List[List[int]] = []
+    for _ in range(num_terms):
+        width = int(rng.integers(1, max(2, num_attrs // 2)))
+        attrs = rng.choice(np.arange(1, num_attrs + 1), size=width, replace=False)
+        terms.append(
+            [int(a) if rng.integers(0, 2) else -int(a) for a in attrs]
+        )
+    return terms
+
+
+def _dnf_value(terms: List[List[int]], example: np.ndarray) -> bool:
+    return any(
+        all(example[abs(l)] == (l > 0) for l in term) for term in terms
+    )
+
+
+def inductive_inference_cnf(
+    examples: List[Tuple[np.ndarray, bool]],
+    num_attrs: int,
+    num_terms: int,
+) -> CNF:
+    """CNF for "a k-term DNF consistent with the examples exists"."""
+    # Variable layout: p(t,a), n(t,a), then cover(t,e) auxiliaries.
+    def p(t: int, a: int) -> int:
+        return t * 2 * num_attrs + a
+
+    def n(t: int, a: int) -> int:
+        return t * 2 * num_attrs + num_attrs + a
+
+    base = num_terms * 2 * num_attrs
+    positives = [i for i, (_, label) in enumerate(examples) if label]
+
+    def cover(t: int, pe: int) -> int:
+        return base + t * len(positives) + pe + 1
+
+    clauses: List[Clause] = []
+    for t in range(num_terms):
+        for a in range(1, num_attrs + 1):
+            clauses.append(Clause([-p(t, a), -n(t, a)]))  # not contradictory
+
+    for pe, example_index in enumerate(positives):
+        example, _ = examples[example_index]
+        # Some term covers the positive example (wide; reduced later).
+        clauses.append(Clause([cover(t, pe) for t in range(num_terms)]))
+        for t in range(num_terms):
+            for a in range(1, num_attrs + 1):
+                # cover(t,e) forbids literals that disagree with e.
+                if example[a]:
+                    clauses.append(Clause([-cover(t, pe), -n(t, a)]))
+                else:
+                    clauses.append(Clause([-cover(t, pe), -p(t, a)]))
+
+    for example, label in examples:
+        if label:
+            continue
+        for t in range(num_terms):
+            # Term t must exclude the negative example: it contains a
+            # literal the example falsifies (wide; reduced later).
+            lits = []
+            for a in range(1, num_attrs + 1):
+                lits.append(p(t, a) if not example[a] else n(t, a))
+            clauses.append(Clause(lits))
+
+    num_vars = base + num_terms * len(positives)
+    return CNF(clauses, num_vars=num_vars)
+
+
+def inductive_inference_instance(
+    num_attrs: int,
+    num_terms: int,
+    num_examples: int,
+    rng: np.random.Generator,
+) -> CNF:
+    """An II-style 3-SAT instance (satisfiable by construction)."""
+    if num_attrs < 2 or num_terms < 1 or num_examples < 1:
+        raise ValueError("need >= 2 attributes, >= 1 term, >= 1 example")
+    hidden = _hidden_dnf(num_attrs, num_terms, rng)
+    examples: List[Tuple[np.ndarray, bool]] = []
+    for _ in range(num_examples):
+        example = np.zeros(num_attrs + 1, dtype=bool)
+        example[1:] = rng.integers(0, 2, size=num_attrs).astype(bool)
+        examples.append((example, _dnf_value(hidden, example)))
+    wide = inductive_inference_cnf(examples, num_attrs, num_terms)
+    return to_3sat(wide).formula

@@ -1,0 +1,240 @@
+"""Tseitin CNF construction for combinational logic.
+
+Shared by the circuit-fault-analysis (CFA), integer-factorisation (IF)
+and adder-equivalence (CRY) generators: a builder that allocates
+variables, adds gate constraints in width-<=3 Tseitin form, and
+assembles arithmetic blocks (half/full adders, ripple-carry adders,
+array multipliers).
+
+Literals are signed DIMACS ints throughout; a *net* is such a literal,
+so negation is free (``-net``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.sat.cnf import CNF, Clause
+
+
+class CnfBuilder:
+    """Incremental CNF builder with gate primitives.
+
+    Every gate method returns the output net (a fresh positive
+    variable) and appends the Tseitin clauses that force it to equal
+    the gate function.  All emitted clauses have width <= 3, so the
+    resulting formula is directly HyQSAT-ready.
+    """
+
+    def __init__(self) -> None:
+        self._num_vars = 0
+        self._clauses: List[Clause] = []
+
+    @property
+    def num_vars(self) -> int:
+        """Variables allocated so far."""
+        return self._num_vars
+
+    @property
+    def num_clauses(self) -> int:
+        """Clauses added so far."""
+        return len(self._clauses)
+
+    def new_var(self) -> int:
+        """A fresh positive net."""
+        self._num_vars += 1
+        return self._num_vars
+
+    def new_vars(self, count: int) -> List[int]:
+        """``count`` fresh nets."""
+        return [self.new_var() for _ in range(count)]
+
+    def add_clause(self, lits: Sequence[int]) -> None:
+        """Add a raw clause (signed DIMACS literals)."""
+        self._clauses.append(Clause(lits))
+
+    def assert_true(self, net: int) -> None:
+        """Unit clause forcing ``net`` to 1."""
+        self.add_clause([net])
+
+    def assert_false(self, net: int) -> None:
+        """Unit clause forcing ``net`` to 0."""
+        self.add_clause([-net])
+
+    def constant(self, value: bool) -> int:
+        """A net frozen to a constant."""
+        net = self.new_var()
+        self.add_clause([net] if value else [-net])
+        return net
+
+    # ------------------------------------------------------------------
+    # Gates
+    # ------------------------------------------------------------------
+
+    def not_gate(self, a: int) -> int:
+        """Logical negation (free: just the negated literal)."""
+        return -a
+
+    def and_gate(self, a: int, b: int) -> int:
+        """z = a AND b."""
+        z = self.new_var()
+        self.add_clause([-z, a])
+        self.add_clause([-z, b])
+        self.add_clause([z, -a, -b])
+        return z
+
+    def or_gate(self, a: int, b: int) -> int:
+        """z = a OR b."""
+        z = self.new_var()
+        self.add_clause([z, -a])
+        self.add_clause([z, -b])
+        self.add_clause([-z, a, b])
+        return z
+
+    def xor_gate(self, a: int, b: int) -> int:
+        """z = a XOR b."""
+        z = self.new_var()
+        self.add_clause([-z, a, b])
+        self.add_clause([-z, -a, -b])
+        self.add_clause([z, -a, b])
+        self.add_clause([z, a, -b])
+        return z
+
+    def mux_gate(self, sel: int, a: int, b: int) -> int:
+        """z = a if sel else b."""
+        z = self.new_var()
+        self.add_clause([-sel, -a, z])
+        self.add_clause([-sel, a, -z])
+        self.add_clause([sel, -b, z])
+        self.add_clause([sel, b, -z])
+        return z
+
+    def equal_gate(self, a: int, b: int) -> int:
+        """z = (a == b), i.e. XNOR."""
+        return -self.xor_gate(a, b)
+
+    def majority_gate(self, a: int, b: int, c: int) -> int:
+        """z = majority(a, b, c) — the textbook carry function."""
+        z = self.new_var()
+        self.add_clause([-z, a, b])
+        self.add_clause([-z, a, c])
+        self.add_clause([-z, b, c])
+        self.add_clause([z, -a, -b])
+        self.add_clause([z, -a, -c])
+        self.add_clause([z, -b, -c])
+        return z
+
+    def or_many(self, nets: Sequence[int]) -> int:
+        """z = OR of any number of nets (balanced tree of or_gate)."""
+        nets = list(nets)
+        if not nets:
+            return self.constant(False)
+        while len(nets) > 1:
+            nxt = []
+            for i in range(0, len(nets) - 1, 2):
+                nxt.append(self.or_gate(nets[i], nets[i + 1]))
+            if len(nets) % 2:
+                nxt.append(nets[-1])
+            nets = nxt
+        return nets[0]
+
+    def and_many(self, nets: Sequence[int]) -> int:
+        """z = AND of any number of nets."""
+        nets = list(nets)
+        if not nets:
+            return self.constant(True)
+        while len(nets) > 1:
+            nxt = []
+            for i in range(0, len(nets) - 1, 2):
+                nxt.append(self.and_gate(nets[i], nets[i + 1]))
+            if len(nets) % 2:
+                nxt.append(nets[-1])
+            nets = nxt
+        return nets[0]
+
+    # ------------------------------------------------------------------
+    # Arithmetic blocks
+    # ------------------------------------------------------------------
+
+    def half_adder(self, a: int, b: int) -> Tuple[int, int]:
+        """(sum, carry) of a + b."""
+        return self.xor_gate(a, b), self.and_gate(a, b)
+
+    def full_adder(self, a: int, b: int, c: int) -> Tuple[int, int]:
+        """(sum, carry) of a + b + c, carry via majority."""
+        s = self.xor_gate(self.xor_gate(a, b), c)
+        carry = self.majority_gate(a, b, c)
+        return s, carry
+
+    def full_adder_factored(self, a: int, b: int, c: int) -> Tuple[int, int]:
+        """Same function, alternative structure: carry =
+        (a AND b) OR (c AND (a XOR b)) — used by the CRY equivalence
+        miters as the second implementation."""
+        ab_xor = self.xor_gate(a, b)
+        s = self.xor_gate(ab_xor, c)
+        carry = self.or_gate(self.and_gate(a, b), self.and_gate(c, ab_xor))
+        return s, carry
+
+    def ripple_carry_adder(
+        self,
+        a_bits: Sequence[int],
+        b_bits: Sequence[int],
+        factored: bool = False,
+    ) -> List[int]:
+        """Sum bits (LSB first, length max+1) of two binary numbers."""
+        width = max(len(a_bits), len(b_bits))
+        zero = self.constant(False)
+        a = list(a_bits) + [zero] * (width - len(a_bits))
+        b = list(b_bits) + [zero] * (width - len(b_bits))
+        adder = self.full_adder_factored if factored else self.full_adder
+        out: List[int] = []
+        carry = self.constant(False)
+        for i in range(width):
+            s, carry = adder(a[i], b[i], carry)
+            out.append(s)
+        out.append(carry)
+        return out
+
+    def multiplier(
+        self, a_bits: Sequence[int], b_bits: Sequence[int]
+    ) -> List[int]:
+        """Array multiplier: product bits (LSB first,
+        length len(a)+len(b))."""
+        zero = self.constant(False)
+        acc: List[int] = [zero] * (len(a_bits) + len(b_bits))
+        for j, b_bit in enumerate(b_bits):
+            row = [self.and_gate(a_bit, b_bit) for a_bit in a_bits]
+            shifted = [zero] * j + row
+            acc = self._add_into(acc, shifted)
+        return acc[: len(a_bits) + len(b_bits)]
+
+    def _add_into(self, acc: List[int], addend: List[int]) -> List[int]:
+        width = max(len(acc), len(addend))
+        zero = self.constant(False)
+        acc = acc + [zero] * (width - len(acc))
+        addend = list(addend) + [zero] * (width - len(addend))
+        out: List[int] = []
+        carry = self.constant(False)
+        for i in range(width):
+            s, carry = self.full_adder(acc[i], addend[i], carry)
+            out.append(s)
+        out.append(carry)
+        return out
+
+    def assert_equals_constant(self, bits: Sequence[int], value: int) -> None:
+        """Force a bit vector (LSB first) to a constant integer."""
+        if value < 0:
+            raise ValueError("value must be non-negative")
+        for i, bit in enumerate(bits):
+            if (value >> i) & 1:
+                self.assert_true(bit)
+            else:
+                self.assert_false(bit)
+        if value >> len(bits):
+            raise ValueError(
+                f"value {value} does not fit in {len(bits)} bits"
+            )
+
+    def build(self) -> CNF:
+        """The accumulated formula."""
+        return CNF(self._clauses, num_vars=self._num_vars)

@@ -1,0 +1,197 @@
+"""Blocks-world planning instances (the BP benchmark).
+
+SATLIB's bw (blocks world) family encodes STRIPS planning as SAT: does
+a plan of T steps transform the initial tower configuration into the
+goal configuration?  The linear encoding used here has
+
+- state variables ``on(b, y, t)`` — block b sits on y (a block or the
+  table) at step t,
+- action variables ``move(b, y, t)`` — block b is moved onto y between
+  steps t and t+1,
+
+with exactly-one-action, precondition, effect, frame, and state-
+consistency axioms.  At-least-one clauses are wide, so the instance is
+finished with :func:`repro.sat.to_3sat` — which is also why BP is the
+paper's showcase for inputs that arrive as k-SAT.
+
+These instances are dominated by unit propagation (the paper notes BP
+solves in ~7 iterations), matching the original benchmark's behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sat.cnf import CNF, Clause
+from repro.sat.ksat import to_3sat
+
+TABLE = 0  # position id of the table
+
+
+def random_towers(num_blocks: int, rng: np.random.Generator) -> List[List[int]]:
+    """A random configuration: a list of towers (bottom first),
+    blocks numbered 1..num_blocks."""
+    blocks = list(rng.permutation(np.arange(1, num_blocks + 1)))
+    towers: List[List[int]] = []
+    cursor = 0
+    while cursor < num_blocks:
+        height = int(rng.integers(1, num_blocks - cursor + 1))
+        towers.append([int(b) for b in blocks[cursor : cursor + height]])
+        cursor += height
+    return towers
+
+
+def _support_of(towers: List[List[int]], num_blocks: int) -> Dict[int, int]:
+    """block -> what it sits on (TABLE or block id)."""
+    support: Dict[int, int] = {}
+    for tower in towers:
+        below = TABLE
+        for block in tower:
+            support[block] = below
+            below = block
+    return support
+
+
+class _BlocksEncoding:
+    """Variable numbering for the blocks-world encoding."""
+
+    def __init__(self, num_blocks: int, horizon: int):
+        self.num_blocks = num_blocks
+        self.horizon = horizon
+        self.positions = [TABLE] + list(range(1, num_blocks + 1))
+        self._next = 1
+        self._on: Dict[Tuple[int, int, int], int] = {}
+        self._move: Dict[Tuple[int, int, int], int] = {}
+        for t in range(horizon + 1):
+            for b in range(1, num_blocks + 1):
+                for y in self.positions:
+                    if y != b:
+                        self._on[(b, y, t)] = self._next
+                        self._next += 1
+        for t in range(horizon):
+            for b in range(1, num_blocks + 1):
+                for y in self.positions:
+                    if y != b:
+                        self._move[(b, y, t)] = self._next
+                        self._next += 1
+
+    @property
+    def num_vars(self) -> int:
+        return self._next - 1
+
+    def on(self, block: int, support: int, t: int) -> int:
+        return self._on[(block, support, t)]
+
+    def move(self, block: int, dest: int, t: int) -> int:
+        return self._move[(block, dest, t)]
+
+    def moves_of_block(self, block: int, t: int) -> List[int]:
+        return [
+            self.move(block, y, t) for y in self.positions if y != block
+        ]
+
+    def all_moves(self, t: int) -> List[int]:
+        return [
+            self.move(b, y, t)
+            for b in range(1, self.num_blocks + 1)
+            for y in self.positions
+            if y != b
+        ]
+
+
+def blocks_world_cnf(
+    initial: List[List[int]],
+    goal: List[List[int]],
+    horizon: int,
+    num_blocks: int,
+) -> CNF:
+    """The (pre-reduction) planning CNF; may contain wide clauses."""
+    enc = _BlocksEncoding(num_blocks, horizon)
+    clauses: List[Clause] = []
+    blocks = list(range(1, num_blocks + 1))
+
+    init_support = _support_of(initial, num_blocks)
+    goal_support = _support_of(goal, num_blocks)
+
+    # Initial and goal states as units.
+    for b in blocks:
+        for y in enc.positions:
+            if y == b:
+                continue
+            sign = 1 if init_support[b] == y else -1
+            clauses.append(Clause([sign * enc.on(b, y, 0)]))
+            gsign = 1 if goal_support[b] == y else -1
+            clauses.append(Clause([gsign * enc.on(b, y, horizon)]))
+
+    for t in range(horizon + 1):
+        for b in blocks:
+            # Each block on at least one support (wide) ...
+            clauses.append(Clause([enc.on(b, y, t) for y in enc.positions if y != b]))
+            # ... and at most one.
+            supports = [y for y in enc.positions if y != b]
+            for i in range(len(supports)):
+                for j in range(i + 1, len(supports)):
+                    clauses.append(
+                        Clause([-enc.on(b, supports[i], t), -enc.on(b, supports[j], t)])
+                    )
+        # At most one block directly on any block.
+        for y in blocks:
+            stackers = [b for b in blocks if b != y]
+            for i in range(len(stackers)):
+                for j in range(i + 1, len(stackers)):
+                    clauses.append(
+                        Clause([-enc.on(stackers[i], y, t), -enc.on(stackers[j], y, t)])
+                    )
+
+    for t in range(horizon):
+        moves = enc.all_moves(t)
+        # Exactly one action per step: at least one (wide) + pairwise.
+        clauses.append(Clause(moves))
+        for i in range(len(moves)):
+            for j in range(i + 1, len(moves)):
+                clauses.append(Clause([-moves[i], -moves[j]]))
+        for b in blocks:
+            for y in enc.positions:
+                if y == b:
+                    continue
+                act = enc.move(b, y, t)
+                # Preconditions: b clear, destination clear.
+                for c in blocks:
+                    if c != b:
+                        clauses.append(Clause([-act, -enc.on(c, b, t)]))
+                    if y != TABLE and c != y and c != b:
+                        clauses.append(Clause([-act, -enc.on(c, y, t)]))
+                # Effect.
+                clauses.append(Clause([-act, enc.on(b, y, t + 1)]))
+        # Frame axioms: support changes require a move of that block.
+        for b in blocks:
+            move_lits = enc.moves_of_block(b, t)
+            for y in enc.positions:
+                if y == b:
+                    continue
+                clauses.append(
+                    Clause([-enc.on(b, y, t), enc.on(b, y, t + 1)] + move_lits)
+                )
+    return CNF(clauses, num_vars=enc.num_vars)
+
+
+def blocks_world_instance(
+    num_blocks: int,
+    horizon: Optional[int],
+    rng: np.random.Generator,
+) -> CNF:
+    """A BP-style 3-SAT instance (post k-SAT reduction).
+
+    ``horizon=None`` picks ``2 * num_blocks`` steps, enough for any
+    reconfiguration (unstack everything, restack), so the instance is
+    satisfiable.
+    """
+    if num_blocks < 2:
+        raise ValueError("need at least 2 blocks")
+    initial = random_towers(num_blocks, rng)
+    goal = random_towers(num_blocks, rng)
+    steps = horizon if horizon is not None else 2 * num_blocks
+    wide = blocks_world_cnf(initial, goal, steps, num_blocks)
+    return to_3sat(wide).formula

@@ -1,0 +1,88 @@
+"""Uniform random k-SAT generation (the SATLIB "uf" AI benchmarks).
+
+The AI1–AI5 benchmarks are uniform random 3-SAT at the hard
+clause/variable ratio ~4.3 (UF150-645 ... UF250-1065).  SATLIB's uf
+series is *filtered satisfiable*: instances are drawn uniformly and
+kept only if a complete solver proves them satisfiable.  The
+``planted`` option instead hides a solution (cheaper, but known to
+produce easier instances); the suite generator uses filtering to stay
+faithful.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.sat.cnf import CNF, Clause
+
+
+def random_ksat(
+    num_vars: int,
+    num_clauses: int,
+    k: int,
+    rng: np.random.Generator,
+    planted: Optional[np.ndarray] = None,
+) -> CNF:
+    """Draw a uniform random k-SAT formula.
+
+    Each clause picks ``k`` distinct variables and independent signs;
+    duplicate clauses are redrawn so the formula has exactly
+    ``num_clauses`` distinct clauses.  With ``planted`` (a boolean
+    array indexed 1..n), clauses falsified by the hidden assignment are
+    rejected, guaranteeing satisfiability.
+    """
+    if num_vars < k:
+        raise ValueError(f"need at least k={k} variables, got {num_vars}")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    max_distinct = _count_possible_clauses(num_vars, k)
+    if num_clauses > max_distinct:
+        raise ValueError(
+            f"cannot draw {num_clauses} distinct {k}-clauses over "
+            f"{num_vars} variables (max {max_distinct})"
+        )
+
+    clauses = []
+    seen = set()
+    variables = np.arange(1, num_vars + 1)
+    while len(clauses) < num_clauses:
+        chosen = rng.choice(variables, size=k, replace=False)
+        signs = rng.integers(0, 2, size=k)
+        lits = tuple(
+            sorted(int(v) if s else -int(v) for v, s in zip(chosen, signs))
+        )
+        if lits in seen:
+            continue
+        if planted is not None and not any(
+            planted[abs(l)] == (l > 0) for l in lits
+        ):
+            continue
+        seen.add(lits)
+        clauses.append(Clause(lits))
+    return CNF(clauses, num_vars=num_vars)
+
+
+def random_3sat(
+    num_vars: int,
+    num_clauses: int,
+    rng: np.random.Generator,
+    planted: Optional[np.ndarray] = None,
+) -> CNF:
+    """Uniform random 3-SAT (see :func:`random_ksat`)."""
+    return random_ksat(num_vars, num_clauses, 3, rng, planted=planted)
+
+
+def random_planted_3sat(
+    num_vars: int, num_clauses: int, rng: np.random.Generator
+) -> CNF:
+    """Random 3-SAT with a hidden satisfying assignment."""
+    planted = rng.integers(0, 2, size=num_vars + 1).astype(bool)
+    return random_3sat(num_vars, num_clauses, rng, planted=planted)
+
+
+def _count_possible_clauses(num_vars: int, k: int) -> int:
+    from math import comb
+
+    return comb(num_vars, k) * (2 ** k)

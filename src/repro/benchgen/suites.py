@@ -1,0 +1,163 @@
+"""The Table I benchmark suite.
+
+Fourteen benchmarks across seven domains mirror the paper's Table I.
+Instance sizes are scaled down from the paper's (a pure-Python CDCL
+stands in for MiniSAT's C++, and the simulated annealer for the QPU —
+see DESIGN.md), but each family keeps its structural character:
+clause/variable ratio for the AI series, planted colourings for GC,
+unsatisfiable miters for CFA/CRY, propagation-dominated planning for
+BP, and arithmetic circuits for IF.
+
+``generate_suite`` deterministically materialises any benchmark's
+problem list from a seed; AI instances are filtered satisfiable the
+way SATLIB's uf series is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.benchgen.circuit import circuit_fault_instance
+from repro.benchgen.crypto import adder_equivalence_instance
+from repro.benchgen.factoring import factoring_instance
+from repro.benchgen.graph_coloring import flat_graph_coloring_instance
+from repro.benchgen.inductive import inductive_inference_instance
+from repro.benchgen.planning import blocks_world_instance
+from repro.benchgen.random_ksat import random_3sat
+from repro.sat.cnf import CNF
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One Table I row.
+
+    ``paper_reduction_avg`` records the paper's reported average
+    iteration reduction for EXPERIMENTS.md comparisons.
+    """
+
+    name: str
+    domain: str
+    generator: Callable[[np.random.Generator], CNF]
+    num_problems: int
+    filter_satisfiable: Optional[bool] = None
+    paper_reduction_avg: Optional[float] = None
+    paper_reduction_geomean: Optional[float] = None
+
+    def generate(self, index: int, seed: int = 0) -> CNF:
+        """Deterministically generate problem ``index`` of this suite."""
+        rng = np.random.default_rng((seed * 10_007 + index) * 65_537 + _stable_hash(self.name))
+        if self.filter_satisfiable is None:
+            return self.generator(rng)
+        from repro.cdcl.presets import minisat_solver
+
+        for _ in range(200):
+            formula = self.generator(rng)
+            result = minisat_solver(formula, max_conflicts=200_000).solve()
+            if result.is_sat == self.filter_satisfiable and (
+                result.is_sat or result.is_unsat
+            ):
+                return formula
+        raise RuntimeError(
+            f"could not draw a {'SAT' if self.filter_satisfiable else 'UNSAT'} "
+            f"instance for {self.name} in 200 attempts"
+        )
+
+
+def _stable_hash(name: str) -> int:
+    value = 0
+    for ch in name:
+        value = (value * 131 + ord(ch)) % 1_000_000_007
+    return value
+
+
+def _uf(n: int, m: int) -> Callable[[np.random.Generator], CNF]:
+    return lambda rng: random_3sat(n, m, rng)
+
+
+BENCHMARKS: Dict[str, BenchmarkSpec] = {
+    spec.name: spec
+    for spec in [
+        BenchmarkSpec(
+            "GC1", "Graph Coloring",
+            lambda rng: flat_graph_coloring_instance(30, 60, rng),
+            num_problems=10, paper_reduction_avg=2.75, paper_reduction_geomean=2.42,
+        ),
+        BenchmarkSpec(
+            "GC2", "Graph Coloring",
+            lambda rng: flat_graph_coloring_instance(40, 80, rng),
+            num_problems=10, paper_reduction_avg=3.22, paper_reduction_geomean=2.79,
+        ),
+        BenchmarkSpec(
+            "GC3", "Graph Coloring",
+            lambda rng: flat_graph_coloring_instance(50, 100, rng),
+            num_problems=10, paper_reduction_avg=3.35, paper_reduction_geomean=2.91,
+        ),
+        BenchmarkSpec(
+            "CFA", "Circuit Fault Analysis",
+            lambda rng: circuit_fault_instance(10, 50, rng, detectable=False),
+            num_problems=4, paper_reduction_avg=83.21, paper_reduction_geomean=17.28,
+        ),
+        BenchmarkSpec(
+            "BP", "Block Planning",
+            lambda rng: blocks_world_instance(3, None, rng),
+            num_problems=5, paper_reduction_avg=7.00, paper_reduction_geomean=6.74,
+        ),
+        BenchmarkSpec(
+            "II", "Inductive Inference",
+            lambda rng: inductive_inference_instance(8, 3, 24, rng),
+            num_problems=8, paper_reduction_avg=6.82, paper_reduction_geomean=3.05,
+        ),
+        BenchmarkSpec(
+            "IF1", "Integer Factorization",
+            lambda rng: factoring_instance(4, rng, satisfiable=True),
+            num_problems=8, paper_reduction_avg=33.92, paper_reduction_geomean=19.25,
+        ),
+        BenchmarkSpec(
+            "IF2", "Integer Factorization",
+            lambda rng: factoring_instance(5, rng, satisfiable=True),
+            num_problems=6, paper_reduction_avg=3.06, paper_reduction_geomean=2.40,
+        ),
+        BenchmarkSpec(
+            "CRY", "Cryptography",
+            lambda rng: adder_equivalence_instance(8, rng, inject_bug=False),
+            num_problems=5, paper_reduction_avg=37.56, paper_reduction_geomean=37.48,
+        ),
+        BenchmarkSpec(
+            "AI1", "Artificial Intelligence", _uf(50, 218),
+            num_problems=10, filter_satisfiable=True,
+            paper_reduction_avg=4.13, paper_reduction_geomean=3.32,
+        ),
+        BenchmarkSpec(
+            "AI2", "Artificial Intelligence", _uf(75, 325),
+            num_problems=10, filter_satisfiable=True,
+            paper_reduction_avg=3.65, paper_reduction_geomean=2.70,
+        ),
+        BenchmarkSpec(
+            "AI3", "Artificial Intelligence", _uf(100, 430),
+            num_problems=10, filter_satisfiable=True,
+            paper_reduction_avg=4.38, paper_reduction_geomean=2.97,
+        ),
+        BenchmarkSpec(
+            "AI4", "Artificial Intelligence", _uf(125, 538),
+            num_problems=10, filter_satisfiable=True,
+            paper_reduction_avg=8.89, paper_reduction_geomean=3.86,
+        ),
+        BenchmarkSpec(
+            "AI5", "Artificial Intelligence", _uf(150, 645),
+            num_problems=10, filter_satisfiable=True,
+            paper_reduction_avg=6.72, paper_reduction_geomean=3.10,
+        ),
+    ]
+}
+
+
+def generate_suite(
+    name: str, seed: int = 0, num_problems: Optional[int] = None
+) -> List[CNF]:
+    """All problem instances of one benchmark."""
+    spec = BENCHMARKS[name]
+    count = num_problems if num_problems is not None else spec.num_problems
+    return [spec.generate(i, seed=seed) for i in range(count)]

@@ -1,0 +1,51 @@
+"""Conflict-Driven Clause Learning solver substrate.
+
+A complete two-watched-literal CDCL implementation with:
+
+- 1UIP conflict analysis and clause learning,
+- VSIDS (MiniSAT-style) and CHB (Kissat-style) decision heuristics,
+- Luby and geometric restart schedules,
+- phase saving,
+- learned-clause database reduction,
+- per-clause activity and visit counters (the signals HyQSAT's
+  frontend consumes),
+- an iteration hook used by the hybrid solver to steer the search.
+
+Two factory presets mirror the paper's baselines:
+:func:`~repro.cdcl.presets.minisat_solver` (VSIDS) and
+:func:`~repro.cdcl.presets.kissat_solver` (CHB + aggressive restarts).
+"""
+
+from repro.cdcl.heuristics import ChbHeuristic, DecisionHeuristic, VsidsHeuristic
+from repro.cdcl.luby import luby, luby_sequence
+from repro.cdcl.presets import kissat_solver, minisat_solver
+from repro.cdcl.proof import DratProof, ProofCheckResult, check_proof, parse_proof
+from repro.cdcl.solver import (
+    CdclSolver,
+    IterationHook,
+    SolverConfig,
+    SolverResult,
+    SolverStatus,
+)
+from repro.cdcl.stats import ClauseCounters, SolverStats
+
+__all__ = [
+    "CdclSolver",
+    "ChbHeuristic",
+    "ClauseCounters",
+    "DecisionHeuristic",
+    "DratProof",
+    "IterationHook",
+    "SolverConfig",
+    "SolverResult",
+    "SolverStats",
+    "SolverStatus",
+    "ProofCheckResult",
+    "VsidsHeuristic",
+    "check_proof",
+    "kissat_solver",
+    "luby",
+    "luby_sequence",
+    "minisat_solver",
+    "parse_proof",
+]

@@ -1,0 +1,282 @@
+"""Decision heuristics: VSIDS and CHB, backed by an indexed binary heap.
+
+VSIDS (Variable State Independent Decaying Sum, Moskewicz et al., the
+Chaff heuristic MiniSAT adopts) bumps the activity of variables seen in
+conflict analysis and decays all activities geometrically; the next
+decision picks the unassigned variable of maximum activity.
+
+CHB (Conflict History-based Branching, the multi-armed-bandit flavour
+used by Kissat-MAB) rewards variables by the reciprocal of the "age" of
+the last conflict they were involved in, with an exponential moving
+average.
+
+Both share :class:`_IndexedMaxHeap`, a binary heap with position
+tracking that supports the ``decrease/increase-key`` and ``reinsert``
+operations a CDCL loop needs in O(log n).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Protocol, Sequence
+
+
+class _IndexedMaxHeap:
+    """Binary max-heap over variable indices ``0..n-1`` keyed by a
+    caller-owned score array, with position tracking for O(log n)
+    update-key and membership tests."""
+
+    __slots__ = ("_scores", "_heap", "_pos")
+
+    def __init__(self, scores: List[float]):
+        self._scores = scores
+        self._heap: List[int] = []
+        self._pos: List[int] = [-1] * len(scores)
+
+    def __contains__(self, var: int) -> bool:
+        return self._pos[var] >= 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, var: int) -> None:
+        """Insert ``var`` (no-op if already present)."""
+        if self._pos[var] >= 0:
+            return
+        self._heap.append(var)
+        self._pos[var] = len(self._heap) - 1
+        self._sift_up(len(self._heap) - 1)
+
+    def pop(self) -> int:
+        """Remove and return the max-score variable."""
+        if not self._heap:
+            raise IndexError("pop from empty heap")
+        top = self._heap[0]
+        last = self._heap.pop()
+        self._pos[top] = -1
+        if self._heap:
+            self._heap[0] = last
+            self._pos[last] = 0
+            self._sift_down(0)
+        return top
+
+    def update(self, var: int) -> None:
+        """Restore heap order after the caller changed ``var``'s score."""
+        pos = self._pos[var]
+        if pos < 0:
+            return
+        self._sift_up(pos)
+        self._sift_down(self._pos[var])
+
+    def rescore_all(self) -> None:
+        """Rebuild after a bulk score change (e.g. global rescale)."""
+        for i in range(len(self._heap) // 2 - 1, -1, -1):
+            self._sift_down(i)
+
+    def _sift_up(self, pos: int) -> None:
+        heap, scores, positions = self._heap, self._scores, self._pos
+        var = heap[pos]
+        score = scores[var]
+        while pos > 0:
+            parent = (pos - 1) >> 1
+            if scores[heap[parent]] >= score:
+                break
+            heap[pos] = heap[parent]
+            positions[heap[pos]] = pos
+            pos = parent
+        heap[pos] = var
+        positions[var] = pos
+
+    def _sift_down(self, pos: int) -> None:
+        heap, scores, positions = self._heap, self._scores, self._pos
+        size = len(heap)
+        var = heap[pos]
+        score = scores[var]
+        while True:
+            child = 2 * pos + 1
+            if child >= size:
+                break
+            right = child + 1
+            if right < size and scores[heap[right]] > scores[heap[child]]:
+                child = right
+            if scores[heap[child]] <= score:
+                break
+            heap[pos] = heap[child]
+            positions[heap[pos]] = pos
+            pos = child
+        heap[pos] = var
+        positions[var] = pos
+
+
+class DecisionHeuristic(Protocol):
+    """Interface the CDCL loop drives.
+
+    Variables are the solver's internal 0-based indices.
+    """
+
+    def init(self, num_vars: int) -> None:
+        """Reset state for a formula with ``num_vars`` variables."""
+
+    def on_assign(self, var: int) -> None:
+        """``var`` left the unassigned pool."""
+
+    def on_unassign(self, var: int) -> None:
+        """``var`` re-entered the unassigned pool (backtracking)."""
+
+    def on_conflict_var(self, var: int) -> None:
+        """``var`` was seen while analysing a conflict."""
+
+    def after_conflict(self) -> None:
+        """Called once after each conflict analysis completes."""
+
+    def pick(self, assigned: Sequence[bool]) -> Optional[int]:
+        """Return the next decision variable, or None if all assigned."""
+
+    def bump(self, var: int, amount: float) -> None:
+        """Externally raise ``var``'s priority (HyQSAT strategy 4)."""
+
+    def score_of(self, var: int) -> float:
+        """Current priority score of ``var`` (diagnostics)."""
+
+
+class VsidsHeuristic:
+    """MiniSAT-style VSIDS with geometric decay via increment scaling.
+
+    Instead of periodically multiplying every activity by a decay
+    factor, the bump increment is divided by the decay after each
+    conflict; activities are rescaled when they threaten overflow.
+    """
+
+    RESCALE_LIMIT = 1e100
+
+    def __init__(self, decay: float = 0.95, bump: float = 1.0):
+        if not 0.0 < decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        self._decay = decay
+        self._initial_bump = bump
+        self._bump = bump
+        self._scores: List[float] = []
+        self._heap: Optional[_IndexedMaxHeap] = None
+
+    def init(self, num_vars: int) -> None:
+        """Reset scores and rebuild the heap for ``num_vars`` variables."""
+        self._scores = [0.0] * num_vars
+        self._bump = self._initial_bump
+        self._heap = _IndexedMaxHeap(self._scores)
+        for var in range(num_vars):
+            self._heap.push(var)
+
+    def on_assign(self, var: int) -> None:
+        """No-op: assigned variables are lazily skipped in ``pick``."""
+
+    def on_unassign(self, var: int) -> None:
+        """Re-insert a backtracked variable into the decision pool."""
+        self._heap.push(var)
+
+    def on_conflict_var(self, var: int) -> None:
+        """Bump a variable seen during conflict analysis."""
+        self._bump_score(var, self._bump)
+
+    def after_conflict(self) -> None:
+        """Geometric decay via increment scaling."""
+        self._bump /= self._decay
+
+    def pick(self, assigned: Sequence[bool]) -> Optional[int]:
+        """Highest-activity unassigned variable (None when all assigned)."""
+        heap = self._heap
+        while len(heap):
+            var = heap.pop()
+            if not assigned[var]:
+                return var
+        return None
+
+    def bump(self, var: int, amount: float) -> None:
+        """External priority boost (HyQSAT strategy 4)."""
+        self._bump_score(var, amount * self._bump)
+
+    def score_of(self, var: int) -> float:
+        """Current activity of ``var``."""
+        return self._scores[var]
+
+    def _bump_score(self, var: int, amount: float) -> None:
+        self._scores[var] += amount
+        if self._scores[var] > self.RESCALE_LIMIT:
+            inv = 1.0 / self.RESCALE_LIMIT
+            for i in range(len(self._scores)):
+                self._scores[i] *= inv
+            self._bump *= inv
+            self._heap.rescore_all()
+        else:
+            self._heap.update(var)
+
+
+class ChbHeuristic:
+    """Conflict History-based Branching (Liang et al.), as in Kissat-MAB.
+
+    Each variable keeps a Q-score updated with an exponential moving
+    average of a reward ``multiplier / (conflicts - last_conflict + 1)``
+    when the variable is assigned or involved in analysis.  The step
+    size decays from 0.4 towards 0.06 with each conflict.
+    """
+
+    def __init__(self, step: float = 0.4, step_min: float = 0.06, step_decay: float = 1e-6):
+        self._step0 = step
+        self._step_min = step_min
+        self._step_decay = step_decay
+        self._step = step
+        self._conflicts = 0
+        self._scores: List[float] = []
+        self._last_conflict: List[int] = []
+        self._heap: Optional[_IndexedMaxHeap] = None
+
+    def init(self, num_vars: int) -> None:
+        """Reset Q-scores and conflict ages for ``num_vars`` variables."""
+        self._scores = [0.0] * num_vars
+        self._last_conflict = [0] * num_vars
+        self._step = self._step0
+        self._conflicts = 0
+        self._heap = _IndexedMaxHeap(self._scores)
+        for var in range(num_vars):
+            self._heap.push(var)
+
+    def on_assign(self, var: int) -> None:
+        """Reward an assignment (0.9 multiplier, per CHB)."""
+        self._reward(var, multiplier=0.9)
+
+    def on_unassign(self, var: int) -> None:
+        """Re-insert a backtracked variable into the decision pool."""
+        self._heap.push(var)
+
+    def on_conflict_var(self, var: int) -> None:
+        """Full reward + conflict-age stamp for an analysed variable."""
+        self._last_conflict[var] = self._conflicts
+        self._reward(var, multiplier=1.0)
+
+    def after_conflict(self) -> None:
+        """Advance the conflict clock and decay the EMA step size."""
+        self._conflicts += 1
+        if self._step > self._step_min:
+            self._step = max(self._step_min, self._step - self._step_decay)
+
+    def pick(self, assigned: Sequence[bool]) -> Optional[int]:
+        """Highest-Q unassigned variable (None when all assigned)."""
+        heap = self._heap
+        while len(heap):
+            var = heap.pop()
+            if not assigned[var]:
+                return var
+        return None
+
+    def bump(self, var: int, amount: float) -> None:
+        """External priority boost (HyQSAT strategy 4)."""
+        self._scores[var] += amount
+        self._heap.update(var)
+
+    def score_of(self, var: int) -> float:
+        """Current Q-score of ``var``."""
+        return self._scores[var]
+
+    def _reward(self, var: int, multiplier: float) -> None:
+        age = self._conflicts - self._last_conflict[var] + 1
+        reward = multiplier / age
+        self._scores[var] = (1.0 - self._step) * self._scores[var] + self._step * reward
+        self._heap.update(var)

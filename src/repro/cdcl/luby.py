@@ -1,0 +1,41 @@
+"""The Luby restart sequence.
+
+The reluctant-doubling sequence 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... of
+Luby, Sinclair and Zuckerman is the restart schedule MiniSAT (and most
+modern CDCL solvers) multiply by a base interval.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+def luby(i: int) -> int:
+    """The i-th element (1-based) of the Luby sequence.
+
+    Uses the closed form: if ``i = 2^k - 1`` the value is ``2^(k-1)``;
+    otherwise recurse on ``i - 2^(k-1) + 1`` for the largest k with
+    ``2^(k-1) <= i``.
+    """
+    if i < 1:
+        raise ValueError(f"Luby index is 1-based, got {i}")
+    x = i - 1  # the classic formulation is 0-based
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) >> 1
+        seq -= 1
+        x %= size
+    return 1 << seq
+
+
+def luby_sequence(base: int = 1) -> Iterator[int]:
+    """Infinite generator of ``base * luby(i)`` for i = 1, 2, 3, ..."""
+    if base < 1:
+        raise ValueError(f"base must be >= 1, got {base}")
+    i = 1
+    while True:
+        yield base * luby(i)
+        i += 1

@@ -1,0 +1,89 @@
+"""Solver statistics and per-clause counters.
+
+``SolverStats`` counts the quantities the paper reports (iterations,
+conflicts, propagations, restarts) and ``ClauseCounters`` records how
+often each *original* clause is visited during propagation and conflict
+resolving — the raw data behind Figure 5 and the activity scores behind
+the HyQSAT clause queue (Section IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class SolverStats:
+    """Aggregate search counters.
+
+    One *iteration* is one pass of the decision / propagation /
+    conflict-resolving loop, matching the paper's Table I metric.
+    """
+
+    iterations: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    restarts: int = 0
+    learned_clauses: int = 0
+    deleted_clauses: int = 0
+    max_decision_level: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view, e.g. for table rendering."""
+        return {
+            "iterations": self.iterations,
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "conflicts": self.conflicts,
+            "restarts": self.restarts,
+            "learned_clauses": self.learned_clauses,
+            "deleted_clauses": self.deleted_clauses,
+            "max_decision_level": self.max_decision_level,
+        }
+
+
+@dataclass
+class ClauseCounters:
+    """Visit and activity counters for the original clauses.
+
+    Attributes
+    ----------
+    propagation_visits:
+        ``propagation_visits[i]`` counts how often clause ``i`` was
+        inspected while propagating (a watched literal of the clause
+        became false).
+    conflict_visits:
+        How often clause ``i`` participated in conflict resolution
+        (was the conflicting clause or a reason resolved during 1UIP
+        analysis).
+    activity:
+        The HyQSAT activity score: initialised to 1 and bumped by a
+        constant each time the clause is involved in a backtrack
+        (Section IV-A of the paper).
+    """
+
+    propagation_visits: List[int] = field(default_factory=list)
+    conflict_visits: List[int] = field(default_factory=list)
+    activity: List[float] = field(default_factory=list)
+
+    @classmethod
+    def for_clauses(cls, num_clauses: int) -> "ClauseCounters":
+        """Counters for ``num_clauses`` original clauses."""
+        return cls(
+            propagation_visits=[0] * num_clauses,
+            conflict_visits=[0] * num_clauses,
+            activity=[1.0] * num_clauses,
+        )
+
+    def total_visits(self, index: int) -> int:
+        """Propagation + conflict visits of clause ``index``."""
+        return self.propagation_visits[index] + self.conflict_visits[index]
+
+    def top_by_activity(self, k: int) -> List[int]:
+        """Indices of the ``k`` highest-activity clauses (ties by index)."""
+        order = sorted(
+            range(len(self.activity)), key=lambda i: (-self.activity[i], i)
+        )
+        return order[:k]

@@ -1,0 +1,137 @@
+"""The HyQSAT backend: from QA to CDCL (Section V).
+
+Reads a device result, classifies the energy into one of the four
+confidence bands, and decides which feedback strategy applies
+(Section V-B's dispatch table):
+
+==================  ============  =================  =========  ====================
+                    Satisfiable   Near satisfiable   Uncertain  Near unsatisfiable
+==================  ============  =================  =========  ====================
+All embedded        Strategy 1    Strategy 2         Strategy 3 Strategy 4
+Not all embedded    Strategy 2    Strategy 2         Strategy 3 Strategy 4
+==================  ============  =================  =========  ====================
+
+The decision is a plain data object; applying it to the CDCL solver is
+the hybrid loop's job (:mod:`repro.core.hyqsat`), which keeps the
+backend unit-testable without a live search.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.annealer.device import AnnealResult, AnnealSample
+from repro.ml.intervals import Band, ConfidenceBands
+from repro.sat.assignment import Assignment
+
+
+class Strategy(enum.Enum):
+    """The four feedback strategies of Section V-B."""
+
+    ACCEPT_SOLUTION = 1   # all embedded + satisfiable: stop with the model
+    KEEP_ASSIGNMENT = 2   # maintain QA assignments as search phases
+    NO_FEEDBACK = 3       # uncertain: QA contributes nothing this call
+    RUSH_CONFLICT = 4     # near-unsatisfiable: prioritise embedded vars
+
+
+@dataclass(frozen=True)
+class BackendDecision:
+    """What the CDCL side should do with one QA result.
+
+    ``assignment`` is the best sample's logical assignment (formula
+    variables only — auxiliaries stripped); ``variables`` are the
+    formula variables that were embedded (strategy 4's bump targets).
+    """
+
+    strategy: Strategy
+    band: Band
+    energy: float
+    assignment: Assignment
+    variables: Tuple[int, ...]
+    all_embedded: bool
+    elapsed_seconds: float
+
+    @property
+    def proposes_model(self) -> bool:
+        """True when strategy 1 fired (a full model candidate exists)."""
+        return self.strategy is Strategy.ACCEPT_SOLUTION
+
+
+class Backend:
+    """Band classification + strategy dispatch."""
+
+    def __init__(
+        self,
+        bands: Optional[ConfidenceBands] = None,
+        enable_strategy_1: bool = True,
+        enable_strategy_2: bool = True,
+        enable_strategy_4: bool = True,
+    ):
+        self.bands = bands or ConfidenceBands()
+        self.enable_strategy_1 = enable_strategy_1
+        self.enable_strategy_2 = enable_strategy_2
+        self.enable_strategy_4 = enable_strategy_4
+
+    def interpret(
+        self,
+        result: AnnealResult,
+        embedded_variables: Tuple[int, ...],
+        num_formula_vars: int,
+        all_embedded: bool,
+    ) -> BackendDecision:
+        """Classify the best sample and pick the feedback strategy.
+
+        Parameters
+        ----------
+        result:
+            Device output of one QA call.
+        embedded_variables:
+            Formula variables covered by the embedded clauses.
+        num_formula_vars:
+            Auxiliary variables (> num_formula_vars) are dropped from
+            the returned assignment.
+        all_embedded:
+            Whether *every* currently-relevant clause was embedded
+            (first row of the dispatch table).
+        """
+        start = time.perf_counter()
+        best: AnnealSample = result.best
+        band = self.bands.classify(best.energy)
+        strategy = self._dispatch(band, all_embedded)
+
+        assignment = Assignment(
+            {
+                var: best.assignment[var]
+                for var in embedded_variables
+                if var <= num_formula_vars and var in best.assignment
+            }
+        )
+        return BackendDecision(
+            strategy=strategy,
+            band=band,
+            energy=best.energy,
+            assignment=assignment,
+            variables=tuple(embedded_variables),
+            all_embedded=all_embedded,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    def _dispatch(self, band: Band, all_embedded: bool) -> Strategy:
+        if band is Band.SATISFIABLE:
+            if all_embedded and self.enable_strategy_1:
+                return Strategy.ACCEPT_SOLUTION
+            if self.enable_strategy_2:
+                return Strategy.KEEP_ASSIGNMENT
+            return Strategy.NO_FEEDBACK
+        if band is Band.NEAR_SATISFIABLE:
+            if self.enable_strategy_2:
+                return Strategy.KEEP_ASSIGNMENT
+            return Strategy.NO_FEEDBACK
+        if band is Band.UNCERTAIN:
+            return Strategy.NO_FEEDBACK
+        if self.enable_strategy_4:
+            return Strategy.RUSH_CONFLICT
+        return Strategy.NO_FEEDBACK

@@ -1,0 +1,77 @@
+"""Configuration of the hybrid solver."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ml.intervals import ConfidenceBands
+
+
+@dataclass
+class HyQSatConfig:
+    """Tunables of :class:`~repro.core.hyqsat.HyQSatSolver`.
+
+    The defaults reproduce the paper's configuration; the ablation
+    switches (``use_activity_queue``, ``adjust_coefficients``, the
+    per-strategy enables) exist for the Figure 10 / 14 / 15
+    experiments.
+    """
+
+    #: Clauses drawn with top-k activity form the queue-head pool
+    #: (Section IV-A uses 30).
+    top_k: int = 30
+
+    #: Hard cap on queue length; None derives it from the hardware
+    #: (the paper's 2000Q capacity is ~170 clauses).
+    max_queue_clauses: Optional[int] = None
+
+    #: Warm-up length; None uses ceil(sqrt(K_est)) per Section III.
+    warmup_iterations: Optional[int] = None
+
+    #: Run QA on every ``qa_period``-th warm-up iteration (1 = every
+    #: iteration, as in the paper).
+    qa_period: int = 1
+
+    #: Samples per QA call; the paper executes a single sample and lets
+    #: CDCL absorb errors.
+    num_reads: int = 1
+
+    #: Section IV-C coefficient adjustment on/off (Figure 15 ablation).
+    adjust_coefficients: bool = True
+
+    #: Section IV-A activity queue vs. random queue (Figure 14 ablation).
+    use_activity_queue: bool = True
+
+    #: Energy partition; the default is the paper's 2000Q calibration.
+    bands: ConfidenceBands = field(default_factory=ConfidenceBands)
+
+    #: Feedback strategy enables (Figure 10 ablation).  Strategy 3 is
+    #: a no-op by definition and has no switch.
+    enable_strategy_1: bool = True
+    enable_strategy_2: bool = True
+    enable_strategy_4: bool = True
+
+    #: VSIDS bump amount applied to embedded variables by strategy 4.
+    strategy_4_bump: float = 10.0
+
+    #: How many embedded variables strategy 4 queues as forced
+    #: decisions to race to the conflict.
+    strategy_4_decisions: int = 8
+
+    #: RNG seed for queue-head selection.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        if self.qa_period < 1:
+            raise ValueError("qa_period must be >= 1")
+        if self.num_reads < 1:
+            raise ValueError("num_reads must be >= 1")
+        if self.max_queue_clauses is not None and self.max_queue_clauses < 1:
+            raise ValueError("max_queue_clauses must be >= 1 when set")
+        if self.warmup_iterations is not None and self.warmup_iterations < 0:
+            raise ValueError("warmup_iterations must be >= 0 when set")
+        if self.strategy_4_decisions < 0:
+            raise ValueError("strategy_4_decisions must be >= 0")

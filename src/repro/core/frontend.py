@@ -1,0 +1,155 @@
+"""The HyQSAT frontend: from CDCL to QA (Section IV).
+
+Pipeline per QA call:
+
+1. take the clause queue (indices into the formula),
+2. encode the queue clauses into the Eq. 5 objective,
+3. apply the Section IV-C coefficient adjustment (optional),
+4. embed with the linear-time Section IV-B scheme,
+5. rebuild the objective over the *embedded* clauses only and
+   normalise it into hardware range (Eq. 6).
+
+The result carries everything the device needs
+(:class:`~repro.annealer.device.AnnealRequest` ingredients) plus the
+bookkeeping the backend needs (which formula clauses actually went to
+hardware).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.annealer.device import AnnealRequest
+from repro.embedding.base import Edge, Embedding
+from repro.embedding.hyqsat_embed import HyQSatEmbedder, HyQSatEmbeddingResult
+from repro.qubo.coefficients import adjust_coefficients
+from repro.qubo.encoding import FormulaEncoding, encode_formula
+from repro.qubo.ising import QuadraticObjective
+from repro.qubo.normalization import normalize
+from repro.sat.assignment import Assignment
+from repro.sat.cnf import CNF, Clause
+from repro.topology.chimera import ChimeraGraph
+
+
+@dataclass(frozen=True)
+class FrontendResult:
+    """One prepared QA call.
+
+    ``formula_clauses`` are indices into the *original formula* of the
+    clauses that were embedded; ``request`` is ready for
+    :meth:`~repro.annealer.device.AnnealerDevice.run`.  ``elapsed_seconds``
+    is the frontend CPU time (Figure 11's frontend share).
+    """
+
+    request: AnnealRequest
+    formula_clauses: Tuple[int, ...]
+    embedding_result: HyQSatEmbeddingResult
+    encoding: FormulaEncoding
+    elapsed_seconds: float
+
+    @property
+    def num_embedded(self) -> int:
+        """Count of formula clauses embedded for this call."""
+        return len(self.formula_clauses)
+
+    @property
+    def embedded_variables(self) -> Tuple[int, ...]:
+        """Formula variables involved in the embedded clauses."""
+        out = set()
+        for k in self.embedding_result.embedded_clauses:
+            out.update(self.encoding.clauses[k].variables)
+        return tuple(sorted(out))
+
+
+class Frontend:
+    """Builds QA requests from clause queues."""
+
+    def __init__(
+        self,
+        formula: CNF,
+        hardware: ChimeraGraph,
+        adjust: bool = True,
+        num_reads: int = 1,
+    ):
+        self.formula = formula
+        self.hardware = hardware
+        self.adjust = adjust
+        self.num_reads = num_reads
+        self._embedder = HyQSatEmbedder(hardware)
+
+    def prepare(
+        self,
+        queue: Sequence[int],
+        assignment: Optional["Assignment"] = None,
+    ) -> Optional[FrontendResult]:
+        """Encode + embed + normalise the clause queue.
+
+        When ``assignment`` (the CDCL trail snapshot) is given, each
+        clause is *conditioned* on it first: literals falsified by the
+        trail are dropped, so the device solves the residual problem
+        that is consistent with the current search state and its
+        answers extend — rather than contradict — the trail.
+
+        Returns None when nothing could be embedded (e.g. an empty
+        queue or a first clause that exceeds hardware capacity).
+        """
+        start = time.perf_counter()
+        if not queue:
+            return None
+        clauses = []
+        kept_indices = []
+        for i in queue:
+            clause = self.formula.clauses[i]
+            if assignment is not None:
+                residual = [
+                    lit for lit in clause.lits if lit.var not in assignment
+                ]
+                if not residual:
+                    continue  # conflicting clause; propagation handles it
+                clause = Clause(residual)
+            clauses.append(clause)
+            kept_indices.append(i)
+        if not clauses:
+            return None
+        queue = kept_indices
+        encoding = encode_formula(clauses, self.formula.num_vars)
+        if self.adjust:
+            encoding = adjust_coefficients(encoding).encoding
+
+        embed_result = self._embedder.embed(encoding)
+        if not embed_result.embedded_clauses:
+            return None
+
+        objective = self._embedded_objective(encoding, embed_result.embedded_clauses)
+        normalized, d_star = normalize(objective)
+
+        request = AnnealRequest(
+            objective=normalized,
+            embedding=embed_result.embedding,
+            edge_couplers=embed_result.edge_couplers,
+            energy_scale=d_star,
+            num_reads=self.num_reads,
+        )
+        formula_clauses = tuple(queue[k] for k in embed_result.embedded_clauses)
+        return FrontendResult(
+            request=request,
+            formula_clauses=formula_clauses,
+            embedding_result=embed_result,
+            encoding=encoding,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    @staticmethod
+    def _embedded_objective(
+        encoding: FormulaEncoding, embedded_clauses: Sequence[int]
+    ) -> QuadraticObjective:
+        """Sum the weighted sub-objectives of the embedded clauses only
+        (the dropped clauses stay on the CDCL side)."""
+        keep = set(embedded_clauses)
+        total = QuadraticObjective()
+        for sub in encoding.sub_objectives:
+            if sub.clause_index in keep:
+                total.add_objective(sub.objective, scale=sub.coefficient)
+        return total

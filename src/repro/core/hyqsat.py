@@ -1,0 +1,356 @@
+"""The HyQSAT hybrid solver (Sections III–V).
+
+HyQSAT drives a classical CDCL search whose first ``ceil(sqrt(K))``
+iterations — the warm-up stage, where CDCL's learned heuristics are
+still cold — are accelerated by the quantum annealer.  Each warm-up
+iteration the frontend deploys the hardest (highest conflict-activity)
+clauses to the device, the backend interprets the returned energy, and
+one of four feedback strategies steers the search:
+
+1. *Accept solution* — every outstanding clause was embedded and the
+   device reports zero energy: verify and finish.
+2. *Keep assignment* — near-satisfiable: adopt the device's variable
+   values as saved phases so decisions walk towards the QA solution.
+3. *No feedback* — uncertain energy: the call contributed nothing.
+4. *Rush conflict* — near-unsatisfiable: boost the embedded variables'
+   decision priority (and queue a few as immediate decisions) so the
+   inevitable conflict is found and learned from quickly.
+
+After the warm-up the remaining search is plain CDCL with everything
+it learned.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.annealer.device import AnnealerDevice
+from repro.cdcl.solver import CdclSolver, SolverConfig, SolverResult, SolverStatus
+from repro.core.backend import Backend, BackendDecision, Strategy
+from repro.core.clause_queue import ClauseQueueGenerator
+from repro.core.config import HyQSatConfig
+from repro.core.frontend import Frontend
+from repro.core.timing import TimeBreakdown
+from repro.sat.assignment import Assignment
+from repro.sat.cnf import CNF, Lit
+
+
+def estimate_iterations(num_vars: int, num_clauses: int) -> int:
+    """Empirical estimate of the classic-CDCL iteration count K.
+
+    The paper sizes the warm-up stage as sqrt(K) with K "estimated
+    based on the numbers of variables and clauses".  This calibration
+    follows the usual random-3-SAT difficulty picture: iteration count
+    scales with the clause count and blows up as the clause/variable
+    ratio approaches the ~4.27 phase transition.
+    """
+    if num_vars <= 0 or num_clauses <= 0:
+        return 1
+    ratio = num_clauses / num_vars
+    hardness = 1.0 + max(0.0, ratio - 2.0) ** 2
+    scale = 1.0 + num_vars / 100.0
+    return max(1, int(num_clauses * hardness * scale))
+
+
+@dataclass
+class HybridStats:
+    """Counters of the hybrid layer (on top of the CDCL stats)."""
+
+    warmup_iterations: int = 0
+    qa_calls: int = 0
+    qpu_time_us: float = 0.0
+    frontend_seconds: float = 0.0
+    backend_seconds: float = 0.0
+    embedded_clause_total: int = 0
+    strategy_counts: Dict[Strategy, int] = field(
+        default_factory=lambda: {s: 0 for s in Strategy}
+    )
+    energies: List[float] = field(default_factory=list)
+
+    @property
+    def avg_embedded_clauses(self) -> float:
+        """Mean clauses embedded per QA call."""
+        if self.qa_calls == 0:
+            return 0.0
+        return self.embedded_clause_total / self.qa_calls
+
+
+@dataclass(frozen=True)
+class HyQSatResult:
+    """Outcome of a hybrid solve."""
+
+    status: SolverStatus
+    model: Optional[Assignment]
+    stats: "SolverStats"
+    hybrid: HybridStats
+
+    @property
+    def is_sat(self) -> bool:
+        """True when a model was found."""
+        return self.status is SolverStatus.SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        """True when the formula was refuted."""
+        return self.status is SolverStatus.UNSAT
+
+    @property
+    def iterations(self) -> int:
+        """Total search iterations (the Table I metric)."""
+        return self.stats.iterations
+
+    def time_breakdown(
+        self,
+        cdcl_iteration_seconds: float,
+        frontend_us_per_call: Optional[float] = None,
+        backend_us_per_call: Optional[float] = None,
+    ) -> TimeBreakdown:
+        """Modelled end-to-end time given a measured per-iteration CDCL
+        cost.  Frontend/backend are priced per QA call from the paper's
+        constants by default (see :mod:`repro.core.timing` for why the
+        measured pure-Python times are not used here).
+        """
+        from repro.core.timing import (
+            PAPER_BACKEND_US_PER_CALL,
+            PAPER_FRONTEND_US_PER_CALL,
+        )
+
+        frontend_us = (
+            PAPER_FRONTEND_US_PER_CALL
+            if frontend_us_per_call is None
+            else frontend_us_per_call
+        )
+        backend_us = (
+            PAPER_BACKEND_US_PER_CALL
+            if backend_us_per_call is None
+            else backend_us_per_call
+        )
+        calls = self.hybrid.qa_calls
+        return TimeBreakdown(
+            frontend_s=calls * frontend_us * 1e-6,
+            qpu_s=self.hybrid.qpu_time_us * 1e-6,
+            backend_s=calls * backend_us * 1e-6,
+            cdcl_s=self.stats.iterations * cdcl_iteration_seconds,
+        )
+
+
+from repro.cdcl.stats import SolverStats  # noqa: E402  (dataclass forward ref)
+
+
+class _HybridHook:
+    """The CDCL iteration hook that injects QA guidance."""
+
+    def __init__(self, owner: "HyQSatSolver"):
+        self._owner = owner
+
+    def on_iteration(self, solver: CdclSolver) -> Optional[Assignment]:
+        owner = self._owner
+        config = owner.config
+        if solver.stats.iterations > owner.hybrid_stats.warmup_iterations:
+            return None
+        if (solver.stats.iterations - 1) % config.qa_period != 0:
+            return None
+        return owner._qa_step(solver)
+
+
+class HyQSatSolver:
+    """Hybrid QA + CDCL solver for a 3-SAT formula.
+
+    Parameters
+    ----------
+    formula:
+        The CNF to solve (width <= 3; reduce wider inputs with
+        :func:`repro.sat.to_3sat` first).
+    device:
+        The annealer (defaults to a noiseless C16 simulator).
+    config:
+        Hybrid-layer configuration.
+    solver_config:
+        Configuration of the underlying CDCL engine.
+    """
+
+    def __init__(
+        self,
+        formula: CNF,
+        device: Optional[AnnealerDevice] = None,
+        config: Optional[HyQSatConfig] = None,
+        solver_config: Optional[SolverConfig] = None,
+    ):
+        if not formula.is_3sat:
+            raise ValueError(
+                "HyQSAT requires a 3-SAT formula; use repro.sat.to_3sat or "
+                "HyQSatSolver.from_ksat"
+            )
+        self.formula = formula
+        self._ksat_reduction = None
+        self.device = device or AnnealerDevice()
+        self.config = config or HyQSatConfig()
+        self.solver_config = solver_config or SolverConfig()
+        self.hybrid_stats = HybridStats()
+        self._conflicts_at_enqueue = -1
+
+        self._frontend = Frontend(
+            formula,
+            self.device.hardware,
+            adjust=self.config.adjust_coefficients,
+            num_reads=self.config.num_reads,
+        )
+        self._backend = Backend(
+            bands=self.config.bands,
+            enable_strategy_1=self.config.enable_strategy_1,
+            enable_strategy_2=self.config.enable_strategy_2,
+            enable_strategy_4=self.config.enable_strategy_4,
+        )
+        self._queue_gen = ClauseQueueGenerator(
+            formula, top_k=self.config.top_k, seed=self.config.seed
+        )
+        if self.config.max_queue_clauses is not None:
+            self._capacity = self.config.max_queue_clauses
+        else:
+            # Each embedded clause occupies roughly one new vertical
+            # line and two horizontal segments; allow headroom and let
+            # the embedder decide what actually fits.
+            self._capacity = max(8, 3 * self.device.hardware.num_vertical_lines)
+
+    @classmethod
+    def from_ksat(cls, formula: CNF, **kwargs) -> "HyQSatSolver":
+        """Build a solver for an arbitrary-width CNF (Section VII-B).
+
+        The input is reduced to 3-SAT with the standard clause
+        splitting; models returned by :meth:`solve` are projected back
+        onto the original variables.
+        """
+        from repro.sat.ksat import to_3sat
+
+        reduction = to_3sat(formula)
+        solver = cls(reduction.formula, **kwargs)
+        solver._ksat_reduction = reduction
+        return solver
+
+    def solve(self) -> HyQSatResult:
+        """Run the hybrid search to SAT/UNSAT (or a budget limit)."""
+        if self.config.warmup_iterations is not None:
+            warmup = self.config.warmup_iterations
+        else:
+            estimate = estimate_iterations(
+                self.formula.num_vars, self.formula.num_clauses
+            )
+            warmup = math.ceil(math.sqrt(estimate))
+        self.hybrid_stats = HybridStats(warmup_iterations=warmup)
+
+        solver = CdclSolver(self.formula, config=self.solver_config)
+        result = solver.solve(hook=_HybridHook(self))
+        model = result.model
+        if model is not None and self._ksat_reduction is not None:
+            model = self._ksat_reduction.restrict_model(model)
+        return HyQSatResult(
+            status=result.status,
+            model=model,
+            stats=result.stats,
+            hybrid=self.hybrid_stats,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _qa_step(self, solver: CdclSolver) -> Optional[Assignment]:
+        """One QA call: queue -> frontend -> device -> backend -> apply."""
+        config = self.config
+        stats = self.hybrid_stats
+
+        if solver.has_pending_decisions:
+            if solver.stats.conflicts == self._conflicts_at_enqueue:
+                # Let the previous call's guidance play out before
+                # paying for another QA round; re-forcing every
+                # iteration thrashes the search between inconsistent
+                # subset solutions.
+                return None
+            # A conflict invalidated part of the old guidance: drop the
+            # stale remainder and ask the device about the *new*
+            # residual problem (the paper's cross-iterative loop).
+            solver.clear_decision_queue()
+        queue_start = time.perf_counter()
+        unsat = solver.unsatisfied_original_clauses()
+        if not unsat:
+            return None
+        if config.use_activity_queue:
+            queue = self._queue_gen.generate(
+                solver.counters.activity, self._capacity, candidates=unsat
+            )
+        else:
+            queue = self._queue_gen.generate_random(
+                self._capacity, candidates=unsat
+            )
+        queue_seconds = time.perf_counter() - queue_start
+
+        prepared = self._frontend.prepare(queue, solver.current_assignment())
+        stats.frontend_seconds += queue_seconds
+        if prepared is None:
+            return None
+        stats.frontend_seconds += prepared.elapsed_seconds
+
+        anneal = self.device.run(prepared.request)
+        stats.qa_calls += 1
+        stats.qpu_time_us += anneal.qpu_time_us
+        stats.embedded_clause_total += prepared.num_embedded
+        stats.energies.append(anneal.best.energy)
+
+        all_embedded = set(prepared.formula_clauses) >= set(unsat)
+        decision = self._backend.interpret(
+            anneal,
+            prepared.embedded_variables,
+            self.formula.num_vars,
+            all_embedded,
+        )
+        backend_start = time.perf_counter()
+        proposal = self._apply(decision, solver)
+        stats.backend_seconds += decision.elapsed_seconds + (
+            time.perf_counter() - backend_start
+        )
+        stats.strategy_counts[decision.strategy] += 1
+        return proposal
+
+    def _apply(
+        self, decision: BackendDecision, solver: CdclSolver
+    ) -> Optional[Assignment]:
+        """Apply a feedback strategy to the live CDCL solver."""
+        if decision.strategy is Strategy.ACCEPT_SOLUTION:
+            candidate = solver.current_assignment()
+            for var, value in decision.assignment.items():
+                if var not in candidate:
+                    candidate.assign(var, value)
+            return candidate.completed(self.formula.num_vars)
+
+        if decision.strategy is Strategy.KEEP_ASSIGNMENT:
+            # "The assignments from QA can be directly used in the next
+            # search state" (Figure 9 (a)): queue the QA values as the
+            # upcoming decisions so the search jumps to the QA solution
+            # of the hard kernel, and save them as phases so restarts
+            # and backtracks keep steering towards it.  Wrong values
+            # are repaired by ordinary conflict resolution.
+            solver.clear_decision_queue()
+            for var, value in decision.assignment.items():
+                solver.set_phase(var, value)
+                if solver.value_of_var(var) is None:
+                    solver.enqueue_decision(Lit(var if value else -var))
+            self._conflicts_at_enqueue = solver.stats.conflicts
+            return None
+
+        if decision.strategy is Strategy.RUSH_CONFLICT:
+            solver.clear_decision_queue()
+            enqueued = 0
+            for var in decision.variables:
+                if var > self.formula.num_vars:
+                    continue
+                solver.bump_variable(var, self.config.strategy_4_bump)
+                if enqueued < self.config.strategy_4_decisions:
+                    value = decision.assignment.get(var)
+                    if solver.value_of_var(var) is None:
+                        lit = Lit(var if (value is None or value) else -var)
+                        solver.enqueue_decision(lit)
+                        enqueued += 1
+            return None
+
+        return None  # Strategy 3: no feedback

@@ -1,0 +1,79 @@
+"""End-to-end time accounting (Figure 1, Figure 11, Table II).
+
+Absolute wall-clock against the paper's CPUs is meaningless here, so
+end-to-end time is *modelled* from its components, exactly the way the
+paper sums them: frontend CPU time + QA device time (from the
+:class:`~repro.annealer.timing.QpuTimingModel`) + backend CPU time +
+remaining-CDCL CPU time.
+
+Two kinds of components mix in that sum:
+
+- The CDCL share is ``iterations x per-iteration cost`` with the
+  per-iteration cost *measured on this machine* from the classical
+  baseline — both sides of every speedup ratio are the same Python
+  engine, so the ratio is meaningful.
+- The per-QA-call frontend/backend/device costs are priced from the
+  paper's published constants (like the 20 us + 110 us QPU timing):
+  the paper measures ~15.7 us per embedding with queue generation
+  pipelined behind it, and a near-constant backend.  Our pure-Python
+  frontend takes milliseconds per call — three orders of magnitude off
+  the C implementation the paper's numbers describe — so using its
+  measured time would price one QA call at hundreds of CDCL
+  iterations and say nothing about the algorithm.  The measured times
+  remain available in :class:`~repro.core.hyqsat.HybridStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+#: Modelled frontend CPU cost per QA call (us): clause-queue pop +
+#: linear embedding (the paper reports 15.7 us embeddings with queue
+#: generation pipelined into them).
+PAPER_FRONTEND_US_PER_CALL = 20.0
+
+#: Modelled backend CPU cost per QA call (us): near-constant band
+#: classification plus feedback bookkeeping (Section VI-C notes the
+#: classification is near-constant time).
+PAPER_BACKEND_US_PER_CALL = 50.0
+
+
+@dataclass(frozen=True)
+class TimeBreakdown:
+    """Modelled end-to-end time of one hybrid solve, in seconds."""
+
+    frontend_s: float
+    qpu_s: float
+    backend_s: float
+    cdcl_s: float
+
+    @property
+    def total_s(self) -> float:
+        """Sum of all components."""
+        return self.frontend_s + self.qpu_s + self.backend_s + self.cdcl_s
+
+    @property
+    def warmup_s(self) -> float:
+        """The warm-up stage share (frontend + QA + backend)."""
+        return self.frontend_s + self.qpu_s + self.backend_s
+
+    def shares(self) -> Dict[str, float]:
+        """Fractions per component (the Figure 11 bars)."""
+        total = self.total_s
+        if total <= 0:
+            return {"frontend": 0.0, "qa": 0.0, "backend": 0.0, "cdcl": 0.0}
+        return {
+            "frontend": self.frontend_s / total,
+            "qa": self.qpu_s / total,
+            "backend": self.backend_s / total,
+            "cdcl": self.cdcl_s / total,
+        }
+
+    def __str__(self) -> str:
+        shares = self.shares()
+        return (
+            f"total {self.total_s * 1e3:.3f} ms = "
+            f"frontend {shares['frontend']:.1%} + qa {shares['qa']:.1%} + "
+            f"backend {shares['backend']:.1%} + cdcl {shares['cdcl']:.1%}"
+        )

@@ -1,0 +1,39 @@
+"""Minor embedding of problem graphs onto Chimera hardware.
+
+Three embedders reproduce the Figure 13 comparison:
+
+- :class:`~repro.embedding.hyqsat_embed.HyQSatEmbedder` — the paper's
+  linear-time two-step scheme (Section IV-B): variables to vertical
+  lines in clause-queue order, then greedy horizontal-line allocation
+  driven by a connection requirement list (CRL).
+- :class:`~repro.embedding.minorminer_like.MinorminerLikeEmbedder` — a
+  from-scratch Cai–Macready–Roy-style iterative shortest-path router
+  (the D-Wave Minorminer baseline [11]).
+- :class:`~repro.embedding.place_route.PlaceAndRouteEmbedder` — the
+  place-and-route baseline of Bian et al. [8].
+"""
+
+from repro.embedding.base import (
+    Embedding,
+    EmbeddingResult,
+    chain_length_stats,
+    find_edge_couplers,
+    verify_embedding,
+)
+from repro.embedding.crl import ConnectionRequirementList
+from repro.embedding.hyqsat_embed import HyQSatEmbedder, HyQSatEmbeddingResult
+from repro.embedding.minorminer_like import MinorminerLikeEmbedder
+from repro.embedding.place_route import PlaceAndRouteEmbedder
+
+__all__ = [
+    "ConnectionRequirementList",
+    "Embedding",
+    "EmbeddingResult",
+    "HyQSatEmbedder",
+    "HyQSatEmbeddingResult",
+    "MinorminerLikeEmbedder",
+    "PlaceAndRouteEmbedder",
+    "chain_length_stats",
+    "find_edge_couplers",
+    "verify_embedding",
+]

@@ -1,0 +1,209 @@
+"""Embedding data model and validity checking.
+
+An *embedding* maps each problem-graph vertex (a formula or auxiliary
+variable) to a *qubit chain*: a connected set of physical qubits acting
+as one logical variable (Section II-D).  A valid embedding must have
+
+1. pairwise-disjoint chains,
+2. each chain connected in the hardware graph,
+3. for every problem edge, at least one hardware coupler between the
+   two chains.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.topology.chimera import ChimeraGraph
+
+Edge = Tuple[int, int]
+
+
+def _norm_edge(u: int, v: int) -> Edge:
+    return (u, v) if u < v else (v, u)
+
+
+class Embedding:
+    """A mapping from problem variables to qubit chains."""
+
+    __slots__ = ("_chains",)
+
+    def __init__(self, chains: Optional[Mapping[int, Iterable[int]]] = None):
+        self._chains: Dict[int, Tuple[int, ...]] = {}
+        if chains:
+            for var, qubits in chains.items():
+                self.set_chain(var, qubits)
+
+    def set_chain(self, var: int, qubits: Iterable[int]) -> None:
+        """Assign the chain of ``var`` (overwrites)."""
+        chain = tuple(sorted(set(qubits)))
+        if not chain:
+            raise ValueError(f"chain of variable {var} must be non-empty")
+        self._chains[var] = chain
+
+    def chain_of(self, var: int) -> Tuple[int, ...]:
+        """The chain of ``var`` (KeyError if unembedded)."""
+        return self._chains[var]
+
+    def __contains__(self, var: object) -> bool:
+        return var in self._chains
+
+    def __len__(self) -> int:
+        return len(self._chains)
+
+    def __iter__(self):
+        return iter(self._chains)
+
+    @property
+    def variables(self) -> List[int]:
+        """Embedded variables (sorted)."""
+        return sorted(self._chains)
+
+    @property
+    def chains(self) -> Dict[int, Tuple[int, ...]]:
+        """Shallow copy of the chain mapping."""
+        return dict(self._chains)
+
+    def all_qubits(self) -> Set[int]:
+        """Union of every chain."""
+        out: Set[int] = set()
+        for chain in self._chains.values():
+            out.update(chain)
+        return out
+
+    def num_qubits_used(self) -> int:
+        """Total physical qubits consumed."""
+        return sum(len(c) for c in self._chains.values())
+
+    def qubit_owner(self) -> Dict[int, int]:
+        """Inverse map qubit -> variable (assumes disjoint chains)."""
+        out: Dict[int, int] = {}
+        for var, chain in self._chains.items():
+            for qubit in chain:
+                out[qubit] = var
+        return out
+
+    def restricted_to(self, variables: Iterable[int]) -> "Embedding":
+        """Sub-embedding for a variable subset."""
+        keep = set(variables)
+        return Embedding(
+            {var: chain for var, chain in self._chains.items() if var in keep}
+        )
+
+    def __repr__(self) -> str:
+        return f"Embedding(vars={len(self._chains)}, qubits={self.num_qubits_used()})"
+
+
+@dataclass(frozen=True)
+class EmbeddingResult:
+    """Outcome of an embedding attempt.
+
+    ``success`` means every requested problem edge was realised.
+    ``elapsed_seconds`` is the wall-clock embedding time — the Figure 13
+    (a) metric.
+    """
+
+    embedding: Embedding
+    success: bool
+    elapsed_seconds: float
+    edge_couplers: Dict[Edge, Tuple[Tuple[int, int], ...]] = field(default_factory=dict)
+
+    @property
+    def max_chain_length(self) -> int:
+        """Longest chain (0 for an empty embedding)."""
+        return max((len(c) for c in self.embedding.chains.values()), default=0)
+
+    @property
+    def avg_chain_length(self) -> float:
+        """Mean chain length (0.0 for an empty embedding)."""
+        chains = self.embedding.chains
+        if not chains:
+            return 0.0
+        return sum(len(c) for c in chains.values()) / len(chains)
+
+
+def chain_length_stats(embedding: Embedding) -> Dict[str, float]:
+    """Mean / max / median chain length of an embedding."""
+    lengths = [len(c) for c in embedding.chains.values()]
+    if not lengths:
+        return {"mean": 0.0, "max": 0.0, "median": 0.0}
+    return {
+        "mean": sum(lengths) / len(lengths),
+        "max": float(max(lengths)),
+        "median": float(statistics.median(lengths)),
+    }
+
+
+def find_edge_couplers(
+    embedding: Embedding, hardware: ChimeraGraph, edges: Iterable[Edge]
+) -> Dict[Edge, Tuple[Tuple[int, int], ...]]:
+    """For each problem edge, the hardware couplers joining its chains.
+
+    An edge with an empty coupler tuple is *unrealised*.
+    """
+    out: Dict[Edge, Tuple[Tuple[int, int], ...]] = {}
+    for u, v in edges:
+        key = _norm_edge(u, v)
+        if u not in embedding or v not in embedding:
+            out[key] = ()
+            continue
+        chain_u = embedding.chain_of(u)
+        chain_v = set(embedding.chain_of(v))
+        couplers: List[Tuple[int, int]] = []
+        for qu in chain_u:
+            for qv in hardware.neighbors(qu):
+                if qv in chain_v:
+                    couplers.append((qu, qv))
+        out[key] = tuple(couplers)
+    return out
+
+
+def verify_embedding(
+    embedding: Embedding,
+    hardware: ChimeraGraph,
+    edges: Sequence[Edge] = (),
+) -> List[str]:
+    """Validity check; returns a list of human-readable problems
+    (empty list == valid)."""
+    problems: List[str] = []
+
+    # 1. Chains use working qubits and are pairwise disjoint.
+    owner: Dict[int, int] = {}
+    for var, chain in embedding.chains.items():
+        for qubit in chain:
+            if not hardware.is_working(qubit):
+                problems.append(f"chain of {var} uses non-working qubit {qubit}")
+            if qubit in owner:
+                problems.append(
+                    f"qubit {qubit} shared by variables {owner[qubit]} and {var}"
+                )
+            else:
+                owner[qubit] = var
+
+    # 2. Each chain induces a connected subgraph.
+    for var, chain in embedding.chains.items():
+        if len(chain) == 1:
+            continue
+        members = set(chain)
+        seen = {chain[0]}
+        frontier = [chain[0]]
+        while frontier:
+            qubit = frontier.pop()
+            for other in hardware.neighbors(qubit):
+                if other in members and other not in seen:
+                    seen.add(other)
+                    frontier.append(other)
+        if seen != members:
+            problems.append(
+                f"chain of {var} is disconnected: {sorted(members - seen)} unreachable"
+            )
+
+    # 3. Every problem edge has a realising coupler.
+    couplers = find_edge_couplers(embedding, hardware, edges)
+    for edge, realising in couplers.items():
+        if not realising:
+            problems.append(f"problem edge {edge} has no hardware coupler")
+
+    return problems

@@ -1,0 +1,65 @@
+"""The Connection Requirement List (Section IV-B).
+
+While clauses pop off the queue, the embedder records which qubit
+chains must end up coupled: a requirement ``x_i : {x_j, ..., x_k}``
+says the chain of *owner* ``x_i`` must connect to the chains of each
+*target*.  Requirements accumulate per owner (the paper's example grows
+``x_1 : {x_2}`` into ``x_1 : {x_2, x_5}`` as the second clause pops),
+and each (owner, target) pair remembers which clauses need it so a
+failed allocation can be attributed to the right clauses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Set, Tuple
+
+
+class ConnectionRequirementList:
+    """Ordered owner -> targets requirements with clause attribution."""
+
+    def __init__(self) -> None:
+        self._targets: Dict[int, List[int]] = {}
+        self._order: List[int] = []
+        self._clauses_of: Dict[Tuple[int, int], Set[int]] = {}
+
+    def add(self, owner: int, target: int, clause_index: int) -> None:
+        """Require owner's chain to couple to target's chain for a clause."""
+        if owner == target:
+            raise ValueError(f"self-connection requirement for variable {owner}")
+        if owner not in self._targets:
+            self._targets[owner] = []
+            self._order.append(owner)
+        if target not in self._targets[owner]:
+            self._targets[owner].append(target)
+        self._clauses_of.setdefault((owner, target), set()).add(clause_index)
+
+    def owners(self) -> List[int]:
+        """Owners in first-appearance order."""
+        return list(self._order)
+
+    def targets_of(self, owner: int) -> List[int]:
+        """Targets of ``owner`` in insertion order (empty if none)."""
+        return list(self._targets.get(owner, []))
+
+    def clauses_needing(self, owner: int, target: int) -> Set[int]:
+        """Clause indices that require the (owner, target) connection."""
+        return set(self._clauses_of.get((owner, target), set()))
+
+    def pairs(self) -> Iterator[Tuple[int, int]]:
+        """All (owner, target) pairs in order."""
+        for owner in self._order:
+            for target in self._targets[owner]:
+                yield owner, target
+
+    def __len__(self) -> int:
+        return sum(len(t) for t in self._targets.values())
+
+    def __contains__(self, owner: object) -> bool:
+        return owner in self._targets
+
+    def __repr__(self) -> str:
+        inner = "; ".join(
+            f"{owner}:{{{', '.join(map(str, self._targets[owner]))}}}"
+            for owner in self._order
+        )
+        return f"CRL({inner})"

@@ -1,0 +1,368 @@
+"""HyQSAT's linear-time two-step embedding scheme (Section IV-B).
+
+Step 1 pops clauses from the clause queue in order and allocates each
+new formula variable to the next free *vertical line*, while recording
+the required chain connections in a
+:class:`~repro.embedding.crl.ConnectionRequirementList` (CRL).  The
+connection requirements come from the Eq. 4 problem graph of each
+clause: a 3-literal clause ``l1 ∨ l2 ∨ l3`` with auxiliary ``a``
+contributes the edges ``(v1, v2)`` (the ``H1·H2`` term) and
+``(a, v1), (a, v2), (a, v3)``.
+
+Step 2 satisfies the CRL by allocating *horizontal-line* segments,
+bottom line first, left to right, greedily packing segments
+out-of-order so each line is maximally utilised.  A vertical variable's
+segment must also cross its own vertical line (keeping the chain
+connected); auxiliary variables live purely on horizontal lines
+(they connect at most three chains, so one segment suffices).
+
+Both steps touch each qubit O(1) times: overall O(N_q) — the paper's
+complexity claim — versus the iterative routing of Minorminer
+(O(N_q · N_p² · log N_p)).
+
+Clauses whose variables no longer fit on vertical lines, or whose
+connection requirements cannot be allocated, are simply *not embedded*
+(the hybrid solver keeps them on the CDCL side); everything that did
+fit is returned with a valid embedding.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.embedding.base import Edge, Embedding, EmbeddingResult, _norm_edge
+from repro.embedding.crl import ConnectionRequirementList
+from repro.qubo.encoding import FormulaEncoding
+from repro.topology.chimera import ChimeraGraph, HorizontalLine, VerticalLine
+
+
+@dataclass(frozen=True)
+class HyQSatEmbeddingResult(EmbeddingResult):
+    """Embedding result with per-clause accounting.
+
+    ``embedded_clauses`` are indices (into the encoding's clause list)
+    of clauses whose every problem edge was realised; ``success`` is
+    true when that is *all* clauses.
+    """
+
+    embedded_clauses: Tuple[int, ...] = ()
+    unembedded_clauses: Tuple[int, ...] = ()
+
+    @property
+    def num_embedded(self) -> int:
+        """Count of fully-embedded clauses."""
+        return len(self.embedded_clauses)
+
+
+def clause_edges(encoding: FormulaEncoding, clause_index: int) -> List[Edge]:
+    """Problem-graph edges contributed by one encoded clause."""
+    clause = encoding.clauses[clause_index]
+    aux = encoding.aux_of_clause[clause_index]
+    variables = [lit.var for lit in clause.lits]
+    if len(variables) == 1:
+        return []
+    if len(variables) == 2:
+        return [_norm_edge(variables[0], variables[1])]
+    assert aux is not None, "3-literal clauses carry an auxiliary variable"
+    v1, v2, v3 = variables
+    return [
+        _norm_edge(v1, v2),
+        _norm_edge(aux, v1),
+        _norm_edge(aux, v2),
+        _norm_edge(aux, v3),
+    ]
+
+
+@dataclass
+class _Segment:
+    """A horizontal-line segment allocated to one owner chain."""
+
+    owner: int
+    line: HorizontalLine
+    col_start: int
+    col_end: int
+
+    def qubits(self, hardware: ChimeraGraph) -> List[int]:
+        line_qubits = hardware.horizontal_line_qubits(self.line)
+        return line_qubits[self.col_start : self.col_end + 1]
+
+
+class HyQSatEmbedder:
+    """The Section IV-B embedder for a Chimera lattice."""
+
+    def __init__(self, hardware: ChimeraGraph):
+        self.hardware = hardware
+
+    def embed(self, encoding: FormulaEncoding) -> HyQSatEmbeddingResult:
+        """Embed as many queue clauses as fit, in queue order."""
+        start = time.perf_counter()
+        hardware = self.hardware
+
+        # ---------------- Step 1: vertical-line allocation ----------------
+        lines = hardware.vertical_lines()
+        line_of_var: Dict[int, VerticalLine] = {}
+        next_line = 0
+        crl = ConnectionRequirementList()
+        candidates: List[int] = []
+
+        for k in range(len(encoding.clauses)):
+            clause = encoding.clauses[k]
+            new_vars = [
+                lit.var for lit in clause.lits if lit.var not in line_of_var
+            ]
+            if next_line + len(new_vars) > len(lines):
+                break  # vertical capacity reached; queue order stops here
+            for var in new_vars:
+                line_of_var[var] = lines[next_line]
+                next_line += 1
+            for owner, target in self._requirements(encoding, k):
+                crl.add(owner, target, k)
+            candidates.append(k)
+
+        # ---------------- Step 2: horizontal-line allocation --------------
+        free: Dict[HorizontalLine, List[bool]] = {}
+        segments: List[_Segment] = []
+        coupling_rows: Dict[int, Set[int]] = {var: set() for var in line_of_var}
+        realized: Dict[Edge, List[Tuple[int, int]]] = {}
+
+        pending: List[Tuple[int, List[int]]] = [
+            (owner, crl.targets_of(owner)) for owner in crl.owners()
+        ]
+        hlines = hardware.horizontal_lines_bottom_up()
+        line_cursor = 0
+
+        while pending and line_cursor < len(hlines):
+            line = hlines[line_cursor]
+            if line not in free:
+                free[line] = [True] * hardware.cols
+            cells = free[line]
+            still_pending: List[Tuple[int, List[int]]] = []
+            for owner, targets in pending:
+                span = self._span_columns(owner, targets, line_of_var)
+                if span is None:
+                    still_pending.append((owner, targets))
+                    continue
+                c1, c2 = span
+                if all(cells[c] for c in range(c1, c2 + 1)):
+                    segment = _Segment(owner, line, c1, c2)
+                    segments.append(segment)
+                    for c in range(c1, c2 + 1):
+                        cells[c] = False
+                    self._record_couplings(
+                        owner, targets, segment, line_of_var, coupling_rows, realized
+                    )
+                else:
+                    still_pending.append((owner, targets))
+            pending = still_pending
+            # Free cells only shrink, so a requirement that failed on
+            # this line cannot fit later: always move to the next line.
+            line_cursor += 1
+
+        # Split pass: merged requirements that never fit are retried as
+        # one segment per target, which has a smaller column span.
+        if pending:
+            pending = self._split_pass(
+                pending, free, hlines, segments, line_of_var, coupling_rows, realized
+            )
+
+        # ---------------- Chain construction ------------------------------
+        embedding = self._build_chains(line_of_var, segments, coupling_rows)
+
+        embedded, unembedded = self._classify_clauses(
+            encoding, candidates, line_of_var, embedding, realized
+        )
+        # Drop auxiliary chains of unembedded clauses.
+        dropped_aux = {
+            encoding.aux_of_clause[k]
+            for k in unembedded
+            if encoding.aux_of_clause[k] is not None
+        }
+        if dropped_aux:
+            embedding = embedding.restricted_to(
+                v for v in embedding.variables if v not in dropped_aux
+            )
+
+        elapsed = time.perf_counter() - start
+        edge_couplers = {
+            edge: tuple(couplers) for edge, couplers in realized.items()
+        }
+        return HyQSatEmbeddingResult(
+            embedding=embedding,
+            success=len(embedded) == len(encoding.clauses),
+            elapsed_seconds=elapsed,
+            edge_couplers=edge_couplers,
+            embedded_clauses=tuple(embedded),
+            unembedded_clauses=tuple(unembedded),
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _requirements(
+        self, encoding: FormulaEncoding, clause_index: int
+    ) -> List[Tuple[int, int]]:
+        """CRL entries (owner, target) for one clause.
+
+        The first literal's variable owns the variable-variable edge;
+        the auxiliary owns its three connections (it has no vertical
+        line, so it must be the one extending onto horizontal qubits).
+        """
+        clause = encoding.clauses[clause_index]
+        aux = encoding.aux_of_clause[clause_index]
+        variables = [lit.var for lit in clause.lits]
+        if len(variables) == 1:
+            return []
+        if len(variables) == 2:
+            return [(variables[0], variables[1])]
+        assert aux is not None
+        v1, v2, v3 = variables
+        return [(v1, v2), (aux, v1), (aux, v2), (aux, v3)]
+
+    def _span_columns(
+        self,
+        owner: int,
+        targets: Sequence[int],
+        line_of_var: Dict[int, VerticalLine],
+    ) -> Optional[Tuple[int, int]]:
+        """Cell-column span a segment must cover, or None if a target
+        (or a vertical owner) has no vertical line."""
+        cols: List[int] = []
+        if owner in line_of_var:
+            cols.append(line_of_var[owner].col)
+        elif owner <= 0:
+            return None
+        for target in targets:
+            line = line_of_var.get(target)
+            if line is None:
+                return None
+            cols.append(line.col)
+        if not cols:
+            return None
+        return min(cols), max(cols)
+
+    def _record_couplings(
+        self,
+        owner: int,
+        targets: Sequence[int],
+        segment: _Segment,
+        line_of_var: Dict[int, VerticalLine],
+        coupling_rows: Dict[int, Set[int]],
+        realized: Dict[Edge, List[Tuple[int, int]]],
+    ) -> None:
+        """Mark the problem edges realised by a freshly allocated segment."""
+        hardware = self.hardware
+        row = segment.line.row
+        for target in targets:
+            vline = line_of_var[target]
+            vq, hq = hardware.crossing_qubits(vline, segment.line)
+            realized.setdefault(_norm_edge(owner, target), []).append((hq, vq))
+            coupling_rows[target].add(row)
+        if owner in line_of_var:
+            coupling_rows[owner].add(row)
+
+    def _split_pass(
+        self,
+        pending: List[Tuple[int, List[int]]],
+        free: Dict[HorizontalLine, List[bool]],
+        hlines: List[HorizontalLine],
+        segments: List[_Segment],
+        line_of_var: Dict[int, VerticalLine],
+        coupling_rows: Dict[int, Set[int]],
+        realized: Dict[Edge, List[Tuple[int, int]]],
+    ) -> List[Tuple[int, List[int]]]:
+        """Retry failed merged requirements one target at a time.
+
+        Only vertical owners can split (an auxiliary chain must stay a
+        single connected segment).
+        """
+        still_failed: List[Tuple[int, List[int]]] = []
+        for owner, targets in pending:
+            if owner not in line_of_var:
+                still_failed.append((owner, targets))
+                continue
+            unplaced: List[int] = []
+            for target in targets:
+                placed = False
+                for line in hlines:
+                    if line not in free:
+                        free[line] = [True] * self.hardware.cols
+                    cells = free[line]
+                    span = self._span_columns(owner, [target], line_of_var)
+                    if span is None:
+                        break
+                    c1, c2 = span
+                    if all(cells[c] for c in range(c1, c2 + 1)):
+                        segment = _Segment(owner, line, c1, c2)
+                        segments.append(segment)
+                        for c in range(c1, c2 + 1):
+                            cells[c] = False
+                        self._record_couplings(
+                            owner, [target], segment, line_of_var,
+                            coupling_rows, realized,
+                        )
+                        placed = True
+                        break
+                if not placed:
+                    unplaced.append(target)
+            if unplaced:
+                still_failed.append((owner, unplaced))
+        return still_failed
+
+    def _build_chains(
+        self,
+        line_of_var: Dict[int, VerticalLine],
+        segments: List[_Segment],
+        coupling_rows: Dict[int, Set[int]],
+    ) -> Embedding:
+        """Assemble chains: trimmed vertical spans plus owned segments."""
+        hardware = self.hardware
+        segments_of: Dict[int, List[_Segment]] = {}
+        for segment in segments:
+            segments_of.setdefault(segment.owner, []).append(segment)
+
+        embedding = Embedding()
+        for var, vline in line_of_var.items():
+            rows = set(coupling_rows.get(var, set()))
+            if not rows:
+                rows = {hardware.rows - 1}
+            line_qubits = hardware.vertical_line_qubits(vline)
+            qubits: List[int] = list(line_qubits[min(rows) : max(rows) + 1])
+            for segment in segments_of.get(var, []):
+                qubits.extend(segment.qubits(hardware))
+            embedding.set_chain(var, qubits)
+        for owner, owned in segments_of.items():
+            if owner in line_of_var:
+                continue
+            qubits = [q for segment in owned for q in segment.qubits(hardware)]
+            embedding.set_chain(owner, qubits)
+        return embedding
+
+    def _classify_clauses(
+        self,
+        encoding: FormulaEncoding,
+        candidates: List[int],
+        line_of_var: Dict[int, VerticalLine],
+        embedding: Embedding,
+        realized: Dict[Edge, List[Tuple[int, int]]],
+    ) -> Tuple[List[int], List[int]]:
+        """Partition clause indices into embedded / unembedded."""
+        embedded: List[int] = []
+        unembedded: List[int] = list(
+            range(len(candidates), len(encoding.clauses))
+        )
+        for k in candidates:
+            clause = encoding.clauses[k]
+            vars_ok = all(lit.var in line_of_var for lit in clause.lits)
+            edges_ok = all(
+                realized.get(edge) for edge in clause_edges(encoding, k)
+            )
+            aux = encoding.aux_of_clause[k]
+            aux_ok = aux is None or aux in embedding
+            if vars_ok and edges_ok and aux_ok:
+                embedded.append(k)
+            else:
+                unembedded.append(k)
+        return embedded, sorted(unembedded)

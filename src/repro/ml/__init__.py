@@ -1,0 +1,14 @@
+"""Statistical backend: energy-distribution modelling (Section V-A).
+
+- :class:`~repro.ml.gnb.GaussianNaiveBayes` — a from-scratch GNB
+  classifier fitted on QA output energies of known-satisfiable and
+  known-unsatisfiable problems (Figure 8).
+- :mod:`repro.ml.intervals` — the 90%-posterior confidence-interval
+  partition that turns an energy into one of the four satisfaction
+  bands the feedback strategies dispatch on.
+"""
+
+from repro.ml.gnb import GaussianNaiveBayes
+from repro.ml.intervals import Band, ConfidenceBands, fit_bands
+
+__all__ = ["Band", "ConfidenceBands", "GaussianNaiveBayes", "fit_bands"]

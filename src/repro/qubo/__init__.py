@@ -1,0 +1,38 @@
+"""QUBO encoding of 3-SAT (Section II-C / IV-C of the paper).
+
+- :class:`~repro.qubo.ising.QuadraticObjective` — the two-degree
+  objective function of Equation 2 (offset + linear B + quadratic J).
+- :mod:`repro.qubo.encoding` — clause decomposition (Eq. 3), sub-clause
+  objectives (Eq. 4), and the summed formula objective (Eq. 5).
+- :mod:`repro.qubo.coefficients` — the Section IV-C noise optimisation
+  that raises sub-clause coefficients to ``d*/d_ij``.
+- :mod:`repro.qubo.normalization` — the Eq. 6 hardware normalisation to
+  ``B ∈ [-2, 2]``, ``J ∈ [-1, 1]``.
+- :mod:`repro.qubo.gap` — exhaustive energy-gap evaluation used by the
+  Figure 15 experiments and the property tests.
+"""
+
+from repro.qubo.coefficients import CoefficientAdjustment, adjust_coefficients
+from repro.qubo.encoding import (
+    FormulaEncoding,
+    SubClauseObjective,
+    encode_clause,
+    encode_formula,
+)
+from repro.qubo.gap import energy_gap, min_energy, min_energy_given_x
+from repro.qubo.ising import QuadraticObjective
+from repro.qubo.normalization import normalize
+
+__all__ = [
+    "CoefficientAdjustment",
+    "FormulaEncoding",
+    "QuadraticObjective",
+    "SubClauseObjective",
+    "adjust_coefficients",
+    "encode_clause",
+    "encode_formula",
+    "energy_gap",
+    "min_energy",
+    "min_energy_given_x",
+    "normalize",
+]

@@ -1,0 +1,100 @@
+"""Section IV-C coefficient adjustment (noise optimisation).
+
+The hardware normalisation of Eq. 6 divides all coefficients by
+``d* = max(max|B|/2, max|J|)``, which flattens the energy landscape of
+sub-clauses whose own coefficients are small.  The paper's fix: compute
+``d_{i,j}`` (Eq. 7) for each sub-clause objective at α = 1, then raise
+that sub-clause's coefficient to ``α_{i,j} = d*/d_{i,j} >= 1``.  This
+widens the energy gap of the weak sub-clauses without changing ``d*``
+(the worked Eq. 8/9 example in the paper raises ``α_{1,2}`` from 1 to
+2) and needs just one extra evaluation of the objective function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.qubo.encoding import FormulaEncoding
+
+
+@dataclass(frozen=True)
+class CoefficientAdjustment:
+    """Result of the Section IV-C adjustment.
+
+    Attributes
+    ----------
+    encoding:
+        The re-weighted encoding (``α_{i,j} = d*/d_{i,j}``).
+    d_star:
+        The Eq. 6 denominator measured on the α = 1 objective.
+    alphas:
+        The chosen coefficients keyed by ``(clause_index, part)``.
+    d_values:
+        The Eq. 7 per-sub-clause maxima, same keys.
+    """
+
+    encoding: FormulaEncoding
+    d_star: float
+    alphas: Dict[Tuple[int, int], float]
+    d_values: Dict[Tuple[int, int], float]
+
+    @property
+    def max_alpha(self) -> float:
+        """Largest coefficient chosen (1.0 when nothing was adjusted)."""
+        return max(self.alphas.values(), default=1.0)
+
+
+def adjust_coefficients(encoding: FormulaEncoding) -> CoefficientAdjustment:
+    """Apply the Section IV-C adjustment to an α = 1 encoding.
+
+    The input encoding's coefficients are read as the baseline; the
+    ``d*`` of its summed objective decides the scaling targets
+    (``α_{i,j} = d*/d_{i,j}``).
+
+    The paper's method "increases the small coefficients in H_C while
+    keeping d* the same": on multi-clause formulas the amplified
+    sub-objectives overlap on shared variables, so naively applying the
+    α values can push the summed maximum coefficient past d* — and the
+    Eq. 6 normalisation would then *shrink* the energy landscape.  To
+    honour the constraint, the α boost is scaled back (bisection on
+    ``α' = 1 + s·(α − 1)``) until the adjusted objective's d* is within
+    the original's.
+    """
+    d_star = encoding.objective.d_star()
+    alphas: Dict[Tuple[int, int], float] = {}
+    d_values: Dict[Tuple[int, int], float] = {}
+    for sub in encoding.sub_objectives:
+        key = (sub.clause_index, sub.part)
+        d_ij = sub.d_value()
+        d_values[key] = d_ij
+        if d_ij <= 0.0 or d_star <= 0.0:
+            alphas[key] = 1.0
+        else:
+            # Only ever *increase* weak coefficients: cross-clause
+            # cancellation can leave the summed d* below an individual
+            # sub-clause's d_ij, and scaling that sub-clause down would
+            # shrink its penalty (never intended by Section IV-C).
+            alphas[key] = max(1.0, d_star / d_ij)
+
+    def scaled_alphas(scale: float) -> Dict[Tuple[int, int], float]:
+        return {
+            key: 1.0 + scale * (alpha - 1.0) for key, alpha in alphas.items()
+        }
+
+    adjusted = encoding.with_coefficients(alphas)
+    if d_star > 0.0 and adjusted.objective.d_star() > d_star * (1.0 + 1e-9):
+        lo, hi = 0.0, 1.0
+        for _ in range(30):
+            mid = (lo + hi) / 2.0
+            candidate = encoding.with_coefficients(scaled_alphas(mid))
+            if candidate.objective.d_star() <= d_star * (1.0 + 1e-9):
+                lo = mid
+            else:
+                hi = mid
+        alphas = scaled_alphas(lo)
+        adjusted = encoding.with_coefficients(alphas)
+
+    return CoefficientAdjustment(
+        encoding=adjusted, d_star=d_star, alphas=alphas, d_values=d_values
+    )

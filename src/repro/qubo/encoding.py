@@ -1,0 +1,234 @@
+"""3-SAT → objective-function encoding (Equations 3–5).
+
+Every 3-literal clause ``c_k = l1 ∨ l2 ∨ l3`` is decomposed with a
+fresh auxiliary variable ``a_k`` into
+
+    c_{k,1} = a_k ↔ (l1 ∨ l2)        (Eq. 3)
+    c_{k,2} = l3 ∨ a_k
+
+whose penalty objectives are (Eq. 4, with ``H_l = x`` / ``1 - x``):
+
+    H_{c_k,1} = a + H1 + H2 − 2aH1 − 2aH2 + H1H2
+    H_{c_k,2} = 1 − a − H3 + aH3
+
+Each sub-objective is zero exactly when its sub-clause is satisfied and
+positive otherwise; the formula objective is the coefficient-weighted
+sum of Eq. 5.  Clauses of width 1 or 2 need no auxiliary variable: the
+direct product penalty ``Π (1 − H_li)`` is already at most quadratic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.qubo.ising import LinearExpr, QuadraticObjective
+from repro.sat.cnf import CNF, Clause
+
+
+@dataclass(frozen=True)
+class SubClauseObjective:
+    """One Eq. 4 sub-objective with its Eq. 5 coefficient.
+
+    Attributes
+    ----------
+    clause_index:
+        Index of the originating clause in the encoded clause list.
+    part:
+        1 or 2 (``c_{k,1}`` / ``c_{k,2}``); width-<=2 clauses have a
+        single part numbered 1.
+    objective:
+        The *unweighted* penalty objective.
+    coefficient:
+        The α weight applied when summing into the formula objective.
+    """
+
+    clause_index: int
+    part: int
+    objective: QuadraticObjective
+    coefficient: float = 1.0
+
+    def with_coefficient(self, alpha: float) -> "SubClauseObjective":
+        """Same sub-objective with a different α."""
+        if alpha <= 0:
+            raise ValueError(f"sub-clause coefficient must be positive, got {alpha}")
+        return SubClauseObjective(self.clause_index, self.part, self.objective, alpha)
+
+    def d_value(self) -> float:
+        """The Eq. 7 per-sub-clause maximum coefficient ``d_{i,j}``
+        (measured on the unweighted objective)."""
+        return self.objective.d_star()
+
+
+@dataclass(frozen=True)
+class FormulaEncoding:
+    """A complete Eq. 5 encoding of a clause set.
+
+    Attributes
+    ----------
+    objective:
+        The summed objective ``Σ α_{k,j} H_{c_k,j}``.
+    sub_objectives:
+        The individual weighted parts (ablation and Sec. IV-C input).
+    aux_of_clause:
+        Auxiliary variable introduced for each encoded clause (None for
+        width-<=2 clauses).
+    num_formula_vars:
+        Variables ``1..num_formula_vars`` are formula variables; any
+        higher index is auxiliary.
+    clauses:
+        The encoded clauses, in order.
+    """
+
+    objective: QuadraticObjective
+    sub_objectives: Tuple[SubClauseObjective, ...]
+    aux_of_clause: Tuple[Optional[int], ...]
+    num_formula_vars: int
+    clauses: Tuple[Clause, ...]
+
+    @property
+    def aux_variables(self) -> Tuple[int, ...]:
+        """All auxiliary variables, in clause order."""
+        return tuple(a for a in self.aux_of_clause if a is not None)
+
+    @property
+    def num_variables(self) -> int:
+        """Formula + auxiliary variable count in the objective."""
+        return len(self.objective.variables)
+
+    def with_coefficients(self, alphas: Dict[Tuple[int, int], float]) -> "FormulaEncoding":
+        """Rebuild the summed objective with new α values.
+
+        ``alphas`` maps ``(clause_index, part)`` to the coefficient;
+        missing keys keep their current value.
+        """
+        new_subs: List[SubClauseObjective] = []
+        total = QuadraticObjective()
+        for sub in self.sub_objectives:
+            alpha = alphas.get((sub.clause_index, sub.part), sub.coefficient)
+            new_sub = sub.with_coefficient(alpha)
+            new_subs.append(new_sub)
+            total.add_objective(new_sub.objective, scale=new_sub.coefficient)
+        return FormulaEncoding(
+            objective=total,
+            sub_objectives=tuple(new_subs),
+            aux_of_clause=self.aux_of_clause,
+            num_formula_vars=self.num_formula_vars,
+            clauses=self.clauses,
+        )
+
+
+def encode_clause(
+    clause: Clause, aux_var: Optional[int], clause_index: int = 0
+) -> List[SubClauseObjective]:
+    """Encode one clause into its Eq. 4 sub-objectives (α = 1).
+
+    ``aux_var`` must be provided for 3-literal clauses and must be None
+    for narrower ones.
+    """
+    lits = clause.lits
+    if len(lits) > 3:
+        raise ValueError(
+            f"encode_clause expects width <= 3 (reduce with repro.sat.to_3sat), "
+            f"got width {len(lits)}"
+        )
+    if clause.is_empty:
+        raise ValueError("cannot encode the empty clause")
+    if clause.is_tautology:
+        raise ValueError(f"cannot encode tautological clause {clause}")
+
+    exprs = [LinearExpr.literal(lit.var, lit.positive) for lit in lits]
+
+    if len(lits) <= 2:
+        if aux_var is not None:
+            raise ValueError("width-<=2 clauses take no auxiliary variable")
+        # Penalty Π (1 - H_li): 1 iff every literal is false.
+        penalty = QuadraticObjective()
+        one_minus = [
+            LinearExpr(1.0 - e.const, {v: -c for v, c in e.terms.items()})
+            for e in exprs
+        ]
+        if len(one_minus) == 1:
+            one_minus[0].add_into(penalty)
+        else:
+            one_minus[0].multiply_into(one_minus[1], penalty)
+        return [SubClauseObjective(clause_index, 1, penalty)]
+
+    if aux_var is None:
+        raise ValueError("3-literal clauses require an auxiliary variable")
+    h1, h2, h3 = exprs
+    a = LinearExpr.variable(aux_var)
+
+    # H_{c_k,1} = a + H1 + H2 - 2 a H1 - 2 a H2 + H1 H2
+    part1 = QuadraticObjective()
+    a.add_into(part1)
+    h1.add_into(part1)
+    h2.add_into(part1)
+    a.multiply_into(h1, part1, scale=-2.0)
+    a.multiply_into(h2, part1, scale=-2.0)
+    h1.multiply_into(h2, part1)
+
+    # H_{c_k,2} = 1 - a - H3 + a H3
+    part2 = QuadraticObjective(offset=1.0)
+    a.add_into(part2, scale=-1.0)
+    h3.add_into(part2, scale=-1.0)
+    a.multiply_into(h3, part2)
+
+    return [
+        SubClauseObjective(clause_index, 1, part1),
+        SubClauseObjective(clause_index, 2, part2),
+    ]
+
+
+def encode_formula(
+    clauses: Sequence[Clause],
+    num_formula_vars: int,
+    first_aux_var: Optional[int] = None,
+) -> FormulaEncoding:
+    """Encode a clause list into the Eq. 5 formula objective (α = 1).
+
+    Parameters
+    ----------
+    clauses:
+        Width-<=3 clauses (use :func:`repro.sat.to_3sat` first if
+        needed).  This can be a *subset* of a formula — HyQSAT's
+        frontend encodes only the clause queue.
+    num_formula_vars:
+        The highest formula variable index (aux numbering starts above).
+    first_aux_var:
+        Override the first auxiliary index (defaults to
+        ``num_formula_vars + 1``).
+    """
+    max_mentioned = max(
+        (lit.var for clause in clauses for lit in clause), default=0
+    )
+    if max_mentioned > num_formula_vars:
+        raise ValueError(
+            f"clause mentions variable {max_mentioned} > num_formula_vars="
+            f"{num_formula_vars}"
+        )
+    next_aux = first_aux_var if first_aux_var is not None else num_formula_vars + 1
+    subs: List[SubClauseObjective] = []
+    aux_list: List[Optional[int]] = []
+    total = QuadraticObjective()
+    for index, clause in enumerate(clauses):
+        aux: Optional[int] = None
+        if len(clause) == 3:
+            aux = next_aux
+            next_aux += 1
+        for sub in encode_clause(clause, aux, clause_index=index):
+            subs.append(sub)
+            total.add_objective(sub.objective, scale=sub.coefficient)
+        aux_list.append(aux)
+    return FormulaEncoding(
+        objective=total,
+        sub_objectives=tuple(subs),
+        aux_of_clause=tuple(aux_list),
+        num_formula_vars=num_formula_vars,
+        clauses=tuple(clauses),
+    )
+
+
+def encode_cnf(formula: CNF) -> FormulaEncoding:
+    """Encode an entire :class:`~repro.sat.cnf.CNF` formula."""
+    return encode_formula(list(formula.clauses), formula.num_vars)

@@ -1,0 +1,47 @@
+"""Hardware normalisation (Equation 6).
+
+QA hardware accepts coefficients only in fixed ranges
+(``B ∈ [-2, 2]``, ``J ∈ [-1, 1]`` on D-Wave 2000Q, Section II-D).  The
+objective is scaled by ``1/d*`` with
+``d* = max(max_x |B_x|/2, max_{x1,x2} |J_{x1,x2}|)`` so both ranges are
+met simultaneously.  The scaling divides the energy gap by ``d*`` —
+which is exactly the noise amplification Section IV-C's coefficient
+adjustment fights.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.qubo.ising import QuadraticObjective
+
+#: Hardware coefficient ranges of the Chimera QPU model (Section II-D).
+LINEAR_RANGE: Tuple[float, float] = (-2.0, 2.0)
+QUADRATIC_RANGE: Tuple[float, float] = (-1.0, 1.0)
+
+
+def normalize(objective: QuadraticObjective) -> Tuple[QuadraticObjective, float]:
+    """Scale ``objective`` into the hardware coefficient ranges.
+
+    Returns ``(normalized, d_star)``.  Energies of the normalised
+    objective are ``1/d_star`` times the original; ``d_star`` is
+    returned so callers can rescale read-back energies to problem units.
+    An objective that is already in range (``d* <= 1``) is returned
+    unscaled with ``d_star = 1`` — hardware ranges only force shrinking,
+    never stretching.
+    """
+    d_star = objective.d_star()
+    if d_star <= 1.0:
+        return objective.copy(), 1.0
+    return objective.scaled(1.0 / d_star), d_star
+
+
+def in_hardware_range(objective: QuadraticObjective, tol: float = 1e-9) -> bool:
+    """Whether every coefficient respects the hardware ranges."""
+    lo_b, hi_b = LINEAR_RANGE
+    lo_j, hi_j = QUADRATIC_RANGE
+    if any(not (lo_b - tol <= c <= hi_b + tol) for c in objective.linear.values()):
+        return False
+    return all(
+        lo_j - tol <= c <= hi_j + tol for c in objective.quadratic.values()
+    )

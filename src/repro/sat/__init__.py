@@ -1,0 +1,47 @@
+"""SAT substrate: CNF data model, DIMACS I/O, reductions, reference solvers.
+
+This package provides everything the rest of the library needs to talk
+about propositional satisfiability:
+
+- :class:`~repro.sat.cnf.Lit` / :class:`~repro.sat.cnf.Clause` /
+  :class:`~repro.sat.cnf.CNF` — the core immutable data model.
+- :mod:`repro.sat.dimacs` — DIMACS CNF parsing and serialisation.
+- :class:`~repro.sat.assignment.Assignment` — partial/total assignments.
+- :mod:`repro.sat.ksat` — k-SAT to 3-SAT reduction.
+- :mod:`repro.sat.brute` — exhaustive reference solver for testing.
+- :mod:`repro.sat.simplify` — unit propagation / pure-literal presolve.
+"""
+
+from repro.sat.assignment import Assignment
+from repro.sat.brute import brute_force_count, brute_force_solve
+from repro.sat.cnf import CNF, Clause, Lit
+from repro.sat.dimacs import (
+    from_dimacs,
+    parse_dimacs,
+    read_dimacs,
+    to_dimacs,
+    write_dimacs,
+)
+from repro.sat.ksat import to_3sat
+from repro.sat.simplify import SimplifyResult, propagate_units, simplify
+from repro.sat.stats import FormulaStats, formula_stats
+
+__all__ = [
+    "Assignment",
+    "CNF",
+    "FormulaStats",
+    "Clause",
+    "Lit",
+    "SimplifyResult",
+    "brute_force_count",
+    "formula_stats",
+    "brute_force_solve",
+    "from_dimacs",
+    "parse_dimacs",
+    "propagate_units",
+    "read_dimacs",
+    "simplify",
+    "to_3sat",
+    "to_dimacs",
+    "write_dimacs",
+]

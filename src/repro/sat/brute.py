@@ -1,0 +1,53 @@
+"""Exhaustive reference solver.
+
+Used throughout the test suite as ground truth for small formulas, and
+by the QUBO encoding tests to check that the global minimum of the
+objective function is zero exactly when the formula is satisfiable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.sat.assignment import Assignment
+from repro.sat.cnf import CNF
+
+_MAX_BRUTE_VARS = 24
+
+
+def _enumerate_assignments(num_vars: int) -> Iterator[Assignment]:
+    for bits in range(1 << num_vars):
+        yield Assignment(
+            {var: bool((bits >> (var - 1)) & 1) for var in range(1, num_vars + 1)}
+        )
+
+
+def brute_force_solve(formula: CNF) -> Optional[Assignment]:
+    """Return a satisfying total assignment, or None if unsatisfiable.
+
+    Raises ``ValueError`` for formulas with more than 24 variables; this
+    function exists as test ground truth, not as a solver.
+    """
+    if formula.num_vars > _MAX_BRUTE_VARS:
+        raise ValueError(
+            f"brute force limited to {_MAX_BRUTE_VARS} variables, "
+            f"got {formula.num_vars}"
+        )
+    for assignment in _enumerate_assignments(formula.num_vars):
+        if assignment.satisfies(formula):
+            return assignment
+    return None
+
+
+def brute_force_count(formula: CNF) -> int:
+    """Count the satisfying total assignments (model count)."""
+    if formula.num_vars > _MAX_BRUTE_VARS:
+        raise ValueError(
+            f"brute force limited to {_MAX_BRUTE_VARS} variables, "
+            f"got {formula.num_vars}"
+        )
+    return sum(
+        1
+        for assignment in _enumerate_assignments(formula.num_vars)
+        if assignment.satisfies(formula)
+    )

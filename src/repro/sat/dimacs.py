@@ -1,0 +1,130 @@
+"""DIMACS CNF parsing and serialisation.
+
+Supports the standard format used by SATLIB / SAT-competition files::
+
+    c a comment
+    p cnf <num_vars> <num_clauses>
+    1 -2 3 0
+    ...
+
+Parsing is forgiving in the ways real SATLIB files require: clauses may
+span lines, ``%``-terminated files (SATLIB uniform random instances) are
+accepted, and the header clause count is checked but may be overridden
+with ``strict=False``.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.sat.cnf import CNF, Clause
+
+
+class DimacsError(ValueError):
+    """Raised for malformed DIMACS input."""
+
+
+def parse_dimacs(text: str, strict: bool = True) -> CNF:
+    """Parse DIMACS CNF ``text`` into a :class:`CNF`.
+
+    Parameters
+    ----------
+    text:
+        Full DIMACS document.
+    strict:
+        When true, the header's variable and clause counts must match
+        the body (the SATLIB convention of trailing ``%`` and ``0``
+        lines is still accepted).
+    """
+    num_vars: int = -1
+    num_clauses: int = -1
+    clauses: List[Clause] = []
+    current: List[int] = []
+    saw_header = False
+
+    for line_no, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("%"):
+            break  # SATLIB end-of-formula marker
+        if line.startswith("p"):
+            if saw_header:
+                raise DimacsError(f"line {line_no}: duplicate problem line")
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise DimacsError(f"line {line_no}: malformed problem line {line!r}")
+            try:
+                num_vars, num_clauses = int(parts[2]), int(parts[3])
+            except ValueError as exc:
+                raise DimacsError(f"line {line_no}: non-integer header counts") from exc
+            if num_vars < 0 or num_clauses < 0:
+                raise DimacsError(f"line {line_no}: negative header counts")
+            saw_header = True
+            continue
+        if not saw_header:
+            raise DimacsError(f"line {line_no}: clause data before problem line")
+        for token in line.split():
+            try:
+                lit = int(token)
+            except ValueError as exc:
+                raise DimacsError(f"line {line_no}: bad literal {token!r}") from exc
+            if lit == 0:
+                clauses.append(Clause(current))
+                current = []
+            else:
+                if abs(lit) > num_vars:
+                    if strict:
+                        raise DimacsError(
+                            f"line {line_no}: literal {lit} exceeds declared "
+                            f"num_vars={num_vars}"
+                        )
+                    num_vars = abs(lit)
+                current.append(lit)
+
+    if not saw_header:
+        raise DimacsError("missing problem line ('p cnf <vars> <clauses>')")
+    if current:
+        # A trailing clause without its 0 terminator: SATLIB files always
+        # terminate clauses, so treat this as an error in strict mode.
+        if strict:
+            raise DimacsError("unterminated final clause (missing trailing 0)")
+        clauses.append(Clause(current))
+    if strict and len(clauses) != num_clauses:
+        raise DimacsError(
+            f"header declares {num_clauses} clauses but body has {len(clauses)}"
+        )
+    return CNF(clauses, num_vars=num_vars)
+
+
+def to_dimacs(formula: CNF, comments: Iterable[str] = ()) -> str:
+    """Serialise ``formula`` to a DIMACS CNF document."""
+    out = io.StringIO()
+    for comment in comments:
+        for line in str(comment).splitlines() or [""]:
+            out.write(f"c {line}\n")
+    out.write(f"p cnf {formula.num_vars} {formula.num_clauses}\n")
+    for clause in formula:
+        out.write(" ".join(str(lit.value) for lit in clause))
+        out.write(" 0\n")
+    return out.getvalue()
+
+
+def read_dimacs(path: Union[str, Path], strict: bool = True) -> CNF:
+    """Read and parse a DIMACS file from ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_dimacs(handle.read(), strict=strict)
+
+
+def write_dimacs(
+    formula: CNF, path: Union[str, Path], comments: Iterable[str] = ()
+) -> None:
+    """Serialise ``formula`` and write it to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_dimacs(formula, comments=comments))
+
+
+# Aliases matching common naming in other SAT toolkits.
+from_dimacs = parse_dimacs

@@ -1,0 +1,95 @@
+"""k-SAT to 3-SAT reduction (Section VII-B of the paper).
+
+HyQSAT targets 3-SAT; general CNF inputs are first converted with the
+standard Tseitin-style clause splitting: a clause
+``l1 ∨ l2 ∨ ... ∨ lk`` with k > 3 becomes::
+
+    (l1 ∨ l2 ∨ y1) ∧ (¬y1 ∨ l3 ∨ y2) ∧ ... ∧ (¬y_{k-3} ∨ l_{k-1} ∨ lk)
+
+introducing ``k - 3`` fresh auxiliary variables.  The reduction is
+equisatisfiable and any model of the 3-SAT formula restricts to a model
+of the original (and vice versa — the auxiliary values are forced by
+the chain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.sat.assignment import Assignment
+from repro.sat.cnf import CNF, Clause, Lit
+
+
+@dataclass(frozen=True)
+class KSatReduction:
+    """Result of a k-SAT → 3-SAT reduction.
+
+    Attributes
+    ----------
+    formula:
+        The 3-SAT formula over variables ``1..formula.num_vars``.
+    original_num_vars:
+        Variables ``1..original_num_vars`` are shared with the input;
+        higher indices are fresh auxiliaries.
+    aux_of_clause:
+        For each original clause index, the auxiliary variables the
+        splitting introduced for it (empty for clauses of width <= 3).
+    """
+
+    formula: CNF
+    original_num_vars: int
+    aux_of_clause: Tuple[Tuple[int, ...], ...] = field(default=())
+
+    @property
+    def num_aux_vars(self) -> int:
+        """Count of fresh auxiliary variables introduced."""
+        return self.formula.num_vars - self.original_num_vars
+
+    def restrict_model(self, model: Assignment) -> Assignment:
+        """Project a model of the 3-SAT formula onto the original variables."""
+        return Assignment(
+            {v: model[v] for v in range(1, self.original_num_vars + 1) if v in model}
+        )
+
+
+def to_3sat(formula: CNF) -> KSatReduction:
+    """Reduce an arbitrary CNF formula to an equisatisfiable 3-SAT formula.
+
+    Clauses of width <= 3 are kept verbatim; wider clauses are split.
+    Variable numbering of the input is preserved.
+    """
+    next_var = formula.num_vars + 1
+    out_clauses: List[Clause] = []
+    aux_lists: List[Tuple[int, ...]] = []
+
+    for clause in formula:
+        lits = list(clause.lits)
+        if len(lits) <= 3:
+            out_clauses.append(clause)
+            aux_lists.append(())
+            continue
+        aux_here: List[int] = []
+        # First link: (l1 ∨ l2 ∨ y1)
+        first_aux = next_var
+        next_var += 1
+        aux_here.append(first_aux)
+        out_clauses.append(Clause([lits[0], lits[1], Lit(first_aux)]))
+        prev_aux = first_aux
+        # Middle links: (¬y_{i-1} ∨ l_{i+1} ∨ y_i)
+        for lit in lits[2:-2]:
+            aux = next_var
+            next_var += 1
+            aux_here.append(aux)
+            out_clauses.append(Clause([Lit(-prev_aux), lit, Lit(aux)]))
+            prev_aux = aux
+        # Final link: (¬y_{k-3} ∨ l_{k-1} ∨ l_k)
+        out_clauses.append(Clause([Lit(-prev_aux), lits[-2], lits[-1]]))
+        aux_lists.append(tuple(aux_here))
+
+    reduced = CNF(out_clauses, num_vars=next_var - 1)
+    return KSatReduction(
+        formula=reduced,
+        original_num_vars=formula.num_vars,
+        aux_of_clause=tuple(aux_lists),
+    )

@@ -1,0 +1,56 @@
+"""Formula structure statistics.
+
+Used by the benchmark generators' documentation tables and by the
+difficulty analysis (Figure 12): clause-width histograms, the
+clause/variable ratio, variable occurrence balance, and polarity
+balance are the standard descriptors of SAT instance families.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.sat.cnf import CNF
+
+
+@dataclass(frozen=True)
+class FormulaStats:
+    """Structural descriptors of one CNF formula."""
+
+    num_vars: int
+    num_clauses: int
+    clause_ratio: float
+    width_histogram: Tuple[Tuple[int, int], ...]
+    mean_occurrences: float
+    max_occurrences: int
+    positive_literal_fraction: float
+
+    @property
+    def is_3sat(self) -> bool:
+        """True when no clause is wider than 3."""
+        return all(width <= 3 for width, _ in self.width_histogram)
+
+
+def formula_stats(formula: CNF) -> FormulaStats:
+    """Compute :class:`FormulaStats` for ``formula``."""
+    widths = Counter(len(c) for c in formula)
+    occurrences: Counter = Counter()
+    positives = 0
+    total_lits = 0
+    for clause in formula:
+        for lit in clause:
+            occurrences[lit.var] += 1
+            positives += lit.positive
+            total_lits += 1
+    num_occ = len(occurrences)
+    return FormulaStats(
+        num_vars=formula.num_vars,
+        num_clauses=formula.num_clauses,
+        clause_ratio=formula.clause_ratio,
+        width_histogram=tuple(sorted(widths.items())),
+        mean_occurrences=(sum(occurrences.values()) / num_occ) if num_occ else 0.0,
+        max_occurrences=max(occurrences.values(), default=0),
+        positive_literal_fraction=(positives / total_lits) if total_lits else 0.0,
+    )

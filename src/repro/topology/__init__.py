@@ -1,0 +1,18 @@
+"""QA hardware topology models.
+
+The paper targets D-Wave 2000Q, whose working graph is a Chimera
+C16 lattice: a 16x16 grid of unit cells, each a complete bipartite
+K4,4 between 4 "vertical" and 4 "horizontal" qubits (Figure 3).
+:class:`~repro.topology.chimera.ChimeraGraph` models arbitrary grid
+sizes (Table III scales to 64x64) and exposes the vertical/horizontal
+*line* abstraction HyQSAT's embedder is built on.
+"""
+
+from repro.topology.chimera import (
+    ChimeraGraph,
+    HorizontalLine,
+    QubitCoord,
+    VerticalLine,
+)
+
+__all__ = ["ChimeraGraph", "HorizontalLine", "QubitCoord", "VerticalLine"]

@@ -1,0 +1,89 @@
+"""Tests for the analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.calibration import measure_iteration_cost
+from repro.analysis.metrics import ReductionStats, reduction_stats, speedup
+from repro.analysis.tables import format_table
+from repro.analysis.visits import conflict_proportion, visit_profile
+from repro.cdcl.solver import CdclSolver
+from repro.cdcl.stats import ClauseCounters, SolverStats
+
+from tests.conftest import make_random_3sat
+
+
+class TestMetrics:
+    def test_reduction_stats_values(self):
+        stats = reduction_stats([1.0, 2.0, 4.0])
+        assert stats.average == pytest.approx(7 / 3)
+        assert stats.geomean == pytest.approx(2.0)
+        assert stats.maximum == 4.0
+        assert stats.minimum == 1.0
+        assert stats.count == 3
+
+    def test_as_row(self):
+        assert reduction_stats([2.0]).as_row() == ["2.00", "2.00", "2.00", "2.00"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reduction_stats([])
+        with pytest.raises(ValueError):
+            reduction_stats([1.0, 0.0])
+
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+
+class TestVisits:
+    def test_profile_shares_sum_to_one(self):
+        f = make_random_3sat(50, 215, seed=0)
+        solver = CdclSolver(f)
+        solver.solve()
+        profile = visit_profile(solver.counters)
+        assert sum(profile.total_share) == pytest.approx(1.0)
+        assert len(profile.propagation_share) == 5
+
+    def test_top_quintile_dominates(self):
+        """The Figure 5 shape: visits concentrate in the top group."""
+        f = make_random_3sat(60, 258, seed=1)
+        solver = CdclSolver(f)
+        solver.solve()
+        profile = visit_profile(solver.counters)
+        shares = profile.total_share
+        assert shares[0] == max(shares)
+        assert shares[0] > 0.2
+
+    def test_empty_counters(self):
+        profile = visit_profile(ClauseCounters.for_clauses(10))
+        assert sum(profile.total_share) == 0.0
+
+    def test_quantiles_validated(self):
+        with pytest.raises(ValueError):
+            visit_profile(ClauseCounters.for_clauses(5), quantiles=0)
+
+    def test_conflict_proportion(self):
+        stats = SolverStats(iterations=100, conflicts=25)
+        assert conflict_proportion(stats) == 0.25
+        assert conflict_proportion(SolverStats()) == 0.0
+
+
+class TestTables:
+    def test_alignment_and_title(self):
+        text = format_table(["A", "Long header"], [["x", 1], ["yy", 22]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "Long header" in lines[1]
+        assert lines[2].startswith("-")
+
+    def test_row_width_validated(self):
+        with pytest.raises(ValueError):
+            format_table(["A"], [["x", "extra"]])
+
+
+class TestCalibration:
+    def test_cost_is_positive_and_small(self):
+        cost = measure_iteration_cost(num_vars=30, num_clauses=120, trials=2)
+        assert 0 < cost < 0.1

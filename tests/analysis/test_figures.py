@@ -1,0 +1,69 @@
+"""Tests for the ASCII figure helpers."""
+
+import numpy as np
+
+from repro.analysis.figures import ascii_histogram, ascii_scatter, ascii_series
+
+
+class TestHistogram:
+    def test_renders_bins_and_counts(self):
+        text = ascii_histogram([1, 1, 2, 5], bins=4, label="demo")
+        assert text.startswith("demo")
+        assert text.count("\n") == 4
+        assert "█" in text
+
+    def test_empty(self):
+        assert "(no data)" in ascii_histogram([], label="x")
+
+    def test_constant_data(self):
+        text = ascii_histogram([3.0, 3.0, 3.0], bins=3)
+        assert "3" in text
+
+    def test_explicit_range(self):
+        text = ascii_histogram([1.0], bins=2, value_range=(0.0, 10.0))
+        assert "[   0.00" in text
+
+    def test_total_count_preserved(self):
+        values = list(np.random.default_rng(0).normal(size=100))
+        text = ascii_histogram(values, bins=8)
+        counts = [int(line.rsplit(" ", 1)[-1]) for line in text.splitlines()]
+        assert sum(counts) == 100
+
+
+class TestScatter:
+    def test_grid_dimensions(self):
+        text = ascii_scatter([1, 2, 3], [1, 4, 9], width=20, height=5)
+        lines = text.splitlines()
+        assert len(lines) == 5 + 3  # grid + borders + footer
+        assert all(len(l) == 22 for l in lines[:-1])
+
+    def test_points_plotted(self):
+        text = ascii_scatter([0, 1], [0, 1], width=10, height=4)
+        assert text.count("o") + text.count("O") >= 1
+
+    def test_footer_labels(self):
+        text = ascii_scatter([1], [2], x_label="speed", y_label="time")
+        assert "speed" in text and "time" in text
+
+    def test_empty_and_mismatched(self):
+        assert ascii_scatter([], []) == "(no data)"
+        assert ascii_scatter([1], [1, 2]) == "(no data)"
+
+    def test_overlapping_points_marked(self):
+        text = ascii_scatter([1, 1, 2], [1, 1, 2], width=8, height=4)
+        assert "O" in text
+
+
+class TestSeries:
+    def test_bars_scale_to_peak(self):
+        text = ascii_series([("a", 1.0), ("b", 2.0)], width=10)
+        lines = text.splitlines()
+        assert lines[1].count("█") == 2 * lines[0].count("█")
+
+    def test_label_and_empty(self):
+        assert ascii_series([], label="t").startswith("t")
+        assert "(no data)" in ascii_series([], label="t")
+
+    def test_zero_values(self):
+        text = ascii_series([("a", 0.0)])
+        assert "0" in text

@@ -1,0 +1,121 @@
+"""Tests for the embedded-problem compiler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.annealer.embedded import build_embedded_problem
+from repro.embedding.hyqsat_embed import HyQSatEmbedder
+from repro.qubo.encoding import encode_formula
+from repro.qubo.normalization import normalize
+from repro.sat.cnf import Clause
+
+
+def _compile(clauses, n, hardware, chain_strength=1.0):
+    enc = encode_formula(clauses, n)
+    norm_obj, d = normalize(enc.objective)
+    emb = HyQSatEmbedder(hardware).embed(enc)
+    assert emb.success
+    problem = build_embedded_problem(
+        norm_obj, emb.embedding, hardware, emb.edge_couplers, chain_strength
+    )
+    return enc, norm_obj, d, emb, problem
+
+
+class TestCompilation:
+    def test_chain_intact_energy_matches_logical(self, small_hardware):
+        clauses = [Clause([1, 2, 3]), Clause([-1, 2]), Clause([3])]
+        enc, norm_obj, d, emb, problem = _compile(clauses, 3, small_hardware)
+        # Evaluate both at every logical assignment with intact chains.
+        variables = sorted(norm_obj.variables)
+        for bits_int in range(1 << len(variables)):
+            logical = {
+                v: (bits_int >> i) & 1 for i, v in enumerate(variables)
+            }
+            physical = np.array(
+                [logical[var] for var in problem.chain_of_index], dtype=float
+            )
+            assert problem.energy(physical) == pytest.approx(
+                norm_obj.energy(logical), abs=1e-9
+            )
+
+    def test_chain_break_costs_energy(self, small_hardware):
+        clauses = [Clause([1, 2, 3])]
+        _, norm_obj, _, emb, problem = _compile(clauses, 3, small_hardware, 2.0)
+        # Find a variable with a multi-qubit chain and break it.
+        target = next(
+            v for v in emb.embedding.variables if len(emb.embedding.chain_of(v)) > 1
+        )
+        intact = np.zeros(problem.num_qubits)
+        broken = intact.copy()
+        first_index = problem.chain_of_index.index(target)
+        broken[first_index] = 1.0
+        assert problem.energy(broken) > problem.energy(intact)
+
+    def test_linear_bias_spread_over_chain(self, small_hardware):
+        clauses = [Clause([1, 2, 3])]
+        enc, norm_obj, _, emb, problem = _compile(clauses, 3, small_hardware)
+        for var, bias in norm_obj.linear.items():
+            chain = emb.embedding.chain_of(var)
+            indices = [i for i, v in enumerate(problem.chain_of_index) if v == var]
+            assert len(indices) == len(chain)
+
+    def test_missing_variable_rejected(self, small_hardware):
+        from repro.embedding.base import Embedding
+        from repro.qubo.ising import QuadraticObjective
+
+        obj = QuadraticObjective(linear={1: 1.0})
+        with pytest.raises(ValueError, match="not embedded"):
+            build_embedded_problem(obj, Embedding(), small_hardware, {})
+
+    def test_missing_coupler_rejected(self, small_hardware):
+        from repro.embedding.base import Embedding
+        from repro.qubo.ising import QuadraticObjective
+
+        obj = QuadraticObjective(quadratic={(1, 2): 1.0})
+        embedding = Embedding({1: [0], 2: [1]})
+        with pytest.raises(ValueError, match="no hardware coupler"):
+            build_embedded_problem(obj, embedding, small_hardware, {(1, 2): ()})
+
+    def test_chain_strength_validated(self, small_hardware):
+        from repro.embedding.base import Embedding
+        from repro.qubo.ising import QuadraticObjective
+
+        with pytest.raises(ValueError):
+            build_embedded_problem(
+                QuadraticObjective(), Embedding(), small_hardware, {}, chain_strength=0
+            )
+
+    def test_offset_carried(self, small_hardware):
+        clauses = [Clause([1, 2, 3])]
+        _, norm_obj, _, _, problem = _compile(clauses, 3, small_hardware)
+        assert problem.offset == norm_obj.offset
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_property_energy_equivalence_random(seed, ):
+    from repro.topology.chimera import ChimeraGraph
+
+    hardware = ChimeraGraph(8, 8, 4)
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 7))
+    clauses = []
+    for _ in range(int(rng.integers(1, 8))):
+        width = int(rng.integers(1, min(3, n) + 1))
+        vs = rng.choice(np.arange(1, n + 1), size=width, replace=False)
+        clauses.append(Clause([int(v) if rng.integers(0, 2) else -int(v) for v in vs]))
+    enc = encode_formula(clauses, n)
+    norm_obj, _ = normalize(enc.objective)
+    emb = HyQSatEmbedder(hardware).embed(enc)
+    if not emb.success:
+        return
+    problem = build_embedded_problem(
+        norm_obj, emb.embedding, hardware, emb.edge_couplers, 1.5
+    )
+    # Coefficient cancellation can leave embedded chains whose variable
+    # is absent from the objective: assign over the embedding's variables.
+    variables = sorted(emb.embedding.variables)
+    logical = {v: int(rng.integers(0, 2)) for v in variables}
+    physical = np.array([logical[v] for v in problem.chain_of_index], dtype=float)
+    assert problem.energy(physical) == pytest.approx(norm_obj.energy(logical), abs=1e-9)

@@ -1,0 +1,56 @@
+"""Tests for the noise model."""
+
+import numpy as np
+import pytest
+
+from repro.annealer.noise import NoiseModel
+
+
+def test_noiseless_flags():
+    n = NoiseModel.noiseless()
+    assert n.is_noiseless
+    assert not NoiseModel.dwave_2000q().is_noiseless
+    assert not NoiseModel.bit_flip(0.1).is_noiseless
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        NoiseModel(coefficient_std=-0.1)
+    with pytest.raises(ValueError):
+        NoiseModel(readout_flip_prob=1.5)
+    with pytest.raises(ValueError):
+        NoiseModel(thermal_beta=0.0)
+
+
+def test_perturb_noiseless_identity():
+    values = np.array([1.0, -2.0])
+    out = NoiseModel.noiseless().perturb_coefficients(values, np.random.default_rng(0))
+    assert out is values
+
+
+def test_perturb_statistics():
+    rng = np.random.default_rng(1)
+    noise = NoiseModel(coefficient_std=0.5)
+    values = np.zeros(20_000)
+    out = noise.perturb_coefficients(values, rng)
+    assert abs(out.mean()) < 0.02
+    assert abs(out.std() - 0.5) < 0.02
+
+
+def test_flip_noiseless_identity():
+    bits = np.array([0, 1, 1])
+    out = NoiseModel.noiseless().flip_readout(bits, np.random.default_rng(0))
+    assert (out == bits).all()
+
+
+def test_flip_rate():
+    rng = np.random.default_rng(2)
+    bits = np.zeros(50_000, dtype=np.int8)
+    flipped = NoiseModel.bit_flip(0.1).flip_readout(bits, rng)
+    assert abs(flipped.mean() - 0.1) < 0.01
+
+
+def test_flip_probability_one_inverts_everything():
+    bits = np.array([0, 1, 0, 1], dtype=np.int8)
+    out = NoiseModel.bit_flip(1.0).flip_readout(bits, np.random.default_rng(0))
+    assert (out == 1 - bits).all()

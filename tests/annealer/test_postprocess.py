@@ -1,0 +1,76 @@
+"""Tests for logical greedy descent (multi-qubit correction)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.annealer.postprocess import logical_greedy_descent
+from repro.qubo.ising import QuadraticObjective
+from repro.sat.assignment import Assignment
+
+
+def test_descends_single_variable():
+    obj = QuadraticObjective(linear={1: -2.0})
+    start = Assignment({1: False})
+    out, energy = logical_greedy_descent(obj, start, np.random.default_rng(0))
+    assert out[1] is True
+    assert energy == -2.0
+    assert start[1] is False  # input untouched
+
+
+def test_already_minimal_unchanged():
+    obj = QuadraticObjective(linear={1: 1.0})
+    out, energy = logical_greedy_descent(
+        obj, Assignment({1: False}), np.random.default_rng(0)
+    )
+    assert out[1] is False
+    assert energy == 0.0
+
+
+def test_missing_variables_default_false():
+    obj = QuadraticObjective(linear={1: 1.0, 2: -1.0})
+    out, energy = logical_greedy_descent(obj, Assignment(), np.random.default_rng(0))
+    assert out[2] is True
+    assert energy == -1.0
+
+
+def test_empty_objective():
+    out, energy = logical_greedy_descent(
+        QuadraticObjective(offset=3.0), Assignment(), np.random.default_rng(0)
+    )
+    assert energy == 3.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_property_never_increases_energy(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 8))
+    obj = QuadraticObjective()
+    for v in range(1, n + 1):
+        obj.add_linear(v, float(rng.normal()))
+    for _ in range(n):
+        u, v = rng.choice(np.arange(1, n + 1), size=2, replace=False)
+        obj.add_quadratic(int(u), int(v), float(rng.normal()))
+    start = Assignment({v: bool(rng.integers(0, 2)) for v in range(1, n + 1)})
+    start_energy = obj.energy({v: int(start[v]) for v in range(1, n + 1)})
+    out, energy = logical_greedy_descent(obj, start, rng)
+    assert energy <= start_energy + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_property_reaches_local_minimum(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(1, 6))
+    obj = QuadraticObjective()
+    for v in range(1, n + 1):
+        obj.add_linear(v, float(rng.normal()))
+    start = Assignment({v: bool(rng.integers(0, 2)) for v in range(1, n + 1)})
+    out, energy = logical_greedy_descent(obj, start, rng)
+    # No single flip improves.
+    for v in range(1, n + 1):
+        flipped = out.copy()
+        flipped.assign(v, not out[v])
+        flipped_energy = obj.energy({u: int(flipped[u]) for u in range(1, n + 1)})
+        assert flipped_energy >= energy - 1e-9

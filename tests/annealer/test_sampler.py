@@ -1,0 +1,133 @@
+"""Tests for the simulated-annealing sampler."""
+
+import numpy as np
+import pytest
+
+from repro.annealer.embedded import EmbeddedProblem
+from repro.annealer.noise import NoiseModel
+from repro.annealer.sampler import SamplerConfig, SimulatedAnnealingSampler
+
+
+def _problem(linear, couplings, offset=0.0):
+    n = len(linear)
+    return EmbeddedProblem(
+        qubits=tuple(range(n)),
+        linear=np.array(linear, dtype=float),
+        couplings=tuple(couplings),
+        chain_edges=(),
+        chain_of_index=tuple(range(n)),
+        offset=offset,
+    )
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SamplerConfig(num_sweeps=0)
+        with pytest.raises(ValueError):
+            SamplerConfig(beta_min=0)
+        with pytest.raises(ValueError):
+            SamplerConfig(beta_min=2, beta_max=1)
+        with pytest.raises(ValueError):
+            SamplerConfig(sweep_mode="magic")
+        with pytest.raises(ValueError):
+            SamplerConfig(num_restarts=0)
+        with pytest.raises(ValueError):
+            SamplerConfig(max_descent_sweeps=-1)
+
+
+class TestGroundStates:
+    @pytest.mark.parametrize("mode", ["parallel", "sequential"])
+    def test_independent_biases(self, mode):
+        # H = -x0 + x1: minimum at (1, 0).
+        problem = _problem([-1.0, 1.0], [])
+        sampler = SimulatedAnnealingSampler(
+            SamplerConfig(num_sweeps=64, sweep_mode=mode), seed=0
+        )
+        bits = sampler.sample(problem, num_reads=1)[0]
+        assert list(bits) == [1, 0]
+
+    @pytest.mark.parametrize("mode", ["parallel", "sequential"])
+    def test_ferromagnetic_pair(self, mode):
+        # H = x0 + x1 - 2 x0 x1 : minima at (0,0) and (1,1).
+        problem = _problem([1.0, 1.0], [(0, 1, -2.0)])
+        sampler = SimulatedAnnealingSampler(
+            SamplerConfig(num_sweeps=64, sweep_mode=mode), seed=1
+        )
+        for bits in sampler.sample(problem, num_reads=5):
+            assert bits[0] == bits[1]
+
+    def test_frustrated_triangle_reaches_optimum(self):
+        # Antiferromagnetic triangle: best energy = -2 (two ones).
+        couplings = [(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)]
+        problem = _problem([-1.0, -1.0, -1.0], couplings)
+        sampler = SimulatedAnnealingSampler(seed=2)
+        best = min(problem.energy(b) for b in sampler.sample(problem, num_reads=10))
+        assert best == pytest.approx(-1.0)
+
+    def test_empty_problem(self):
+        problem = _problem([], [])
+        bits = SimulatedAnnealingSampler().sample(problem, num_reads=3)
+        assert len(bits) == 3
+        assert all(b.size == 0 for b in bits)
+
+
+class TestDeterminism:
+    def test_same_seed_same_samples(self):
+        problem = _problem([0.5, -0.5, 0.2], [(0, 1, -1.0), (1, 2, 0.5)])
+        a = SimulatedAnnealingSampler(seed=7).sample(problem, num_reads=4)
+        b = SimulatedAnnealingSampler(seed=7).sample(problem, num_reads=4)
+        assert all((x == y).all() for x, y in zip(a, b))
+
+    def test_different_seeds_differ(self):
+        # On a flat landscape the final state depends on the seed.
+        problem = _problem([0.0] * 16, [])
+        a = SimulatedAnnealingSampler(seed=1).sample(problem)[0]
+        b = SimulatedAnnealingSampler(seed=2).sample(problem)[0]
+        assert (a != b).any()
+
+
+class TestNoiseIntegration:
+    def test_readout_flips_applied(self):
+        problem = _problem([-5.0], [])  # strongly wants 1
+        noisy = SimulatedAnnealingSampler(
+            noise=NoiseModel.bit_flip(1.0), seed=0
+        )
+        assert noisy.sample(problem)[0][0] == 0  # flipped from 1
+
+    def test_thermal_beta_caps_schedule(self):
+        config = SamplerConfig(beta_min=0.1, beta_max=10.0, num_sweeps=8)
+        hot = SimulatedAnnealingSampler(config, NoiseModel(thermal_beta=0.5))
+        assert hot._schedule().max() == pytest.approx(0.5)
+
+    def test_num_reads_validated(self):
+        with pytest.raises(ValueError):
+            SimulatedAnnealingSampler().sample(_problem([0.0], []), num_reads=0)
+
+
+class TestDescentAndRestarts:
+    def test_descent_reaches_local_minimum(self):
+        # From any state, descent must end with no improving flip.
+        problem = _problem([0.3, -0.7, 0.1], [(0, 1, -0.5), (1, 2, 0.9)])
+        sampler = SimulatedAnnealingSampler(
+            SamplerConfig(num_sweeps=2, greedy_descent=True), seed=3
+        )
+        bits = sampler.sample(problem)[0]
+        state = bits.astype(float)
+        linear, matrix = sampler._programmed_arrays(problem, np.random.default_rng(0))
+        field = linear + matrix @ state
+        delta = (1.0 - 2.0 * state) * field
+        assert (delta >= -1e-9).all()
+
+    def test_restarts_never_worse(self):
+        couplings = [(i, j, 1.0) for i in range(8) for j in range(i + 1, 8)]
+        problem = _problem([-1.0] * 8, couplings)
+        single = SimulatedAnnealingSampler(
+            SamplerConfig(num_sweeps=4, num_restarts=1, greedy_descent=False), seed=5
+        )
+        multi = SimulatedAnnealingSampler(
+            SamplerConfig(num_sweeps=4, num_restarts=12, greedy_descent=False), seed=5
+        )
+        e_single = problem.energy(single.sample(problem)[0])
+        e_multi = problem.energy(multi.sample(problem)[0])
+        assert e_multi <= e_single + 1e-9

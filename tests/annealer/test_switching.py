@@ -1,0 +1,37 @@
+"""Tests for the Section VII-A switching-latency model."""
+
+import pytest
+
+from repro.annealer.switching import SwitchingLatencyModel
+from repro.annealer.timing import QpuTimingModel
+
+
+def test_defaults_are_fpga_scale():
+    model = SwitchingLatencyModel()
+    assert model.per_call_us == pytest.approx(0.66)
+
+
+def test_fpga_integrated_hidden_by_execution():
+    """The paper's claim: switching fits inside one 130 us sample."""
+    model = SwitchingLatencyModel.fpga_integrated()
+    assert model.hidden_by_execution(QpuTimingModel())
+
+
+def test_internet_api_not_hidden():
+    model = SwitchingLatencyModel.internet_api()
+    assert not model.hidden_by_execution(QpuTimingModel())
+    # ...unless the device runs very many samples per call.
+    assert model.hidden_by_execution(QpuTimingModel(), num_reads=100)
+
+
+def test_total_overhead():
+    model = SwitchingLatencyModel(communication_us=10, preprocessing_us=1,
+                                  postprocessing_us=1)
+    assert model.total_overhead_us(5) == pytest.approx(60.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SwitchingLatencyModel(communication_us=-1)
+    with pytest.raises(ValueError):
+        SwitchingLatencyModel().total_overhead_us(-1)

@@ -1,0 +1,42 @@
+"""Tests for the QPU timing model."""
+
+import pytest
+
+from repro.annealer.timing import QpuTimingModel
+
+
+def test_defaults_match_paper_constants():
+    t = QpuTimingModel()
+    assert t.anneal_us == 20.0
+    assert t.readout_us == 110.0
+    assert t.sample_us == 130.0
+
+
+def test_single_sample_time():
+    t = QpuTimingModel(programming_us=10.0)
+    assert t.total_us(1) == 10.0 + 130.0
+
+
+def test_figure1_arithmetic():
+    """60 samples with 20 us delays (Figure 1's accounting)."""
+    t = QpuTimingModel(anneal_us=20, readout_us=110, inter_sample_delay_us=20, programming_us=0)
+    assert t.total_us(60) == pytest.approx(130 * 60 + 20 * 59)
+
+
+def test_zero_reads_is_programming_only():
+    assert QpuTimingModel(programming_us=7.0).total_us(0) == 7.0
+
+
+def test_negative_reads_rejected():
+    with pytest.raises(ValueError):
+        QpuTimingModel().total_us(-1)
+
+
+def test_negative_constants_rejected():
+    with pytest.raises(ValueError):
+        QpuTimingModel(anneal_us=-1)
+
+
+def test_monotone_in_reads():
+    t = QpuTimingModel()
+    assert t.total_us(5) < t.total_us(6)

@@ -1,0 +1,61 @@
+"""Tests for majority-vote unembedding."""
+
+import numpy as np
+
+from repro.annealer.embedded import EmbeddedProblem
+from repro.annealer.unembed import majority_vote_unembed
+
+
+def _problem(chain_of_index):
+    n = len(chain_of_index)
+    return EmbeddedProblem(
+        qubits=tuple(range(n)),
+        linear=np.zeros(n),
+        couplings=(),
+        chain_edges=(),
+        chain_of_index=tuple(chain_of_index),
+        offset=0.0,
+    )
+
+
+def test_unanimous_chains():
+    problem = _problem([1, 1, 2, 2])
+    assignment, breaks = majority_vote_unembed(
+        problem, np.array([1, 1, 0, 0]), np.random.default_rng(0)
+    )
+    assert assignment[1] is True
+    assert assignment[2] is False
+    assert breaks == 0.0
+
+
+def test_majority_wins():
+    problem = _problem([1, 1, 1])
+    assignment, breaks = majority_vote_unembed(
+        problem, np.array([1, 1, 0]), np.random.default_rng(0)
+    )
+    assert assignment[1] is True
+    assert breaks == 1.0
+
+
+def test_tie_broken_by_rng_deterministically():
+    problem = _problem([1, 1])
+    bits = np.array([1, 0])
+    a, _ = majority_vote_unembed(problem, bits, np.random.default_rng(3))
+    b, _ = majority_vote_unembed(problem, bits, np.random.default_rng(3))
+    assert a == b
+
+
+def test_break_fraction_counts_broken_chains():
+    problem = _problem([1, 1, 2, 2, 3])
+    bits = np.array([1, 0, 0, 0, 1])  # chain 1 broken, 2 intact, 3 single
+    _, breaks = majority_vote_unembed(problem, bits, np.random.default_rng(0))
+    assert breaks == 1 / 3
+
+
+def test_empty_problem():
+    problem = _problem([])
+    assignment, breaks = majority_vote_unembed(
+        problem, np.zeros(0), np.random.default_rng(0)
+    )
+    assert len(assignment) == 0
+    assert breaks == 0.0

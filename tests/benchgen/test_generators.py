@@ -1,0 +1,218 @@
+"""Tests for the domain benchmark generators."""
+
+import numpy as np
+import pytest
+
+from repro.benchgen.circuit import circuit_fault_instance, random_circuit
+from repro.benchgen.crypto import adder_equivalence_instance
+from repro.benchgen.factoring import (
+    factoring_cnf,
+    factoring_instance,
+    is_prime,
+    random_prime,
+    random_semiprime,
+)
+from repro.benchgen.graph_coloring import (
+    colouring_cnf,
+    flat_graph,
+    flat_graph_coloring_instance,
+)
+from repro.benchgen.inductive import inductive_inference_instance
+from repro.benchgen.planning import blocks_world_instance, random_towers
+from repro.benchgen.random_ksat import random_3sat, random_ksat, random_planted_3sat
+from repro.cdcl.presets import minisat_solver
+from repro.sat.brute import brute_force_solve
+
+
+class TestRandomKsat:
+    def test_shape(self, rng):
+        f = random_3sat(20, 50, rng)
+        assert f.num_vars == 20
+        assert f.num_clauses == 50
+        assert all(len(c) == 3 for c in f)
+
+    def test_clauses_distinct(self, rng):
+        f = random_3sat(6, 100, rng)
+        assert len(set(f.clauses)) == 100
+
+    def test_planted_is_satisfiable(self, rng):
+        planted = np.zeros(11, dtype=bool)
+        planted[1:] = rng.integers(0, 2, size=10).astype(bool)
+        f = random_3sat(10, 60, rng, planted=planted)
+        from repro.sat.assignment import Assignment
+
+        a = Assignment({v: bool(planted[v]) for v in range(1, 11)})
+        assert a.satisfies(f)
+
+    def test_planted_helper(self, rng):
+        f = random_planted_3sat(12, 50, rng)
+        assert minisat_solver(f).solve().is_sat
+
+    def test_k_parameter(self, rng):
+        f = random_ksat(10, 20, 2, rng)
+        assert all(len(c) == 2 for c in f)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            random_ksat(2, 1, 3, rng)
+        with pytest.raises(ValueError):
+            random_ksat(3, 100, 3, rng)  # only 8 distinct clauses exist
+        with pytest.raises(ValueError):
+            random_ksat(3, 1, 0, rng)
+
+    def test_deterministic(self):
+        a = random_3sat(10, 30, np.random.default_rng(5))
+        b = random_3sat(10, 30, np.random.default_rng(5))
+        assert a == b
+
+
+class TestGraphColoring:
+    def test_flat_graph_edges_cross_classes(self, rng):
+        edges = flat_graph(12, 20, rng)
+        assert len(edges) == 20
+        assert all(u < v for u, v in edges)
+        assert len(set(edges)) == 20
+
+    def test_cnf_size_formula(self, rng):
+        # v vertices, e edges -> 3v vars, v + 3v + 3e clauses.
+        f = flat_graph_coloring_instance(10, 15, rng)
+        assert f.num_vars == 30
+        assert f.num_clauses == 10 + 30 + 45
+
+    def test_gc1_paper_dimensions(self, rng):
+        f = flat_graph_coloring_instance(150, 360, rng)
+        assert f.num_vars == 450
+        assert f.num_clauses == 1680
+
+    def test_satisfiable_by_construction(self, rng):
+        f = flat_graph_coloring_instance(12, 20, rng)
+        assert minisat_solver(f).solve().is_sat
+
+    def test_too_many_edges_rejected(self, rng):
+        with pytest.raises(ValueError):
+            flat_graph(3, 10, rng)
+
+    def test_uncolourable_graph_unsat(self):
+        # K4 is not 3-colourable.
+        edges = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]
+        f = colouring_cnf(4, edges)
+        assert brute_force_solve(f) is None
+
+
+class TestCircuitFault:
+    def test_undetectable_fault_unsat(self, rng):
+        f = circuit_fault_instance(5, 12, rng, detectable=False)
+        assert f.is_3sat
+        assert minisat_solver(f).solve().is_unsat
+
+    def test_detectable_fault_usually_sat(self):
+        hits = 0
+        for seed in range(8):
+            rng = np.random.default_rng(seed)
+            f = circuit_fault_instance(5, 12, rng, detectable=True)
+            if minisat_solver(f).solve().is_sat:
+                hits += 1
+        assert hits >= 5  # most random stuck-at faults are detectable
+
+    def test_random_circuit_evaluates(self, rng):
+        circuit = random_circuit(4, 10, rng)
+        values = circuit.evaluate([True, False, True, False])
+        assert len(values) == circuit.num_nets
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            random_circuit(1, 5, rng)
+
+
+class TestPlanning:
+    def test_towers_partition_blocks(self, rng):
+        towers = random_towers(6, rng)
+        flat = [b for t in towers for b in t]
+        assert sorted(flat) == list(range(1, 7))
+
+    def test_instance_satisfiable(self, rng):
+        f = blocks_world_instance(3, None, rng)
+        assert f.is_3sat
+        assert minisat_solver(f).solve().is_sat
+
+    def test_zero_horizon_usually_unsat(self):
+        # With 0 steps the goal must equal the initial configuration;
+        # for random draws this is usually false.
+        results = []
+        for seed in range(6):
+            rng = np.random.default_rng(seed)
+            f = blocks_world_instance(3, 0, rng)
+            results.append(minisat_solver(f).solve().is_sat)
+        assert not all(results)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            blocks_world_instance(1, None, rng)
+
+
+class TestInductive:
+    def test_instance_satisfiable(self, rng):
+        f = inductive_inference_instance(6, 2, 16, rng)
+        assert f.is_3sat
+        assert minisat_solver(f).solve().is_sat
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            inductive_inference_instance(1, 1, 1, rng)
+
+
+class TestFactoring:
+    def test_is_prime(self):
+        assert is_prime(2) and is_prime(13) and is_prime(97)
+        assert not is_prime(1) and not is_prime(91) and not is_prime(100)
+
+    def test_random_prime_bits(self, rng):
+        p = random_prime(5, rng)
+        assert 16 <= p <= 31 and is_prime(p)
+
+    def test_semiprime(self, rng):
+        n, p, q = random_semiprime(4, rng)
+        assert n == p * q and is_prime(p) and is_prime(q)
+
+    def test_semiprime_instance_sat_with_correct_factors(self, rng):
+        f = factoring_cnf(15, 3, 3)  # 15 = 3 * 5
+        result = minisat_solver(f).solve()
+        assert result.is_sat
+        a = sum(int(result.model[v]) << i for i, v in enumerate(range(1, 4)))
+        b = sum(int(result.model[v]) << i for i, v in enumerate(range(4, 7)))
+        assert a * b == 15
+        assert a > 1 and b > 1
+
+    def test_prime_instance_unsat(self, rng):
+        f = factoring_cnf(13, 3, 3)
+        assert minisat_solver(f).solve().is_unsat
+
+    def test_instance_wrapper(self, rng):
+        sat = factoring_instance(3, rng, satisfiable=True)
+        assert minisat_solver(sat).solve().is_sat
+        unsat = factoring_instance(3, rng, satisfiable=False)
+        assert minisat_solver(unsat).solve().is_unsat
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            factoring_cnf(1, 2, 2)
+        with pytest.raises(ValueError):
+            random_prime(1, rng)
+
+
+class TestCrypto:
+    def test_equivalent_adders_unsat(self, rng):
+        f = adder_equivalence_instance(4, rng, inject_bug=False)
+        assert f.is_3sat
+        assert minisat_solver(f).solve().is_unsat
+
+    def test_buggy_adder_sat(self, rng):
+        f = adder_equivalence_instance(4, rng, inject_bug=True)
+        result = minisat_solver(f).solve()
+        assert result.is_sat  # the counterexample input
+
+    def test_width_validation(self, rng):
+        from repro.benchgen.crypto import adder_equivalence_cnf
+
+        with pytest.raises(ValueError):
+            adder_equivalence_cnf(0)

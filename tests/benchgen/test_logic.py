@@ -1,0 +1,187 @@
+"""Tests for the Tseitin circuit builder."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.benchgen.logic import CnfBuilder
+from repro.cdcl.presets import minisat_solver
+from repro.sat.brute import brute_force_solve
+from repro.sat.cnf import CNF
+
+
+def _solve(formula):
+    """Reference solve: brute force for tiny formulas, CDCL beyond
+    (arithmetic blocks allocate dozens of Tseitin variables, far past
+    what exhaustive enumeration can check in reasonable time)."""
+    if formula.num_vars <= 12:
+        return brute_force_solve(formula)
+    return minisat_solver(formula).solve().model
+
+
+def _gate_truth(gate_method, arity, expected_fn):
+    """Check a gate's Tseitin encoding against a python function."""
+    for bits in itertools.product((0, 1), repeat=arity):
+        builder = CnfBuilder()
+        nets = builder.new_vars(arity)
+        out = gate_method(builder, *nets)
+        for net, bit in zip(nets, bits):
+            (builder.assert_true if bit else builder.assert_false)(net)
+        formula = builder.build()
+        model = _solve(formula)
+        assert model is not None, f"inputs {bits} inconsistent"
+        value = model[out] if out > 0 else not model[-out]
+        assert value == expected_fn(*bits), f"inputs {bits}"
+        # The output must be FORCED: the opposite value is UNSAT.
+        builder2 = CnfBuilder()
+        nets2 = builder2.new_vars(arity)
+        out2 = gate_method(builder2, *nets2)
+        for net, bit in zip(nets2, bits):
+            (builder2.assert_true if bit else builder2.assert_false)(net)
+        if expected_fn(*bits):
+            builder2.assert_false(out2)
+        else:
+            builder2.assert_true(out2)
+        assert _solve(builder2.build()) is None
+
+
+class TestGates:
+    def test_and(self):
+        _gate_truth(CnfBuilder.and_gate, 2, lambda a, b: a and b)
+
+    def test_or(self):
+        _gate_truth(CnfBuilder.or_gate, 2, lambda a, b: a or b)
+
+    def test_xor(self):
+        _gate_truth(CnfBuilder.xor_gate, 2, lambda a, b: a != b)
+
+    def test_equal(self):
+        _gate_truth(CnfBuilder.equal_gate, 2, lambda a, b: a == b)
+
+    def test_majority(self):
+        _gate_truth(
+            CnfBuilder.majority_gate, 3, lambda a, b, c: (a + b + c) >= 2
+        )
+
+    def test_mux(self):
+        _gate_truth(
+            CnfBuilder.mux_gate, 3, lambda sel, a, b: a if sel else b
+        )
+
+    def test_not_is_free(self):
+        builder = CnfBuilder()
+        a = builder.new_var()
+        assert builder.not_gate(a) == -a
+        assert builder.num_clauses == 0
+
+    def test_constant(self):
+        builder = CnfBuilder()
+        t = builder.constant(True)
+        f = builder.constant(False)
+        model = _solve(builder.build())
+        assert model[t] is True and model[f] is False
+
+    def test_or_many_and_many(self):
+        for fn, expected in [
+            (CnfBuilder.or_many, any),
+            (CnfBuilder.and_many, all),
+        ]:
+            for bits in itertools.product((0, 1), repeat=4):
+                builder = CnfBuilder()
+                nets = builder.new_vars(4)
+                out = fn(builder, nets)
+                for net, bit in zip(nets, bits):
+                    (builder.assert_true if bit else builder.assert_false)(net)
+                model = _solve(builder.build())
+                assert model[out] == expected(bits)
+
+    def test_or_many_empty_is_false(self):
+        builder = CnfBuilder()
+        out = builder.or_many([])
+        model = _solve(builder.build())
+        assert model[out] is False
+
+    def test_and_many_empty_is_true(self):
+        builder = CnfBuilder()
+        out = builder.and_many([])
+        model = _solve(builder.build())
+        assert model[out] is True
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("factored", [False, True])
+    def test_full_adder_truth_table(self, factored):
+        for a, b, c in itertools.product((0, 1), repeat=3):
+            builder = CnfBuilder()
+            na, nb, nc = builder.new_vars(3)
+            adder = (
+                builder.full_adder_factored if factored else builder.full_adder
+            )
+            s, carry = adder(na, nb, nc)
+            for net, bit in zip((na, nb, nc), (a, b, c)):
+                (builder.assert_true if bit else builder.assert_false)(net)
+            model = _solve(builder.build())
+            total = a + b + c
+            assert model[s] == bool(total & 1)
+            assert model[carry] == bool(total >> 1)
+
+    def test_half_adder(self):
+        for a, b in itertools.product((0, 1), repeat=2):
+            builder = CnfBuilder()
+            na, nb = builder.new_vars(2)
+            s, c = builder.half_adder(na, nb)
+            for net, bit in zip((na, nb), (a, b)):
+                (builder.assert_true if bit else builder.assert_false)(net)
+            model = _solve(builder.build())
+            assert model[s] == bool((a + b) & 1)
+            assert model[c] == bool((a + b) >> 1)
+
+    @pytest.mark.parametrize("factored", [False, True])
+    def test_ripple_carry_adder(self, factored):
+        for a_val, b_val in itertools.product(range(8), repeat=2):
+            builder = CnfBuilder()
+            a_bits = builder.new_vars(3)
+            b_bits = builder.new_vars(3)
+            out = builder.ripple_carry_adder(a_bits, b_bits, factored=factored)
+            builder.assert_equals_constant(a_bits, a_val)
+            builder.assert_equals_constant(b_bits, b_val)
+            builder.assert_equals_constant(out, a_val + b_val)
+            assert _solve(builder.build()) is not None
+
+    def test_adder_rejects_wrong_sum(self):
+        builder = CnfBuilder()
+        a_bits = builder.new_vars(2)
+        b_bits = builder.new_vars(2)
+        out = builder.ripple_carry_adder(a_bits, b_bits)
+        builder.assert_equals_constant(a_bits, 1)
+        builder.assert_equals_constant(b_bits, 2)
+        builder.assert_equals_constant(out, 4)  # 1 + 2 != 4
+        assert _solve(builder.build()) is None
+
+    def test_multiplier_small(self):
+        for a_val, b_val in itertools.product(range(4), repeat=2):
+            builder = CnfBuilder()
+            a_bits = builder.new_vars(2)
+            b_bits = builder.new_vars(2)
+            product = builder.multiplier(a_bits, b_bits)
+            builder.assert_equals_constant(a_bits, a_val)
+            builder.assert_equals_constant(b_bits, b_val)
+            builder.assert_equals_constant(product, a_val * b_val)
+            assert _solve(builder.build()) is not None
+
+    def test_assert_equals_constant_validation(self):
+        builder = CnfBuilder()
+        bits = builder.new_vars(2)
+        with pytest.raises(ValueError):
+            builder.assert_equals_constant(bits, 4)
+        with pytest.raises(ValueError):
+            builder.assert_equals_constant(bits, -1)
+
+    def test_all_clauses_are_3sat(self):
+        builder = CnfBuilder()
+        a_bits = builder.new_vars(3)
+        b_bits = builder.new_vars(3)
+        builder.multiplier(a_bits, b_bits)
+        assert builder.build().is_3sat

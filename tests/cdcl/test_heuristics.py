@@ -1,0 +1,156 @@
+"""Tests for decision heuristics and the indexed heap."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cdcl.heuristics import ChbHeuristic, VsidsHeuristic, _IndexedMaxHeap
+
+
+class TestIndexedMaxHeap:
+    def test_push_pop_orders_by_score(self):
+        scores = [3.0, 1.0, 2.0]
+        heap = _IndexedMaxHeap(scores)
+        for var in range(3):
+            heap.push(var)
+        assert [heap.pop(), heap.pop(), heap.pop()] == [0, 2, 1]
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            _IndexedMaxHeap([]).pop()
+
+    def test_duplicate_push_ignored(self):
+        heap = _IndexedMaxHeap([1.0, 2.0])
+        heap.push(0)
+        heap.push(0)
+        assert len(heap) == 1
+
+    def test_contains(self):
+        heap = _IndexedMaxHeap([1.0, 2.0])
+        heap.push(1)
+        assert 1 in heap
+        assert 0 not in heap
+
+    def test_update_after_score_change(self):
+        scores = [1.0, 2.0, 3.0]
+        heap = _IndexedMaxHeap(scores)
+        for var in range(3):
+            heap.push(var)
+        scores[0] = 10.0
+        heap.update(0)
+        assert heap.pop() == 0
+
+    def test_update_absent_var_is_noop(self):
+        heap = _IndexedMaxHeap([1.0])
+        heap.update(0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=40))
+    def test_property_pop_order_is_sorted(self, values):
+        heap = _IndexedMaxHeap(list(values))
+        for var in range(len(values)):
+            heap.push(var)
+        popped = [heap.pop() for _ in range(len(values))]
+        assert [values[v] for v in popped] == sorted(values, reverse=True)
+
+
+class TestVsids:
+    def test_pick_prefers_bumped(self):
+        h = VsidsHeuristic()
+        h.init(4)
+        h.on_conflict_var(2)
+        assert h.pick([False] * 4) == 2
+
+    def test_pick_skips_assigned(self):
+        h = VsidsHeuristic()
+        h.init(3)
+        h.on_conflict_var(1)
+        assigned = [False, True, False]
+        assert h.pick(assigned) != 1
+
+    def test_pick_returns_none_when_all_assigned(self):
+        h = VsidsHeuristic()
+        h.init(2)
+        h.pick([False, False])
+        h.pick([True, True])
+        assert h.pick([True, True]) is None
+
+    def test_unassign_reinserts(self):
+        h = VsidsHeuristic()
+        h.init(2)
+        h.on_conflict_var(1)  # strictly highest score
+        first = h.pick([False, False])
+        assert first == 1
+        h.on_unassign(first)
+        assert h.pick([False, False]) == first
+
+    def test_decay_amplifies_recent_bumps(self):
+        h = VsidsHeuristic(decay=0.5)
+        h.init(2)
+        h.on_conflict_var(0)
+        h.after_conflict()
+        h.on_conflict_var(1)  # later bump counts double
+        assert h.score_of(1) > h.score_of(0)
+
+    def test_rescale_keeps_relative_order(self):
+        h = VsidsHeuristic(decay=0.5)
+        h.init(2)
+        for _ in range(400):  # drive the increment over the rescale limit
+            h.on_conflict_var(1)
+            h.after_conflict()
+        h.on_conflict_var(0)
+        assert h.score_of(1) > 0
+        assert h.pick([False, False]) == 1
+
+    def test_external_bump(self):
+        h = VsidsHeuristic()
+        h.init(3)
+        h.bump(2, 5.0)
+        assert h.pick([False] * 3) == 2
+
+    def test_invalid_decay(self):
+        with pytest.raises(ValueError):
+            VsidsHeuristic(decay=0.0)
+        with pytest.raises(ValueError):
+            VsidsHeuristic(decay=1.5)
+
+
+class TestChb:
+    def test_conflict_vars_rewarded(self):
+        h = ChbHeuristic()
+        h.init(4)
+        h.on_conflict_var(3)
+        h.after_conflict()
+        assert h.pick([False] * 4) == 3
+
+    def test_reward_decays_with_age(self):
+        h = ChbHeuristic()
+        h.init(2)
+        h.on_conflict_var(0)
+        for _ in range(50):
+            h.after_conflict()
+        h.on_conflict_var(1)
+        assert h.score_of(1) > 0
+
+    def test_unassign_reinserts(self):
+        h = ChbHeuristic()
+        h.init(2)
+        h.on_conflict_var(0)
+        h.after_conflict()
+        var = h.pick([False, False])
+        assert var == 0
+        h.on_unassign(var)
+        assert var == h.pick([False, False])
+
+    def test_step_decays_towards_minimum(self):
+        h = ChbHeuristic(step=0.4, step_min=0.06, step_decay=0.1)
+        h.init(1)
+        for _ in range(10):
+            h.after_conflict()
+        assert h._step == pytest.approx(0.06)
+
+    def test_external_bump(self):
+        h = ChbHeuristic()
+        h.init(3)
+        h.bump(1, 2.0)
+        assert h.pick([False] * 3) == 1

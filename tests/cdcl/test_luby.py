@@ -1,0 +1,55 @@
+"""Tests for the Luby restart sequence."""
+
+import itertools
+
+import pytest
+
+from repro.cdcl.luby import luby, luby_sequence
+
+KNOWN_PREFIX = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, 1, 1, 2, 1, 1, 2, 4]
+
+
+def test_known_prefix():
+    assert [luby(i) for i in range(1, len(KNOWN_PREFIX) + 1)] == KNOWN_PREFIX
+
+
+def test_index_is_one_based():
+    with pytest.raises(ValueError):
+        luby(0)
+    with pytest.raises(ValueError):
+        luby(-3)
+
+
+def test_values_are_powers_of_two():
+    for i in range(1, 200):
+        value = luby(i)
+        assert value & (value - 1) == 0
+
+
+def test_peak_positions():
+    # luby(2^k - 1) == 2^(k-1)
+    for k in range(1, 10):
+        assert luby((1 << k) - 1) == 1 << (k - 1)
+
+
+def test_self_similarity():
+    # After each peak the sequence restarts.
+    for k in range(2, 8):
+        peak = (1 << k) - 1
+        for offset in range(1, min(peak, 20)):
+            assert luby(peak + offset) == luby(offset)
+
+
+def test_sequence_generator_matches_function():
+    gen = luby_sequence()
+    assert list(itertools.islice(gen, 10)) == [luby(i) for i in range(1, 11)]
+
+
+def test_sequence_base_scaling():
+    gen = luby_sequence(base=100)
+    assert list(itertools.islice(gen, 4)) == [100, 100, 200, 100]
+
+
+def test_sequence_base_validation():
+    with pytest.raises(ValueError):
+        next(luby_sequence(base=0))

@@ -1,0 +1,47 @@
+"""Tests for the MiniSAT / Kissat presets."""
+
+import pytest
+
+from repro.cdcl.heuristics import ChbHeuristic, VsidsHeuristic
+from repro.cdcl.presets import kissat_solver, minisat_solver
+from repro.sat.brute import brute_force_solve
+
+from tests.conftest import make_random_3sat
+
+
+@pytest.mark.parametrize("factory", [minisat_solver, kissat_solver])
+def test_presets_agree_with_brute_force(factory):
+    for seed in range(8):
+        f = make_random_3sat(10, 40, seed=seed)
+        expected = brute_force_solve(f) is not None
+        result = factory(f, seed=seed).solve()
+        assert result.is_sat == expected
+        if result.is_sat:
+            assert result.model.satisfies(f)
+
+
+def test_minisat_uses_vsids():
+    f = make_random_3sat(5, 10, seed=0)
+    solver = minisat_solver(f)
+    assert isinstance(solver.config.heuristic_factory(), VsidsHeuristic)
+
+
+def test_kissat_uses_chb():
+    f = make_random_3sat(5, 10, seed=0)
+    solver = kissat_solver(f)
+    assert isinstance(solver.config.heuristic_factory(), ChbHeuristic)
+
+
+def test_presets_accept_budgets():
+    f = make_random_3sat(100, 430, seed=1)
+    result = minisat_solver(f, max_iterations=3).solve()
+    assert result.stats.iterations <= 4
+    result = kissat_solver(f, max_conflicts=2).solve()
+    assert result.stats.conflicts <= 3
+
+
+def test_presets_differ_in_behaviour():
+    # Not a strict requirement per-instance, but the configurations
+    # must genuinely differ.
+    f = make_random_3sat(5, 10, seed=0)
+    assert minisat_solver(f).config.luby_base != kissat_solver(f).config.luby_base

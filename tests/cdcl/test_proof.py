@@ -1,0 +1,117 @@
+"""Tests for DRAT proof logging and checking."""
+
+import numpy as np
+import pytest
+
+from repro.cdcl.proof import DratProof, check_proof, parse_proof
+from repro.cdcl.solver import CdclSolver, SolverConfig
+from repro.sat.brute import brute_force_solve
+from repro.sat.cnf import CNF, Clause
+
+from tests.conftest import make_random_3sat
+
+
+def _solve_with_proof(formula, **config_kwargs):
+    proof = DratProof()
+    solver = CdclSolver(formula, SolverConfig(**config_kwargs), proof=proof)
+    result = solver.solve()
+    return result, proof
+
+
+class TestProofLog:
+    def test_unsat_ends_with_empty_clause(self, tiny_unsat_formula):
+        result, proof = _solve_with_proof(tiny_unsat_formula)
+        assert result.is_unsat
+        assert proof.ends_with_empty_clause
+
+    def test_sat_has_no_empty_clause(self, tiny_sat_formula):
+        result, proof = _solve_with_proof(tiny_sat_formula)
+        assert result.is_sat
+        assert not proof.ends_with_empty_clause
+
+    def test_trivially_unsat_logs_refutation(self):
+        result, proof = _solve_with_proof(CNF([Clause([])], num_vars=1))
+        assert result.is_unsat
+        assert proof.ends_with_empty_clause
+
+    def test_contradictory_units_log_refutation(self):
+        result, proof = _solve_with_proof(CNF([[1], [-1]]))
+        assert result.is_unsat
+        assert proof.ends_with_empty_clause
+
+    def test_text_roundtrip(self, tiny_unsat_formula):
+        _, proof = _solve_with_proof(tiny_unsat_formula)
+        again = parse_proof(proof.to_text())
+        assert again.steps == proof.steps
+
+    def test_write_to_file(self, tmp_path, tiny_unsat_formula):
+        _, proof = _solve_with_proof(tiny_unsat_formula)
+        path = tmp_path / "refutation.drat"
+        proof.write(path)
+        assert parse_proof(path.read_text()).steps == proof.steps
+
+    def test_parse_rejects_unterminated(self):
+        with pytest.raises(ValueError):
+            parse_proof("1 2 3\n")
+
+
+class TestChecker:
+    def test_accepts_solver_refutations(self, tiny_unsat_formula):
+        _, proof = _solve_with_proof(tiny_unsat_formula)
+        result = check_proof(tiny_unsat_formula, proof)
+        assert result.valid, result.reason
+
+    def test_rejects_proof_without_refutation(self, tiny_unsat_formula):
+        proof = DratProof()
+        proof.add_clause([1])  # (x1) is RUP for this formula...
+        result = check_proof(tiny_unsat_formula, proof)
+        assert not result.valid  # ...but the empty clause never lands
+
+    def test_rejects_non_rup_step(self):
+        formula = CNF([[1, 2]], num_vars=2)
+        proof = DratProof()
+        proof.add_clause([-1])  # not implied by (x1 v x2)
+        proof.add_empty_clause()
+        result = check_proof(formula, proof)
+        assert not result.valid
+        assert result.failed_step == 0
+
+    def test_deletion_lines_processed(self, tiny_unsat_formula):
+        _, proof = _solve_with_proof(
+            tiny_unsat_formula, learntsize_factor=0.01
+        )
+        assert check_proof(tiny_unsat_formula, proof).valid
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_unsat_instances_verify(self, seed):
+        rng = np.random.default_rng(seed)
+        # Oversaturated instances are almost surely UNSAT.
+        n = int(rng.integers(4, 9))
+        cap = (n * (n - 1) * (n - 2) // 6) * 8 // 2
+        m = min(6 * n, cap)
+        formula = make_random_3sat(n, m, seed=seed + 777)
+        if brute_force_solve(formula) is not None:
+            return
+        result, proof = _solve_with_proof(formula, seed=seed)
+        assert result.is_unsat
+        verdict = check_proof(formula, proof)
+        assert verdict.valid, verdict.reason
+
+    def test_structured_unsat_benchmarks_verify(self):
+        from repro.benchgen.crypto import adder_equivalence_instance
+
+        formula = adder_equivalence_instance(3, np.random.default_rng(0))
+        result, proof = _solve_with_proof(formula)
+        assert result.is_unsat
+        verdict = check_proof(formula, proof)
+        assert verdict.valid, verdict.reason
+
+    def test_assumption_refutations_not_logged(self):
+        from repro.sat.cnf import Lit
+
+        formula = CNF([[1]], num_vars=1)
+        proof = DratProof()
+        solver = CdclSolver(formula, proof=proof)
+        result = solver.solve(assumptions=[Lit(-1)])
+        assert result.is_unsat
+        assert not proof.ends_with_empty_clause

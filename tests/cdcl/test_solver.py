@@ -1,0 +1,272 @@
+"""Tests for the CDCL engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cdcl.solver import CdclSolver, SolverConfig, SolverStatus
+from repro.sat.assignment import Assignment
+from repro.sat.brute import brute_force_solve
+from repro.sat.cnf import CNF, Clause, Lit
+
+from tests.conftest import make_random_3sat
+
+
+class TestBasics:
+    def test_sat_model_is_verified(self, tiny_sat_formula):
+        result = CdclSolver(tiny_sat_formula).solve()
+        assert result.is_sat
+        assert result.model.satisfies(tiny_sat_formula)
+
+    def test_unsat(self, tiny_unsat_formula):
+        result = CdclSolver(tiny_unsat_formula).solve()
+        assert result.is_unsat
+        assert result.model is None
+
+    def test_empty_formula_sat(self):
+        assert CdclSolver(CNF([], num_vars=3)).solve().is_sat
+
+    def test_empty_clause_unsat(self):
+        result = CdclSolver(CNF([Clause([])], num_vars=1)).solve()
+        assert result.is_unsat
+
+    def test_contradictory_units_unsat(self):
+        result = CdclSolver(CNF([[1], [-1]])).solve()
+        assert result.is_unsat
+
+    def test_unit_chain(self):
+        f = CNF([[1], [-1, 2], [-2, 3], [-3, 4]])
+        result = CdclSolver(f).solve()
+        assert result.is_sat
+        assert all(result.model[v] for v in range(1, 5))
+
+    def test_tautologies_ignored(self):
+        f = CNF([[1, -1], [2]], num_vars=2)
+        result = CdclSolver(f).solve()
+        assert result.is_sat
+
+    def test_deterministic_given_seed(self):
+        f = make_random_3sat(40, 170, seed=9)
+        r1 = CdclSolver(f, SolverConfig(seed=3)).solve()
+        r2 = CdclSolver(f, SolverConfig(seed=3)).solve()
+        assert r1.stats.iterations == r2.stats.iterations
+        assert r1.model == r2.model
+
+
+class TestFuzzAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_random_instances(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 13))
+        cap = (n * (n - 1) * (n - 2) // 6) * 8 // 2
+        m = min(int(rng.integers(1, 5 * n)), 4 * n, cap)
+        f = make_random_3sat(n, m, seed=seed + 1000)
+        expected = brute_force_solve(f) is not None
+        result = CdclSolver(f, SolverConfig(seed=seed)).solve()
+        assert result.is_sat == expected
+        if result.is_sat:
+            assert result.model.satisfies(f)
+
+    @pytest.mark.parametrize("restart", ["luby", "geometric", "none"])
+    def test_restart_strategies_agree(self, restart):
+        f = make_random_3sat(10, 42, seed=5)
+        expected = brute_force_solve(f) is not None
+        config = SolverConfig(restart_strategy=restart, luby_base=2, geometric_first=2)
+        assert CdclSolver(f, config).solve().is_sat == expected
+
+
+class TestBudgets:
+    def test_conflict_budget_unknown(self):
+        f = make_random_3sat(60, 258, seed=2)
+        result = CdclSolver(f, SolverConfig(max_conflicts=1)).solve()
+        assert result.status in (SolverStatus.UNKNOWN, SolverStatus.SAT, SolverStatus.UNSAT)
+        # With one conflict allowed on a hard instance we expect UNKNOWN.
+        hard = make_random_3sat(100, 430, seed=3)
+        result = CdclSolver(hard, SolverConfig(max_conflicts=1)).solve()
+        assert result.status is SolverStatus.UNKNOWN
+
+    def test_iteration_budget(self):
+        f = make_random_3sat(100, 430, seed=4)
+        result = CdclSolver(f, SolverConfig(max_iterations=5)).solve()
+        assert result.status is SolverStatus.UNKNOWN
+        assert result.stats.iterations <= 6
+
+
+class TestAssumptions:
+    def test_assumption_respected(self):
+        f = CNF([[1, 2]], num_vars=2)
+        result = CdclSolver(f).solve(assumptions=[Lit(-1)])
+        assert result.is_sat
+        assert result.model[1] is False
+        assert result.model[2] is True
+
+    def test_conflicting_assumptions_unsat(self):
+        f = CNF([[1, 2]], num_vars=2)
+        result = CdclSolver(f).solve(assumptions=[Lit(-1), Lit(-2)])
+        assert result.is_unsat
+
+    def test_assumption_against_unit(self):
+        f = CNF([[1]], num_vars=1)
+        result = CdclSolver(f).solve(assumptions=[Lit(-1)])
+        assert result.is_unsat
+
+
+class TestSteeringApi:
+    def test_phase_steers_model(self):
+        # Both polarities satisfiable: the phase decides the model.
+        f = CNF([[1, 2]], num_vars=2)
+        solver = CdclSolver(f)
+        solver.set_phase(1, True)
+        solver.set_phase(2, True)
+        result = solver.solve()
+        assert result.model[1] is True
+
+    def test_enqueue_decision_used_first(self):
+        f = CNF([[1, 2], [-1, 2], [3, 4]], num_vars=4)
+        solver = CdclSolver(f)
+        solver.enqueue_decision(Lit(4))
+        result = solver.solve()
+        assert result.is_sat
+        assert result.model[4] is True
+
+    def test_clear_decision_queue(self):
+        f = CNF([[1, 2]], num_vars=2)
+        solver = CdclSolver(f)
+        solver.enqueue_decision(Lit(2))
+        assert solver.has_pending_decisions
+        solver.clear_decision_queue()
+        assert not solver.has_pending_decisions
+
+    def test_bump_variable_changes_first_decision(self):
+        f = CNF([[1, 2], [3, 4]], num_vars=4)
+        solver = CdclSolver(f)
+        solver.set_phase(4, True)
+        solver.bump_variable(4, 100.0)
+        result = solver.solve()
+        assert result.model[4] is True
+
+    def test_current_assignment_snapshot(self):
+        f = CNF([[1]], num_vars=2)
+        solver = CdclSolver(f)
+        result = solver.solve()
+        snapshot = solver.current_assignment()
+        assert snapshot[1] is True
+
+    def test_unsatisfied_original_clauses(self, tiny_sat_formula):
+        solver = CdclSolver(tiny_sat_formula)
+        # Before solving nothing is assigned: both clauses unsatisfied.
+        assert solver.unsatisfied_original_clauses() == [0, 1]
+
+
+class TestHook:
+    def test_hook_called_every_iteration(self):
+        f = make_random_3sat(20, 60, seed=7)
+        calls = []
+
+        class Hook:
+            def on_iteration(self, solver):
+                calls.append(solver.stats.iterations)
+                return None
+
+        result = CdclSolver(f).solve(hook=Hook())
+        assert len(calls) == result.stats.iterations
+
+    def test_hook_proposal_accepted_when_valid(self, tiny_sat_formula):
+        model = brute_force_solve(tiny_sat_formula)
+
+        class Hook:
+            def on_iteration(self, solver):
+                return model
+
+        result = CdclSolver(tiny_sat_formula).solve(hook=Hook())
+        assert result.is_sat
+        assert result.stats.iterations == 1
+
+    def test_hook_bad_proposal_ignored(self, tiny_unsat_formula):
+        class Hook:
+            def on_iteration(self, solver):
+                return Assignment({1: True, 2: True})
+
+        result = CdclSolver(tiny_unsat_formula).solve(hook=Hook())
+        assert result.is_unsat
+
+
+class TestCounters:
+    def test_stats_populated(self):
+        f = make_random_3sat(50, 215, seed=11)
+        result = CdclSolver(f).solve()
+        stats = result.stats
+        assert stats.iterations > 0
+        assert stats.decisions > 0
+        assert stats.propagations > 0
+        assert stats.iterations >= stats.conflicts
+
+    def test_clause_activity_bumped_on_conflicts(self):
+        f = make_random_3sat(30, 129, seed=13)
+        solver = CdclSolver(f)
+        result = solver.solve()
+        if result.stats.conflicts:
+            assert max(solver.counters.activity) > 1.0
+
+    def test_visit_counters_track_propagation(self):
+        f = make_random_3sat(30, 129, seed=13)
+        solver = CdclSolver(f)
+        solver.solve()
+        assert sum(solver.counters.propagation_visits) > 0
+
+    def test_top_by_activity(self):
+        f = make_random_3sat(30, 129, seed=13)
+        solver = CdclSolver(f)
+        solver.solve()
+        top = solver.counters.top_by_activity(5)
+        assert len(top) == 5
+        activities = [solver.counters.activity[i] for i in top]
+        assert activities == sorted(activities, reverse=True)
+
+    def test_stats_as_dict(self):
+        f = CNF([[1]], num_vars=1)
+        result = CdclSolver(f).solve()
+        d = result.stats.as_dict()
+        assert d["iterations"] == result.stats.iterations
+
+
+class TestLearnedClauseDb:
+    def test_db_reduction_triggers_on_long_run(self):
+        f = make_random_3sat(100, 426, seed=17)
+        solver = CdclSolver(f, SolverConfig(learntsize_factor=0.02))
+        result = solver.solve()
+        if result.stats.learned_clauses > 50:
+            assert result.stats.deleted_clauses > 0
+
+    def test_solution_correct_despite_deletion(self):
+        f = make_random_3sat(60, 255, seed=19)
+        expected = CdclSolver(f).solve().is_sat
+        aggressive = CdclSolver(f, SolverConfig(learntsize_factor=0.01)).solve()
+        assert aggressive.is_sat == expected
+
+
+class TestRandomDecisions:
+    def test_random_decision_freq_validated(self):
+        with pytest.raises(ValueError):
+            SolverConfig(random_decision_freq=1.5)
+
+    def test_random_decisions_still_correct(self):
+        f = make_random_3sat(12, 50, seed=23)
+        expected = brute_force_solve(f) is not None
+        config = SolverConfig(random_decision_freq=0.5, seed=1)
+        assert CdclSolver(f, config).solve().is_sat == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_property_agreement_with_brute_force(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(3, 11))
+    cap = (n * (n - 1) * (n - 2) // 6) * 8 // 2
+    m = min(int(rng.integers(1, 4 * n)), cap)
+    f = make_random_3sat(n, m, seed=seed)
+    expected = brute_force_solve(f) is not None
+    result = CdclSolver(f, SolverConfig(seed=seed)).solve()
+    assert result.is_sat == expected
+    if result.is_sat:
+        assert result.model.satisfies(f)

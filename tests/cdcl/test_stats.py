@@ -1,0 +1,50 @@
+"""Tests for solver statistics containers."""
+
+import pytest
+
+from repro.cdcl.stats import ClauseCounters, SolverStats
+
+
+class TestSolverStats:
+    def test_defaults_zero(self):
+        stats = SolverStats()
+        assert stats.iterations == 0
+        assert stats.conflicts == 0
+
+    def test_as_dict_keys(self):
+        d = SolverStats(iterations=3, conflicts=1).as_dict()
+        assert d["iterations"] == 3
+        assert d["conflicts"] == 1
+        assert set(d) == {
+            "iterations", "decisions", "propagations", "conflicts",
+            "restarts", "learned_clauses", "deleted_clauses",
+            "max_decision_level",
+        }
+
+
+class TestClauseCounters:
+    def test_for_clauses_initialisation(self):
+        c = ClauseCounters.for_clauses(4)
+        assert c.propagation_visits == [0, 0, 0, 0]
+        assert c.conflict_visits == [0, 0, 0, 0]
+        assert c.activity == [1.0, 1.0, 1.0, 1.0]  # Section IV-A initial score
+
+    def test_total_visits(self):
+        c = ClauseCounters.for_clauses(2)
+        c.propagation_visits[0] = 3
+        c.conflict_visits[0] = 2
+        assert c.total_visits(0) == 5
+        assert c.total_visits(1) == 0
+
+    def test_top_by_activity_orders_and_tie_breaks(self):
+        c = ClauseCounters.for_clauses(4)
+        c.activity = [1.0, 5.0, 5.0, 2.0]
+        assert c.top_by_activity(3) == [1, 2, 3]
+
+    def test_top_by_activity_k_larger_than_clauses(self):
+        c = ClauseCounters.for_clauses(2)
+        assert c.top_by_activity(10) == [0, 1]
+
+    def test_empty_counters(self):
+        c = ClauseCounters.for_clauses(0)
+        assert c.top_by_activity(3) == []

@@ -1,0 +1,56 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.benchgen.random_ksat import random_3sat
+from repro.sat.cnf import CNF, Clause
+from repro.topology.chimera import ChimeraGraph
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic RNG per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_hardware() -> ChimeraGraph:
+    """A 4x4 Chimera lattice (128 qubits) for fast embedding tests."""
+    return ChimeraGraph(4, 4, 4)
+
+
+@pytest.fixture(scope="session")
+def c16_hardware() -> ChimeraGraph:
+    """The D-Wave 2000Q-sized lattice."""
+    return ChimeraGraph(16, 16, 4)
+
+
+@pytest.fixture
+def tiny_sat_formula() -> CNF:
+    """A small satisfiable 3-SAT formula (the paper's Figure 2 example)."""
+    return CNF(
+        [Clause([1, 2, 3]), Clause([2, -3, 4])],
+        num_vars=4,
+    )
+
+
+@pytest.fixture
+def tiny_unsat_formula() -> CNF:
+    """The smallest interesting unsatisfiable formula."""
+    return CNF(
+        [
+            Clause([1, 2]),
+            Clause([1, -2]),
+            Clause([-1, 2]),
+            Clause([-1, -2]),
+        ],
+        num_vars=2,
+    )
+
+
+def make_random_3sat(num_vars: int, num_clauses: int, seed: int) -> CNF:
+    """Deterministic random instance helper for parametrised tests."""
+    return random_3sat(num_vars, num_clauses, np.random.default_rng(seed))

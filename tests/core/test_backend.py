@@ -1,0 +1,116 @@
+"""Tests for the backend's band classification and strategy dispatch."""
+
+import pytest
+
+from repro.annealer.device import AnnealResult, AnnealSample
+from repro.core.backend import Backend, Strategy
+from repro.ml.intervals import Band, ConfidenceBands
+from repro.sat.assignment import Assignment
+
+
+def _result(energy, assignment=None):
+    sample = AnnealSample(
+        assignment=assignment or Assignment({1: True, 2: False, 7: True}),
+        energy=energy,
+        chain_break_fraction=0.0,
+    )
+    return AnnealResult(samples=(sample,), qpu_time_us=130.0)
+
+
+class TestDispatchTable:
+    """Section V-B's table: rows = all/not-all embedded, columns = bands."""
+
+    @pytest.mark.parametrize(
+        "energy,all_embedded,expected",
+        [
+            (0.0, True, Strategy.ACCEPT_SOLUTION),
+            (0.0, False, Strategy.KEEP_ASSIGNMENT),
+            (2.0, True, Strategy.KEEP_ASSIGNMENT),
+            (2.0, False, Strategy.KEEP_ASSIGNMENT),
+            (6.0, True, Strategy.NO_FEEDBACK),
+            (6.0, False, Strategy.NO_FEEDBACK),
+            (9.0, True, Strategy.RUSH_CONFLICT),
+            (9.0, False, Strategy.RUSH_CONFLICT),
+        ],
+    )
+    def test_dispatch(self, energy, all_embedded, expected):
+        backend = Backend()
+        decision = backend.interpret(_result(energy), (1, 2), 5, all_embedded)
+        assert decision.strategy is expected
+
+    def test_bands_recorded(self):
+        backend = Backend()
+        assert backend.interpret(_result(0.0), (1,), 5, True).band is Band.SATISFIABLE
+        assert (
+            backend.interpret(_result(3.0), (1,), 5, True).band
+            is Band.NEAR_SATISFIABLE
+        )
+        assert backend.interpret(_result(5.0), (1,), 5, True).band is Band.UNCERTAIN
+        assert (
+            backend.interpret(_result(20.0), (1,), 5, True).band
+            is Band.NEAR_UNSATISFIABLE
+        )
+
+    def test_custom_bands(self):
+        backend = Backend(bands=ConfidenceBands(t_sat=1.0, t_unsat=2.0))
+        assert backend.interpret(_result(1.5), (1,), 5, True).band is Band.UNCERTAIN
+
+
+class TestAblationSwitches:
+    def test_strategy_1_disabled_falls_to_2(self):
+        backend = Backend(enable_strategy_1=False)
+        decision = backend.interpret(_result(0.0), (1,), 5, True)
+        assert decision.strategy is Strategy.KEEP_ASSIGNMENT
+
+    def test_strategy_2_disabled_no_feedback(self):
+        backend = Backend(enable_strategy_2=False)
+        assert (
+            backend.interpret(_result(2.0), (1,), 5, True).strategy
+            is Strategy.NO_FEEDBACK
+        )
+
+    def test_strategies_1_and_2_disabled(self):
+        backend = Backend(enable_strategy_1=False, enable_strategy_2=False)
+        assert (
+            backend.interpret(_result(0.0), (1,), 5, True).strategy
+            is Strategy.NO_FEEDBACK
+        )
+
+    def test_strategy_4_disabled_no_feedback(self):
+        backend = Backend(enable_strategy_4=False)
+        assert (
+            backend.interpret(_result(50.0), (1,), 5, True).strategy
+            is Strategy.NO_FEEDBACK
+        )
+
+
+class TestAssignmentProjection:
+    def test_aux_variables_stripped(self):
+        assignment = Assignment({1: True, 2: False, 7: True})
+        backend = Backend()
+        decision = backend.interpret(
+            _result(0.0, assignment), (1, 2, 7), num_formula_vars=5, all_embedded=True
+        )
+        assert 7 not in decision.assignment
+        assert decision.assignment == Assignment({1: True, 2: False})
+
+    def test_only_embedded_variables_kept(self):
+        assignment = Assignment({1: True, 2: False, 3: True})
+        backend = Backend()
+        decision = backend.interpret(
+            _result(0.0, assignment), (1,), num_formula_vars=5, all_embedded=True
+        )
+        assert decision.assignment == Assignment({1: True})
+
+    def test_metadata_fields(self):
+        backend = Backend()
+        decision = backend.interpret(_result(2.5), (1, 2), 5, False)
+        assert decision.energy == 2.5
+        assert decision.variables == (1, 2)
+        assert not decision.all_embedded
+        assert not decision.proposes_model
+        assert decision.elapsed_seconds >= 0
+
+    def test_proposes_model_flag(self):
+        backend = Backend()
+        assert backend.interpret(_result(0.0), (1,), 5, True).proposes_model

@@ -1,0 +1,119 @@
+"""Tests for clause queue generation (Section IV-A)."""
+
+import numpy as np
+import pytest
+
+from repro.core.clause_queue import ClauseQueueGenerator
+from repro.sat.cnf import CNF, Clause
+
+
+@pytest.fixture
+def chain_formula():
+    """Clauses sharing variables in a chain: 0-1 share x2, 1-2 share x3..."""
+    return CNF(
+        [
+            Clause([1, 2]),
+            Clause([2, 3]),
+            Clause([3, 4]),
+            Clause([4, 5]),
+            Clause([6, 7]),  # separate component
+        ],
+        num_vars=7,
+    )
+
+
+class TestActivityQueue:
+    def test_head_is_top_activity_when_k1(self, chain_formula):
+        gen = ClauseQueueGenerator(chain_formula, top_k=1, seed=0)
+        activity = [1.0, 1.0, 9.0, 1.0, 1.0]
+        queue = gen.generate(activity, capacity=3)
+        assert queue[0] == 2
+
+    def test_bfs_order_follows_shared_variables(self, chain_formula):
+        gen = ClauseQueueGenerator(chain_formula, top_k=1, seed=0)
+        activity = [9.0, 1.0, 1.0, 1.0, 1.0]
+        queue = gen.generate(activity, capacity=5)
+        assert queue[0] == 0
+        # BFS from clause 0 reaches 1, then 2, then 3; clause 4 is
+        # unreachable through shared variables.
+        assert queue == [0, 1, 2, 3]
+
+    def test_capacity_respected(self, chain_formula):
+        gen = ClauseQueueGenerator(chain_formula, top_k=1, seed=0)
+        queue = gen.generate([5.0, 1, 1, 1, 1], capacity=2)
+        assert len(queue) == 2
+
+    def test_candidates_restrict_queue(self, chain_formula):
+        gen = ClauseQueueGenerator(chain_formula, top_k=1, seed=0)
+        queue = gen.generate([1.0] * 5, capacity=5, candidates=[2, 3])
+        assert set(queue) <= {2, 3}
+
+    def test_empty_candidates(self, chain_formula):
+        gen = ClauseQueueGenerator(chain_formula, top_k=1, seed=0)
+        assert gen.generate([1.0] * 5, capacity=5, candidates=[]) == []
+
+    def test_zero_capacity(self, chain_formula):
+        gen = ClauseQueueGenerator(chain_formula, top_k=1, seed=0)
+        assert gen.generate([1.0] * 5, capacity=0) == []
+
+    def test_activity_length_validated(self, chain_formula):
+        gen = ClauseQueueGenerator(chain_formula)
+        with pytest.raises(ValueError):
+            gen.generate([1.0], capacity=3)
+
+    def test_top_k_validated(self, chain_formula):
+        with pytest.raises(ValueError):
+            ClauseQueueGenerator(chain_formula, top_k=0)
+
+    def test_random_head_varies_without_score_updates(self, chain_formula):
+        """The paper randomises the head draw so repeated calls do not
+        re-deploy the same queue."""
+        gen = ClauseQueueGenerator(chain_formula, top_k=5, seed=1)
+        heads = {gen.generate([1.0] * 5, capacity=1)[0] for _ in range(30)}
+        assert len(heads) > 1
+
+    def test_no_duplicates(self, chain_formula):
+        gen = ClauseQueueGenerator(chain_formula, top_k=3, seed=2)
+        queue = gen.generate([1.0] * 5, capacity=5)
+        assert len(queue) == len(set(queue))
+
+
+class TestRandomQueue:
+    def test_respects_capacity_and_pool(self, chain_formula):
+        gen = ClauseQueueGenerator(chain_formula, seed=0)
+        queue = gen.generate_random(3, candidates=[0, 1, 2, 3])
+        assert len(queue) == 3
+        assert set(queue) <= {0, 1, 2, 3}
+
+    def test_takes_all_when_capacity_exceeds_pool(self, chain_formula):
+        gen = ClauseQueueGenerator(chain_formula, seed=0)
+        queue = gen.generate_random(99)
+        assert sorted(queue) == [0, 1, 2, 3, 4]
+
+    def test_empty_pool(self, chain_formula):
+        gen = ClauseQueueGenerator(chain_formula, seed=0)
+        assert gen.generate_random(3, candidates=[]) == []
+
+
+class TestLocality:
+    def test_bfs_queue_has_higher_variable_locality_than_random(self):
+        """Adjacent queue clauses should share variables far more often
+        under BFS generation than random generation."""
+        rng = np.random.default_rng(0)
+        clauses = []
+        for _ in range(120):
+            vs = rng.choice(np.arange(1, 61), size=3, replace=False)
+            clauses.append(Clause([int(v) for v in vs]))
+        formula = CNF(clauses, num_vars=60)
+        gen = ClauseQueueGenerator(formula, seed=0)
+
+        def adjacency_share(queue):
+            shares = 0
+            for a, b in zip(queue, queue[1:]):
+                if formula.clauses[a].variables & formula.clauses[b].variables:
+                    shares += 1
+            return shares / max(1, len(queue) - 1)
+
+        bfs = gen.generate([1.0] * 120, capacity=40)
+        rand = gen.generate_random(40)
+        assert adjacency_share(bfs) > adjacency_share(rand)

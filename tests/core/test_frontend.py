@@ -1,0 +1,112 @@
+"""Tests for the HyQSAT frontend pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.frontend import Frontend
+from repro.qubo.normalization import in_hardware_range
+from repro.sat.assignment import Assignment
+from repro.sat.cnf import CNF, Clause
+
+
+@pytest.fixture
+def formula():
+    return CNF(
+        [Clause([1, 2, 3]), Clause([-1, 4]), Clause([2, -3, 4]), Clause([5])],
+        num_vars=5,
+    )
+
+
+class TestPrepare:
+    def test_full_queue(self, formula, small_hardware):
+        frontend = Frontend(formula, small_hardware)
+        result = frontend.prepare([0, 1, 2, 3])
+        assert result is not None
+        assert result.num_embedded == 4
+        assert set(result.formula_clauses) == {0, 1, 2, 3}
+        assert in_hardware_range(result.request.objective)
+        assert result.request.energy_scale >= 1.0
+
+    def test_empty_queue_returns_none(self, formula, small_hardware):
+        assert Frontend(formula, small_hardware).prepare([]) is None
+
+    def test_partial_queue_indices_refer_to_formula(self, formula, small_hardware):
+        frontend = Frontend(formula, small_hardware)
+        result = frontend.prepare([2, 0])
+        assert set(result.formula_clauses) <= {0, 2}
+
+    def test_embedded_variables(self, formula, small_hardware):
+        frontend = Frontend(formula, small_hardware)
+        result = frontend.prepare([1])  # clause (-1 v 4)
+        assert result.embedded_variables == (1, 4)
+
+    def test_elapsed_time_recorded(self, formula, small_hardware):
+        result = Frontend(formula, small_hardware).prepare([0])
+        assert result.elapsed_seconds > 0
+
+
+class TestConditioning:
+    def test_falsified_literals_dropped(self, formula, small_hardware):
+        frontend = Frontend(formula, small_hardware)
+        trail = Assignment({1: False})
+        result = frontend.prepare([0], trail)
+        # Clause 0 = (x1 v x2 v x3) conditioned on x1=0 -> (x2 v x3).
+        assert result.encoding.clauses[0] == Clause([2, 3])
+
+    def test_fully_falsified_clause_skipped(self, formula, small_hardware):
+        frontend = Frontend(formula, small_hardware)
+        trail = Assignment({5: False})
+        assert frontend.prepare([3], trail) is None
+
+    def test_kept_indices_follow_original_numbering(self, formula, small_hardware):
+        frontend = Frontend(formula, small_hardware)
+        trail = Assignment({5: False, 1: False})
+        result = frontend.prepare([3, 0], trail)
+        # Clause 3 conditioned away; clause 0 survives as index 0.
+        assert result.formula_clauses == (0,)
+
+    def test_device_solves_conditioned_residual(self, formula, small_hardware):
+        from repro.annealer import AnnealerDevice
+
+        frontend = Frontend(formula, small_hardware)
+        trail = Assignment({1: False, 2: False})
+        result = frontend.prepare([0], trail)  # residual (x3)
+        device = AnnealerDevice(small_hardware, seed=0)
+        anneal = device.run(result.request)
+        assert anneal.best.energy == pytest.approx(0.0, abs=1e-9)
+        assert anneal.best.assignment[3] is True
+
+
+class TestCoefficientToggle:
+    def test_adjustment_changes_objective(self, small_hardware):
+        formula = CNF([Clause([1, 2, 3]), Clause([3])], num_vars=3)
+        plain = Frontend(formula, small_hardware, adjust=False).prepare([0, 1])
+        adjusted = Frontend(formula, small_hardware, adjust=True).prepare([0, 1])
+        # The unit clause's weak sub-objective is amplified to d* = 2.
+        assert not plain.encoding.objective.is_close(adjusted.encoding.objective)
+        # Unit penalty (1 - x3) has d = 1/2 so its target alpha is 4;
+        # the d*-preserving scale-back settles on the largest boost
+        # that keeps the summed objective in range (> 1, < 4 here).
+        coefficient = adjusted.encoding.sub_objectives[-1].coefficient
+        assert 1.0 < coefficient < 4.0
+        assert adjusted.encoding.objective.d_star() == pytest.approx(
+            plain.encoding.objective.d_star(), rel=1e-6
+        )
+
+    def test_num_reads_forwarded(self, formula, small_hardware):
+        frontend = Frontend(formula, small_hardware, num_reads=7)
+        assert frontend.prepare([0]).request.num_reads == 7
+
+
+class TestEmbeddedObjectiveSubset:
+    def test_only_embedded_clauses_in_objective(self, small_hardware):
+        from repro.topology.chimera import ChimeraGraph
+
+        tiny = ChimeraGraph(2, 2, 2)  # 4 vertical lines
+        formula = CNF([Clause([1, 2, 3]), Clause([4, 5, 6])], num_vars=6)
+        result = Frontend(formula, tiny).prepare([0, 1])
+        assert result.formula_clauses == (0,)
+        # Objective variables restricted to clause 0's vars + its aux.
+        assert {4, 5, 6}.isdisjoint(
+            v for v in result.request.objective.variables if v <= 6
+        )

@@ -1,0 +1,53 @@
+"""Tests for the Section VII-B k-SAT entry point."""
+
+import numpy as np
+import pytest
+
+from repro.annealer import AnnealerDevice
+from repro.benchgen.random_ksat import random_ksat
+from repro.core import HyQSatSolver
+from repro.sat.brute import brute_force_solve
+from repro.sat.cnf import CNF
+from repro.topology import ChimeraGraph
+
+
+@pytest.fixture(scope="module")
+def device():
+    return AnnealerDevice(ChimeraGraph(8, 8, 4), seed=0)
+
+
+def test_from_ksat_solves_wide_formula(device):
+    f = CNF([[1, 2, 3, 4, 5], [-1, -2], [-3, -4, -5, 1]], num_vars=5)
+    solver = HyQSatSolver.from_ksat(f, device=device)
+    result = solver.solve()
+    assert result.is_sat
+    # Model projected onto the ORIGINAL variables only.
+    assert set(result.model.keys()) <= set(range(1, 6))
+    assert result.model.completed(5).satisfies(f)
+
+
+def test_from_ksat_unsat(device):
+    # x1..x4, all 16 sign patterns of a 4-clause over the same vars: UNSAT.
+    clauses = []
+    for bits in range(16):
+        clauses.append([(v if (bits >> (v - 1)) & 1 else -v) for v in range(1, 5)])
+    f = CNF(clauses, num_vars=4)
+    result = HyQSatSolver.from_ksat(f, device=device).solve()
+    assert result.is_unsat
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_from_ksat_agrees_with_brute_force(seed, device):
+    rng = np.random.default_rng(seed)
+    f = random_ksat(7, 20, 5, rng)
+    expected = brute_force_solve(f) is not None
+    result = HyQSatSolver.from_ksat(f, device=device).solve()
+    assert result.is_sat == expected
+    if result.is_sat:
+        assert result.model.completed(f.num_vars).satisfies(f)
+
+
+def test_plain_constructor_still_rejects_wide(device):
+    f = CNF([[1, 2, 3, 4]], num_vars=4)
+    with pytest.raises(ValueError, match="from_ksat"):
+        HyQSatSolver(f, device=device)

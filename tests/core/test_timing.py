@@ -1,0 +1,29 @@
+"""Tests for the end-to-end time breakdown."""
+
+import pytest
+
+from repro.core.timing import TimeBreakdown
+
+
+def test_total_and_warmup():
+    b = TimeBreakdown(frontend_s=1.0, qpu_s=2.0, backend_s=3.0, cdcl_s=4.0)
+    assert b.total_s == 10.0
+    assert b.warmup_s == 6.0
+
+
+def test_shares_sum_to_one():
+    b = TimeBreakdown(0.5, 1.5, 1.0, 2.0)
+    shares = b.shares()
+    assert sum(shares.values()) == pytest.approx(1.0)
+    assert shares["qa"] == pytest.approx(0.3)
+
+
+def test_zero_total_shares():
+    b = TimeBreakdown(0, 0, 0, 0)
+    assert all(v == 0.0 for v in b.shares().values())
+
+
+def test_str_mentions_components():
+    text = str(TimeBreakdown(0.1, 0.2, 0.3, 0.4))
+    for key in ("frontend", "qa", "backend", "cdcl"):
+        assert key in text

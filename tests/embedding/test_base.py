@@ -1,0 +1,117 @@
+"""Tests for the embedding data model and verifier."""
+
+import pytest
+
+from repro.embedding.base import (
+    Embedding,
+    EmbeddingResult,
+    chain_length_stats,
+    find_edge_couplers,
+    verify_embedding,
+)
+from repro.topology.chimera import QubitCoord
+
+
+class TestEmbedding:
+    def test_set_and_get_chain(self):
+        e = Embedding()
+        e.set_chain(1, [5, 3, 5])
+        assert e.chain_of(1) == (3, 5)
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            Embedding().set_chain(1, [])
+
+    def test_counts(self):
+        e = Embedding({1: [0, 1], 2: [2]})
+        assert len(e) == 2
+        assert e.num_qubits_used() == 3
+        assert e.all_qubits() == {0, 1, 2}
+        assert e.variables == [1, 2]
+
+    def test_qubit_owner(self):
+        e = Embedding({1: [0], 2: [1, 2]})
+        assert e.qubit_owner() == {0: 1, 1: 2, 2: 2}
+
+    def test_restricted_to(self):
+        e = Embedding({1: [0], 2: [1]})
+        r = e.restricted_to([2])
+        assert 1 not in r and 2 in r
+
+    def test_contains_and_iter(self):
+        e = Embedding({7: [0]})
+        assert 7 in e
+        assert list(e) == [7]
+
+
+class TestVerifier:
+    def test_valid_single_qubit_chains(self, small_hardware):
+        vq = small_hardware.qubit_id(QubitCoord(0, 0, 0, 0))
+        hq = small_hardware.qubit_id(QubitCoord(0, 0, 1, 0))
+        e = Embedding({1: [vq], 2: [hq]})
+        assert verify_embedding(e, small_hardware, [(1, 2)]) == []
+
+    def test_detects_overlap(self, small_hardware):
+        e = Embedding({1: [0], 2: [0]})
+        problems = verify_embedding(e, small_hardware, [])
+        assert any("shared" in p for p in problems)
+
+    def test_detects_disconnected_chain(self, small_hardware):
+        q1 = small_hardware.qubit_id(QubitCoord(0, 0, 0, 0))
+        q2 = small_hardware.qubit_id(QubitCoord(3, 3, 0, 0))
+        e = Embedding({1: [q1, q2]})
+        problems = verify_embedding(e, small_hardware, [])
+        assert any("disconnected" in p for p in problems)
+
+    def test_detects_unrealised_edge(self, small_hardware):
+        q1 = small_hardware.qubit_id(QubitCoord(0, 0, 0, 0))
+        q2 = small_hardware.qubit_id(QubitCoord(3, 3, 0, 0))
+        e = Embedding({1: [q1], 2: [q2]})
+        problems = verify_embedding(e, small_hardware, [(1, 2)])
+        assert any("no hardware coupler" in p for p in problems)
+
+    def test_detects_broken_qubit_use(self, small_hardware):
+        from repro.topology.chimera import ChimeraGraph
+
+        hw = ChimeraGraph(4, 4, 4, broken_qubits=[0])
+        e = Embedding({1: [0]})
+        problems = verify_embedding(e, hw, [])
+        assert any("non-working" in p for p in problems)
+
+    def test_connected_two_qubit_chain_ok(self, small_hardware):
+        vq = small_hardware.qubit_id(QubitCoord(0, 0, 0, 0))
+        hq = small_hardware.qubit_id(QubitCoord(0, 0, 1, 0))
+        e = Embedding({1: [vq, hq]})
+        assert verify_embedding(e, small_hardware, []) == []
+
+
+class TestEdgeCouplers:
+    def test_finds_all_couplers(self, small_hardware):
+        vq = small_hardware.qubit_id(QubitCoord(0, 0, 0, 0))
+        hq = small_hardware.qubit_id(QubitCoord(0, 0, 1, 0))
+        e = Embedding({1: [vq], 2: [hq]})
+        couplers = find_edge_couplers(e, small_hardware, [(2, 1)])
+        assert couplers[(1, 2)] in (((vq, hq),), ((hq, vq),))
+
+    def test_unembedded_variable_gives_empty(self, small_hardware):
+        e = Embedding({1: [0]})
+        couplers = find_edge_couplers(e, small_hardware, [(1, 9)])
+        assert couplers[(1, 9)] == ()
+
+
+class TestStats:
+    def test_chain_length_stats(self):
+        e = Embedding({1: [0], 2: [1, 2, 3]})
+        stats = chain_length_stats(e)
+        assert stats == {"mean": 2.0, "max": 3.0, "median": 2.0}
+
+    def test_empty_stats(self):
+        assert chain_length_stats(Embedding())["mean"] == 0.0
+
+    def test_result_properties(self):
+        r = EmbeddingResult(Embedding({1: [0, 1]}), True, 0.1)
+        assert r.max_chain_length == 2
+        assert r.avg_chain_length == 2.0
+        empty = EmbeddingResult(Embedding(), False, 0.0)
+        assert empty.max_chain_length == 0
+        assert empty.avg_chain_length == 0.0

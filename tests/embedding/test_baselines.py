@@ -1,0 +1,101 @@
+"""Tests for the Minorminer-like and P&R baseline embedders."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.base import verify_embedding
+from repro.embedding.minorminer_like import MinorminerLikeEmbedder
+from repro.embedding.place_route import PlaceAndRouteEmbedder
+from repro.qubo.encoding import encode_formula
+from repro.sat.cnf import Clause
+
+
+def _triangle_edges():
+    return [(1, 2), (2, 3), (1, 3)]
+
+
+def _clause_graph(n, m, seed):
+    rng = np.random.default_rng(seed)
+    clauses = []
+    while len(clauses) < m:
+        vs = rng.choice(np.arange(1, n + 1), size=3, replace=False)
+        clauses.append(Clause([int(v) for v in vs]))
+    enc = encode_formula(clauses, n)
+    return list(enc.objective.quadratic.keys()), enc.objective.variables
+
+
+class TestMinorminerLike:
+    def test_triangle(self, small_hardware):
+        result = MinorminerLikeEmbedder(small_hardware, seed=0).embed(_triangle_edges())
+        assert result.success
+        assert verify_embedding(result.embedding, small_hardware, _triangle_edges()) == []
+
+    def test_k5_needs_chains(self, small_hardware):
+        edges = [(u, v) for u in range(1, 6) for v in range(u + 1, 6)]
+        result = MinorminerLikeEmbedder(small_hardware, max_passes=30, seed=1).embed(edges)
+        assert result.success
+        assert verify_embedding(result.embedding, small_hardware, edges) == []
+        # K5 on Chimera requires at least one multi-qubit chain.
+        assert result.max_chain_length >= 2
+
+    def test_small_clause_graph(self, c16_hardware):
+        edges, variables = _clause_graph(8, 14, seed=2)
+        result = MinorminerLikeEmbedder(c16_hardware, max_passes=25, seed=2).embed(
+            edges, variables
+        )
+        assert result.success
+        assert verify_embedding(result.embedding, c16_hardware, edges) == []
+
+    def test_empty_graph(self, small_hardware):
+        result = MinorminerLikeEmbedder(small_hardware).embed([])
+        assert result.success
+
+    def test_isolated_variables_placed(self, small_hardware):
+        result = MinorminerLikeEmbedder(small_hardware).embed([], variables=[1, 2, 3])
+        assert result.success
+        assert set(result.embedding.variables) == {1, 2, 3}
+
+    def test_failure_reported_not_raised(self):
+        from repro.topology.chimera import ChimeraGraph
+
+        tiny = ChimeraGraph(1, 1, 2)  # 4 qubits: K9 cannot fit
+        edges = [(u, v) for u in range(1, 10) for v in range(u + 1, 10)]
+        result = MinorminerLikeEmbedder(tiny, max_passes=3, timeout_seconds=5).embed(edges)
+        assert not result.success
+
+    def test_deterministic_for_seed(self, small_hardware):
+        edges, variables = _clause_graph(5, 8, seed=3)
+        r1 = MinorminerLikeEmbedder(small_hardware, seed=7).embed(edges, variables)
+        r2 = MinorminerLikeEmbedder(small_hardware, seed=7).embed(edges, variables)
+        assert r1.embedding.chains == r2.embedding.chains
+
+
+class TestPlaceAndRoute:
+    def test_triangle(self, small_hardware):
+        result = PlaceAndRouteEmbedder(small_hardware, seed=0).embed(_triangle_edges())
+        assert result.success
+        assert verify_embedding(result.embedding, small_hardware, _triangle_edges()) == []
+
+    def test_small_clause_graph(self, c16_hardware):
+        edges, variables = _clause_graph(6, 10, seed=4)
+        result = PlaceAndRouteEmbedder(c16_hardware, seed=4).embed(edges, variables)
+        assert result.success
+        assert verify_embedding(result.embedding, c16_hardware, edges) == []
+
+    def test_empty_graph(self, small_hardware):
+        assert PlaceAndRouteEmbedder(small_hardware).embed([]).success
+
+    def test_failure_reported_not_raised(self):
+        from repro.topology.chimera import ChimeraGraph
+
+        tiny = ChimeraGraph(1, 1, 2)
+        edges = [(u, v) for u in range(1, 10) for v in range(u + 1, 10)]
+        result = PlaceAndRouteEmbedder(tiny, max_rounds=2, timeout_seconds=5).embed(edges)
+        assert not result.success
+
+    def test_exclusive_chains(self, c16_hardware):
+        edges, variables = _clause_graph(6, 10, seed=5)
+        result = PlaceAndRouteEmbedder(c16_hardware, seed=5).embed(edges, variables)
+        if result.success:
+            owners = result.embedding.qubit_owner()
+            assert len(owners) == result.embedding.num_qubits_used()

@@ -1,0 +1,59 @@
+"""Tests for the connection requirement list."""
+
+import pytest
+
+from repro.embedding.crl import ConnectionRequirementList
+
+
+def test_requirements_accumulate_per_owner():
+    crl = ConnectionRequirementList()
+    crl.add(1, 2, clause_index=0)
+    crl.add(1, 5, clause_index=1)
+    assert crl.targets_of(1) == [2, 5]
+    assert crl.owners() == [1]
+
+
+def test_owner_order_is_first_appearance():
+    crl = ConnectionRequirementList()
+    crl.add(3, 1, 0)
+    crl.add(1, 2, 1)
+    crl.add(3, 4, 2)
+    assert crl.owners() == [3, 1]
+
+
+def test_duplicate_target_not_repeated():
+    crl = ConnectionRequirementList()
+    crl.add(1, 2, 0)
+    crl.add(1, 2, 3)
+    assert crl.targets_of(1) == [2]
+    assert crl.clauses_needing(1, 2) == {0, 3}
+
+
+def test_self_connection_rejected():
+    with pytest.raises(ValueError):
+        ConnectionRequirementList().add(1, 1, 0)
+
+
+def test_pairs_and_len():
+    crl = ConnectionRequirementList()
+    crl.add(1, 2, 0)
+    crl.add(9, 3, 0)
+    crl.add(9, 4, 1)
+    assert list(crl.pairs()) == [(1, 2), (9, 3), (9, 4)]
+    assert len(crl) == 3
+
+
+def test_contains_and_missing_owner():
+    crl = ConnectionRequirementList()
+    crl.add(1, 2, 0)
+    assert 1 in crl
+    assert 2 not in crl
+    assert crl.targets_of(42) == []
+    assert crl.clauses_needing(4, 5) == set()
+
+
+def test_repr_shows_paper_notation():
+    crl = ConnectionRequirementList()
+    crl.add(1, 2, 0)
+    crl.add(1, 5, 1)
+    assert "1:{2, 5}" in repr(crl)

@@ -1,0 +1,138 @@
+"""Tests for the HyQSAT linear-time embedder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.embedding.hyqsat_embed import HyQSatEmbedder, clause_edges
+from repro.embedding.base import verify_embedding
+from repro.qubo.encoding import encode_formula
+from repro.sat.cnf import Clause
+from repro.topology.chimera import ChimeraGraph
+
+
+def _random_clauses(n, m, rng):
+    clauses = []
+    while len(clauses) < m:
+        width = int(rng.integers(1, min(3, n) + 1))
+        vs = rng.choice(np.arange(1, n + 1), size=width, replace=False)
+        clauses.append(Clause([int(v) if rng.integers(0, 2) else -int(v) for v in vs]))
+    return clauses
+
+
+def _verify_result(result, encoding, hardware):
+    edges = []
+    for k in result.embedded_clauses:
+        edges.extend(clause_edges(encoding, k))
+    return verify_embedding(result.embedding, hardware, edges)
+
+
+class TestClauseEdges:
+    def test_three_clause_edges(self):
+        enc = encode_formula([Clause([1, 2, 3])], 3)
+        assert set(clause_edges(enc, 0)) == {(1, 2), (1, 4), (2, 4), (3, 4)}
+
+    def test_two_clause_edge(self):
+        enc = encode_formula([Clause([1, -2])], 2)
+        assert clause_edges(enc, 0) == [(1, 2)]
+
+    def test_unit_clause_no_edges(self):
+        enc = encode_formula([Clause([1])], 1)
+        assert clause_edges(enc, 0) == []
+
+
+class TestSingleClause:
+    def test_one_three_clause_embeds(self, small_hardware):
+        enc = encode_formula([Clause([1, 2, 3])], 3)
+        result = HyQSatEmbedder(small_hardware).embed(enc)
+        assert result.success
+        assert result.embedded_clauses == (0,)
+        assert _verify_result(result, enc, small_hardware) == []
+
+    def test_unit_clause_embeds(self, small_hardware):
+        enc = encode_formula([Clause([2])], 2)
+        result = HyQSatEmbedder(small_hardware).embed(enc)
+        assert result.success
+        assert 2 in result.embedding
+
+    def test_paper_figure2_formula(self, small_hardware, tiny_sat_formula):
+        enc = encode_formula(list(tiny_sat_formula.clauses), 4)
+        result = HyQSatEmbedder(small_hardware).embed(enc)
+        assert result.success
+        assert _verify_result(result, enc, small_hardware) == []
+
+
+class TestCapacity:
+    def test_queue_order_respected_at_capacity(self):
+        hardware = ChimeraGraph(2, 2, 2)  # only 4 vertical lines
+        clauses = [Clause([1, 2, 3]), Clause([4, 5, 6]), Clause([1, 2])]
+        enc = encode_formula(clauses, 6)
+        result = HyQSatEmbedder(hardware).embed(enc)
+        # Clause 1 needs 3 fresh lines but only 1 remains after clause 0:
+        # embedding stops there in queue order.
+        assert 0 in result.embedded_clauses
+        assert 1 not in result.embedded_clauses
+        assert not result.success
+
+    def test_unembedded_clause_aux_not_in_embedding(self):
+        hardware = ChimeraGraph(2, 2, 2)
+        clauses = [Clause([1, 2, 3]), Clause([4, 5, 6])]
+        enc = encode_formula(clauses, 6)
+        result = HyQSatEmbedder(hardware).embed(enc)
+        dropped_aux = enc.aux_of_clause[1]
+        assert dropped_aux not in result.embedding
+
+    def test_num_embedded_property(self, small_hardware, rng):
+        clauses = _random_clauses(8, 10, rng)
+        enc = encode_formula(clauses, 8)
+        result = HyQSatEmbedder(small_hardware).embed(enc)
+        assert result.num_embedded == len(result.embedded_clauses)
+        assert set(result.embedded_clauses).isdisjoint(result.unembedded_clauses)
+        assert len(result.embedded_clauses) + len(result.unembedded_clauses) == len(
+            enc.clauses
+        )
+
+
+class TestValidityFuzz:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_random_queues_produce_valid_embeddings(self, seed, c16_hardware):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 40))
+        m = int(rng.integers(1, 60))
+        clauses = _random_clauses(n, m, rng)
+        enc = encode_formula(clauses, n)
+        result = HyQSatEmbedder(c16_hardware).embed(enc)
+        assert _verify_result(result, enc, c16_hardware) == []
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_small_hardware_partial_embeddings_valid(self, seed, small_hardware):
+        rng = np.random.default_rng(100 + seed)
+        clauses = _random_clauses(20, 30, rng)
+        enc = encode_formula(clauses, 20)
+        result = HyQSatEmbedder(small_hardware).embed(enc)
+        assert _verify_result(result, enc, small_hardware) == []
+
+
+class TestScaling:
+    def test_linear_time_shape(self, c16_hardware):
+        """Embedding time grows ~linearly in clauses (no blow-up)."""
+        import time
+
+        rng = np.random.default_rng(0)
+        times = []
+        for m in (20, 40, 80):
+            clauses = _random_clauses(30, m, rng)
+            enc = encode_formula(clauses, 30)
+            start = time.perf_counter()
+            HyQSatEmbedder(c16_hardware).embed(enc)
+            times.append(time.perf_counter() - start)
+        # 4x the clauses should cost well under 40x the time.
+        assert times[2] < 40 * max(times[0], 1e-4)
+
+    def test_larger_grid_embeds_more(self):
+        rng = np.random.default_rng(1)
+        clauses = _random_clauses(100, 150, rng)
+        enc = encode_formula(clauses, 100)
+        small = HyQSatEmbedder(ChimeraGraph(8, 8, 4)).embed(enc)
+        large = HyQSatEmbedder(ChimeraGraph(24, 24, 4)).embed(enc)
+        assert large.num_embedded >= small.num_embedded

@@ -1,0 +1,106 @@
+"""Tests for the from-scratch Gaussian Naive Bayes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.gnb import GaussianNaiveBayes
+
+
+def _two_blobs(rng, n=400, mu0=0.0, mu1=8.0, sigma=1.0):
+    x0 = rng.normal(mu0, sigma, size=n)
+    x1 = rng.normal(mu1, sigma, size=n)
+    X = np.concatenate([x0, x1])
+    y = np.concatenate([np.zeros(n, dtype=int), np.ones(n, dtype=int)])
+    return X, y
+
+
+class TestFit:
+    def test_learns_means_and_variances(self, rng):
+        X, y = _two_blobs(rng)
+        model = GaussianNaiveBayes().fit(X, y)
+        assert model.theta_[0, 0] == pytest.approx(0.0, abs=0.2)
+        assert model.theta_[1, 0] == pytest.approx(8.0, abs=0.2)
+        assert model.var_[0, 0] == pytest.approx(1.0, abs=0.3)
+
+    def test_priors_reflect_class_balance(self, rng):
+        X = np.concatenate([rng.normal(0, 1, 300), rng.normal(5, 1, 100)])
+        y = np.array([0] * 300 + [1] * 100)
+        model = GaussianNaiveBayes().fit(X, y)
+        assert model.class_prior_[0] == pytest.approx(0.75)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GaussianNaiveBayes().fit([], [])
+        with pytest.raises(ValueError):
+            GaussianNaiveBayes().fit([1.0, 2.0], [0, 0])
+        with pytest.raises(ValueError):
+            GaussianNaiveBayes().fit([1.0], [0, 1])
+        with pytest.raises(ValueError):
+            GaussianNaiveBayes(var_smoothing=-1)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianNaiveBayes().predict([1.0])
+
+
+class TestPredict:
+    def test_separable_blobs_high_accuracy(self, rng):
+        X, y = _two_blobs(rng)
+        model = GaussianNaiveBayes().fit(X, y)
+        assert model.score(X, y) > 0.99
+
+    def test_decision_boundary_between_symmetric_means(self, rng):
+        X, y = _two_blobs(rng, mu0=0.0, mu1=10.0)
+        model = GaussianNaiveBayes().fit(X, y)
+        assert model.predict([2.0])[0] == 0
+        assert model.predict([8.0])[0] == 1
+
+    def test_proba_rows_sum_to_one(self, rng):
+        X, y = _two_blobs(rng)
+        model = GaussianNaiveBayes().fit(X, y)
+        proba = model.predict_proba(np.linspace(-5, 15, 50))
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert (proba >= 0).all()
+
+    def test_posterior_monotone_along_axis(self, rng):
+        X, y = _two_blobs(rng)
+        model = GaussianNaiveBayes().fit(X, y)
+        grid = np.linspace(1.0, 7.0, 30)
+        p1 = model.predict_proba(grid)[:, 1]
+        assert (np.diff(p1) >= -1e-9).all()
+
+    def test_posterior_of_single_value(self, rng):
+        X, y = _two_blobs(rng)
+        model = GaussianNaiveBayes().fit(X, y)
+        assert model.posterior_of(1, 8.0) > 0.95
+        assert model.posterior_of(0, 0.0) > 0.95
+
+    def test_multifeature(self, rng):
+        X = rng.normal(0, 1, size=(200, 3))
+        X[100:] += 4.0
+        y = np.array([0] * 100 + [1] * 100)
+        model = GaussianNaiveBayes().fit(X, y)
+        assert model.score(X, y) > 0.95
+
+    def test_string_labels(self, rng):
+        X, y01 = _two_blobs(rng, n=100)
+        labels = np.where(y01 == 1, "sat", "unsat")
+        model = GaussianNaiveBayes().fit(X, labels)
+        assert model.predict([8.0])[0] == "sat"
+
+    def test_constant_feature_survives_smoothing(self):
+        X = np.array([1.0, 1.0, 2.0, 2.0])
+        y = np.array([0, 0, 1, 1])
+        model = GaussianNaiveBayes().fit(X, y)
+        assert model.predict([1.0])[0] == 0
+        assert model.predict([2.0])[0] == 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_property_accuracy_on_well_separated_data(seed):
+    rng = np.random.default_rng(seed)
+    X, y = _two_blobs(rng, n=150, mu0=0, mu1=12, sigma=1.5)
+    model = GaussianNaiveBayes().fit(X, y)
+    assert model.score(X, y) > 0.98

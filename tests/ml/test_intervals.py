@@ -1,0 +1,84 @@
+"""Tests for the confidence-interval partition."""
+
+import numpy as np
+import pytest
+
+from repro.ml.intervals import Band, ConfidenceBands, fit_bands
+
+
+class TestBands:
+    def test_paper_defaults(self):
+        bands = ConfidenceBands()
+        assert bands.t_sat == 4.5
+        assert bands.t_unsat == 8.0
+        assert bands.uncertain_width == 3.5
+
+    def test_classification_paper_partition(self):
+        bands = ConfidenceBands()
+        assert bands.classify(0.0) is Band.SATISFIABLE
+        assert bands.classify(1e-9) is Band.SATISFIABLE
+        assert bands.classify(2.0) is Band.NEAR_SATISFIABLE
+        assert bands.classify(4.5) is Band.NEAR_SATISFIABLE
+        assert bands.classify(6.0) is Band.UNCERTAIN
+        assert bands.classify(8.0) is Band.UNCERTAIN
+        assert bands.classify(8.01) is Band.NEAR_UNSATISFIABLE
+        assert bands.classify(100.0) is Band.NEAR_UNSATISFIABLE
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConfidenceBands(t_sat=-1.0)
+        with pytest.raises(ValueError):
+            ConfidenceBands(t_sat=5.0, t_unsat=4.0)
+
+    def test_degenerate_bands_allowed(self):
+        bands = ConfidenceBands(t_sat=3.0, t_unsat=3.0)
+        assert bands.classify(3.0) is Band.NEAR_SATISFIABLE
+        assert bands.classify(3.1) is Band.NEAR_UNSATISFIABLE
+
+
+class TestFitBands:
+    def test_well_separated_distributions(self, rng):
+        sat = np.abs(rng.normal(1.0, 1.0, 500))
+        unsat = rng.normal(12.0, 1.5, 500)
+        bands, model = fit_bands(sat, unsat)
+        assert 1.0 < bands.t_sat < 9.0
+        assert bands.t_sat <= bands.t_unsat <= 14.0
+        # The fitted model must separate the classes well.
+        X = np.concatenate([sat, unsat])
+        y = np.concatenate([np.ones(500, dtype=int), np.zeros(500, dtype=int)])
+        assert model.score(X, y) > 0.95
+
+    def test_thresholds_have_claimed_confidence(self, rng):
+        sat = np.abs(rng.normal(1.0, 1.0, 800))
+        unsat = rng.normal(10.0, 2.0, 800)
+        bands, model = fit_bands(sat, unsat, confidence=0.9)
+        assert model.posterior_of(1, bands.t_sat) >= 0.9 - 0.02
+        assert model.posterior_of(0, bands.t_unsat) >= 0.9 - 0.02
+
+    def test_overlapping_distributions_fall_back(self, rng):
+        sat = rng.normal(5.0, 3.0, 200)
+        unsat = rng.normal(5.5, 3.0, 200)
+        bands, _ = fit_bands(sat, unsat)
+        # Fallback to paper constants or a consistent partition.
+        assert bands.t_sat <= bands.t_unsat
+
+    def test_swapped_distributions_fall_back_to_paper(self, rng):
+        sat = rng.normal(10.0, 1.0, 200)
+        unsat = rng.normal(1.0, 1.0, 200)
+        bands, _ = fit_bands(sat, unsat)
+        assert bands == ConfidenceBands()
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            fit_bands([], [1.0])
+        with pytest.raises(ValueError):
+            fit_bands([1.0], [])
+        with pytest.raises(ValueError):
+            fit_bands([1.0], [2.0], confidence=0.4)
+
+    def test_higher_confidence_widens_uncertainty(self, rng):
+        sat = np.abs(rng.normal(1.0, 1.5, 600))
+        unsat = rng.normal(9.0, 2.0, 600)
+        loose, _ = fit_bands(sat, unsat, confidence=0.8)
+        strict, _ = fit_bands(sat, unsat, confidence=0.99)
+        assert strict.uncertain_width >= loose.uncertain_width - 1e-9

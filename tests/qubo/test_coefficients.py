@@ -1,0 +1,136 @@
+"""Tests for the Section IV-C coefficient adjustment."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.qubo.coefficients import adjust_coefficients
+from repro.qubo.encoding import encode_formula
+from repro.qubo.gap import energy_gap, min_energy
+from repro.sat.brute import brute_force_solve
+from repro.sat.cnf import CNF, Clause
+
+
+class TestPaperExample:
+    """The Eq. 8 -> Eq. 9 adjustment of c1 = x1 ∨ x2 ∨ x3."""
+
+    def test_alphas(self):
+        enc = encode_formula([Clause([1, 2, 3])], 3)
+        adj = adjust_coefficients(enc)
+        assert adj.d_star == 2.0
+        assert adj.alphas == {(0, 1): 1.0, (0, 2): 2.0}
+        assert adj.d_values == {(0, 1): 2.0, (0, 2): 1.0}
+        assert adj.max_alpha == 2.0
+
+    def test_equation_9_objective(self):
+        enc = encode_formula([Clause([1, 2, 3])], 3)
+        adjusted = adjust_coefficients(enc).encoding.objective
+        assert adjusted.offset == 2.0
+        assert adjusted.linear == {1: 1.0, 2: 1.0, 3: -2.0, 4: -1.0}
+        assert adjusted.quadratic == {
+            (1, 2): 1.0,
+            (1, 4): -2.0,
+            (2, 4): -2.0,
+            (3, 4): 2.0,
+        }
+
+    def test_d_star_preserved(self):
+        enc = encode_formula([Clause([1, 2, 3])], 3)
+        adj = adjust_coefficients(enc)
+        assert adj.encoding.objective.d_star() == adj.d_star
+
+
+def _random_clauses(rng, n, m):
+    clauses = []
+    for _ in range(m):
+        width = int(rng.integers(1, min(3, n) + 1))
+        vs = rng.choice(np.arange(1, n + 1), size=width, replace=False)
+        clauses.append(Clause([int(v) if rng.integers(0, 2) else -int(v) for v in vs]))
+    return clauses
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_property_adjustment_preserves_zero_minimum(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 7))
+    clauses = _random_clauses(rng, n, int(rng.integers(1, 3 * n)))
+    enc = encode_formula(clauses, n)
+    adj = adjust_coefficients(enc)
+    base_energy, _ = min_energy(enc)
+    adj_energy, _ = min_energy(adj.encoding)
+    # alpha > 0 scaling preserves the zero set of the penalty sum.
+    assert (base_energy == 0) == (adj_energy == 0)
+    formula = CNF(clauses, num_vars=n)
+    assert (adj_energy == 0) == (brute_force_solve(formula) is not None)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_property_alphas_at_least_one(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 7))
+    clauses = _random_clauses(rng, n, int(rng.integers(1, 3 * n)))
+    adj = adjust_coefficients(encode_formula(clauses, n))
+    assert all(alpha >= 1.0 - 1e-12 for alpha in adj.alphas.values())
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_property_gap_never_shrinks(seed):
+    """The adjustment multiplies each penalty by alpha >= 1, so the
+    energy of every violating assignment — and hence the gap — cannot
+    decrease."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 6))
+    clauses = _random_clauses(rng, n, int(rng.integers(1, 2 * n)))
+    enc = encode_formula(clauses, n)
+    adj = adjust_coefficients(enc)
+    before = energy_gap(enc)
+    after = energy_gap(adj.encoding)
+    if before == float("inf"):
+        assert after == float("inf")
+    else:
+        assert after >= before - 1e-9
+
+
+def test_gap_strictly_improves_on_paper_example():
+    """For a formula mixing widths the weak sub-clauses get amplified
+    and the normalised gap grows (the Figure 15 effect)."""
+    clauses = [Clause([-1, -2]), Clause([-1])]
+    enc = encode_formula(clauses, 2)
+    adj = adjust_coefficients(enc)
+    before = energy_gap(enc) / max(enc.objective.d_star(), 1e-12)
+    after = energy_gap(adj.encoding) / max(adj.encoding.objective.d_star(), 1e-12)
+    assert after == pytest.approx(2.0 * before, rel=1e-6)
+    assert after > before
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_property_d_star_never_grows(seed):
+    """The scale-back guarantees the hardware normalisation divisor is
+    unchanged, so the adjustment can never flatten the landscape."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 7))
+    clauses = _random_clauses(rng, n, int(rng.integers(1, 3 * n)))
+    enc = encode_formula(clauses, n)
+    adj = adjust_coefficients(enc)
+    assert adj.encoding.objective.d_star() <= enc.objective.d_star() * (1 + 1e-6)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_property_normalised_gap_never_shrinks(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 6))
+    clauses = _random_clauses(rng, n, int(rng.integers(1, 2 * n)))
+    enc = encode_formula(clauses, n)
+    adj = adjust_coefficients(enc)
+    before = energy_gap(enc)
+    after = energy_gap(adj.encoding)
+    if before == float("inf"):
+        return
+    d_before = max(enc.objective.d_star(), 1e-12)
+    d_after = max(adj.encoding.objective.d_star(), 1e-12)
+    assert after / d_after >= before / d_before - 1e-9

@@ -1,0 +1,170 @@
+"""Tests for the Eq. 3-5 clause encoding, anchored on the paper's
+worked example (Eq. 8)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.qubo.encoding import encode_clause, encode_cnf, encode_formula
+from repro.qubo.gap import min_energy, min_energy_given_x
+from repro.sat.brute import brute_force_solve
+from repro.sat.cnf import CNF, Clause
+
+
+class TestPaperExample:
+    """c1 = x1 ∨ x2 ∨ x3 must reproduce Eq. 8 exactly."""
+
+    def test_equation_8(self):
+        enc = encode_formula([Clause([1, 2, 3])], num_formula_vars=3)
+        H = enc.objective
+        assert H.offset == 1.0
+        assert H.linear == {1: 1.0, 2: 1.0, 3: -1.0}
+        assert H.quadratic == {
+            (1, 2): 1.0,
+            (1, 4): -2.0,
+            (2, 4): -2.0,
+            (3, 4): 1.0,
+        }
+        assert enc.aux_of_clause == (4,)
+
+    def test_sub_clause_d_values(self):
+        enc = encode_formula([Clause([1, 2, 3])], num_formula_vars=3)
+        d_values = {(s.clause_index, s.part): s.d_value() for s in enc.sub_objectives}
+        assert d_values == {(0, 1): 2.0, (0, 2): 1.0}
+        assert enc.objective.d_star() == 2.0
+
+
+class TestSubClauseSemantics:
+    @pytest.mark.parametrize(
+        "lits", [(1, 2, 3), (-1, 2, 3), (1, -2, -3), (-1, -2, -3)]
+    )
+    def test_three_clause_penalty_zero_iff_satisfied(self, lits):
+        clause = Clause(list(lits))
+        subs = encode_clause(clause, aux_var=4)
+        assert len(subs) == 2
+        for x1, x2, x3 in itertools.product((0, 1), repeat=3):
+            assignment = {1: x1, 2: x2, 3: x3}
+            best = min(
+                sum(s.objective.energy({**assignment, 4: a}) for s in subs)
+                for a in (0, 1)
+            )
+            satisfied = clause.satisfied_by({k: bool(v) for k, v in assignment.items()})
+            assert (best == 0) == satisfied
+            assert best >= 0
+
+    @pytest.mark.parametrize("lits", [(1,), (-1,), (1, 2), (1, -2), (-1, -2)])
+    def test_narrow_clause_penalty(self, lits):
+        clause = Clause(list(lits))
+        subs = encode_clause(clause, aux_var=None)
+        assert len(subs) == 1
+        variables = sorted(clause.variables)
+        for bits in itertools.product((0, 1), repeat=len(variables)):
+            assignment = dict(zip(variables, bits))
+            penalty = subs[0].objective.energy(assignment)
+            satisfied = clause.satisfied_by({k: bool(v) for k, v in assignment.items()})
+            assert (penalty == 0) == satisfied
+            assert penalty >= 0
+
+    def test_three_clause_requires_aux(self):
+        with pytest.raises(ValueError):
+            encode_clause(Clause([1, 2, 3]), aux_var=None)
+
+    def test_narrow_clause_rejects_aux(self):
+        with pytest.raises(ValueError):
+            encode_clause(Clause([1, 2]), aux_var=9)
+
+    def test_empty_clause_rejected(self):
+        with pytest.raises(ValueError):
+            encode_clause(Clause([]), aux_var=None)
+
+    def test_tautology_rejected(self):
+        with pytest.raises(ValueError):
+            encode_clause(Clause([1, -1, 2]), aux_var=4)
+
+    def test_wide_clause_rejected(self):
+        with pytest.raises(ValueError):
+            encode_clause(Clause([1, 2, 3, 4]), aux_var=5)
+
+
+class TestFormulaEncoding:
+    def test_aux_numbering_continues_above_formula_vars(self):
+        clauses = [Clause([1, 2, 3]), Clause([2, 3, 4]), Clause([1, 2])]
+        enc = encode_formula(clauses, num_formula_vars=10)
+        assert enc.aux_of_clause == (11, 12, None)
+        assert enc.aux_variables == (11, 12)
+
+    def test_first_aux_override(self):
+        enc = encode_formula([Clause([1, 2, 3])], 3, first_aux_var=100)
+        assert enc.aux_of_clause == (100,)
+
+    def test_variable_beyond_declared_rejected(self):
+        with pytest.raises(ValueError):
+            encode_formula([Clause([5])], num_formula_vars=3)
+
+    def test_encode_cnf_wrapper(self, tiny_sat_formula):
+        enc = encode_cnf(tiny_sat_formula)
+        assert len(enc.clauses) == tiny_sat_formula.num_clauses
+
+    def test_with_coefficients_rebuilds_sum(self):
+        enc = encode_formula([Clause([1, 2, 3])], 3)
+        boosted = enc.with_coefficients({(0, 2): 2.0})
+        base = enc.sub_objectives[0].objective.copy()
+        base.add_objective(enc.sub_objectives[1].objective, scale=2.0)
+        assert boosted.objective.is_close(base)
+
+    def test_with_coefficients_requires_positive(self):
+        enc = encode_formula([Clause([1, 2, 3])], 3)
+        with pytest.raises(ValueError):
+            enc.with_coefficients({(0, 1): 0.0})
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_property_min_energy_zero_iff_satisfiable(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 8))
+    m = int(rng.integers(1, 4 * n))
+    clauses = []
+    for _ in range(m):
+        width = int(rng.integers(1, min(3, n) + 1))
+        vs = rng.choice(np.arange(1, n + 1), size=width, replace=False)
+        clauses.append(
+            Clause([int(v) if rng.integers(0, 2) else -int(v) for v in vs])
+        )
+    formula = CNF(clauses, num_vars=n)
+    enc = encode_formula(list(formula.clauses), n)
+    energy, argmin = min_energy(enc)
+    satisfiable = brute_force_solve(formula) is not None
+    assert (energy == 0) == satisfiable
+    assert energy >= 0
+    if satisfiable:
+        projected = {v: argmin[v] for v in range(1, n + 1) if v in argmin}
+        from repro.sat.assignment import Assignment
+
+        assert Assignment(projected).completed(n).satisfies(formula)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_property_min_energy_counts_violations(seed):
+    """With optimal auxiliaries, a clause set's energy at fixed X is at
+    least the number of clauses X violates (alpha = 1 penalties are >= 1
+    per violated clause)."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 7))
+    clauses = []
+    for _ in range(int(rng.integers(1, 10))):
+        width = int(rng.integers(1, min(3, n) + 1))
+        vs = rng.choice(np.arange(1, n + 1), size=width, replace=False)
+        clauses.append(Clause([int(v) if rng.integers(0, 2) else -int(v) for v in vs]))
+    enc = encode_formula(clauses, n)
+    bits = {v: int(rng.integers(0, 2)) for v in range(1, n + 1)}
+    energy, _ = min_energy_given_x(enc, bits)
+    violated = sum(
+        1
+        for c in clauses
+        if not c.satisfied_by({k: bool(v) for k, v in bits.items()})
+    )
+    assert energy >= violated - 1e-9

@@ -1,0 +1,57 @@
+"""Tests for the Eq. 6 hardware normalisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.qubo.encoding import encode_formula
+from repro.qubo.ising import QuadraticObjective
+from repro.qubo.normalization import in_hardware_range, normalize
+from repro.sat.cnf import Clause
+
+
+def test_scales_by_d_star():
+    obj = QuadraticObjective(linear={1: 8.0}, quadratic={(1, 2): -2.0})
+    normalized, d_star = normalize(obj)
+    assert d_star == 4.0  # max(8/2, 2)
+    assert normalized.linear_of(1) == 2.0
+    assert normalized.quadratic_of(1, 2) == -0.5
+
+
+def test_in_range_objective_untouched():
+    obj = QuadraticObjective(linear={1: 1.0}, quadratic={(1, 2): 0.5})
+    normalized, d_star = normalize(obj)
+    assert d_star == 1.0
+    assert normalized.is_close(obj)
+
+
+def test_hardware_range_check():
+    assert in_hardware_range(QuadraticObjective(linear={1: 2.0}))
+    assert not in_hardware_range(QuadraticObjective(linear={1: 2.1}))
+    assert in_hardware_range(QuadraticObjective(quadratic={(1, 2): -1.0}))
+    assert not in_hardware_range(QuadraticObjective(quadratic={(1, 2): 1.2}))
+
+
+def test_energy_scaling_relationship():
+    obj = QuadraticObjective(2.0, {1: 8.0}, {(1, 2): -4.0})
+    normalized, d_star = normalize(obj)
+    assignment = {1: 1, 2: 1}
+    assert normalized.energy(assignment) * d_star == pytest.approx(
+        obj.energy(assignment)
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_property_normalised_encodings_fit_hardware(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 8))
+    clauses = []
+    for _ in range(int(rng.integers(1, 3 * n))):
+        width = int(rng.integers(1, min(3, n) + 1))
+        vs = rng.choice(np.arange(1, n + 1), size=width, replace=False)
+        clauses.append(Clause([int(v) if rng.integers(0, 2) else -int(v) for v in vs]))
+    enc = encode_formula(clauses, n)
+    normalized, d_star = normalize(enc.objective)
+    assert d_star >= 1.0
+    assert in_hardware_range(normalized)

@@ -1,0 +1,123 @@
+"""Tests for Assignment."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sat.assignment import Assignment
+from repro.sat.cnf import CNF, Clause, Lit
+
+
+class TestConstruction:
+    def test_empty(self):
+        a = Assignment()
+        assert len(a) == 0
+
+    def test_from_mapping(self):
+        a = Assignment({1: True, 2: False})
+        assert a[1] is True
+        assert a[2] is False
+
+    def test_from_literals(self):
+        a = Assignment.from_literals([1, -2, Lit(3)])
+        assert a == Assignment({1: True, 2: False, 3: True})
+
+    def test_all_false_true(self):
+        assert all(not v for v in Assignment.all_false(4).values())
+        assert all(Assignment.all_true(4).values())
+        assert len(Assignment.all_true(4)) == 4
+
+    def test_rejects_nonpositive_var(self):
+        with pytest.raises(ValueError):
+            Assignment().assign(0, True)
+        with pytest.raises(ValueError):
+            Assignment({-1: True})
+
+
+class TestMutation:
+    def test_assign_overwrites(self):
+        a = Assignment({1: True})
+        a.assign(1, False)
+        assert a[1] is False
+
+    def test_unassign(self):
+        a = Assignment({1: True})
+        a.unassign(1)
+        assert 1 not in a
+        a.unassign(99)  # no-op
+
+    def test_setitem(self):
+        a = Assignment()
+        a[3] = 1  # truthy coerced
+        assert a[3] is True
+
+    def test_copy_is_independent(self):
+        a = Assignment({1: True})
+        b = a.copy()
+        b.assign(1, False)
+        assert a[1] is True
+
+
+class TestQueries:
+    def test_value_of_literal(self):
+        a = Assignment({1: True})
+        assert a.value_of(Lit(1)) is True
+        assert a.value_of(Lit(-1)) is False
+        assert a.value_of(Lit(2)) is None
+
+    def test_satisfies_clause(self):
+        a = Assignment({1: False, 2: True})
+        assert a.satisfies_clause(Clause([1, 2]))
+        assert not a.satisfies_clause(Clause([1, -2]))
+
+    def test_falsifies_clause(self):
+        a = Assignment({1: False, 2: False})
+        assert a.falsifies_clause(Clause([1, 2]))
+        assert not a.falsifies_clause(Clause([1, 3]))  # 3 unassigned
+
+    def test_satisfies_formula(self, tiny_sat_formula):
+        a = Assignment({1: False, 2: False, 3: True, 4: True})
+        assert a.satisfies(tiny_sat_formula)
+
+    def test_is_total(self):
+        a = Assignment({1: True, 2: True})
+        assert a.is_total(2)
+        assert not a.is_total(3)
+
+    def test_completed_fills_default(self):
+        a = Assignment({2: True}).completed(3)
+        assert a == Assignment({1: False, 2: True, 3: False})
+
+    def test_completed_keeps_existing(self):
+        a = Assignment({1: True}).completed(2, default=True)
+        assert a[1] is True and a[2] is True
+
+    def test_frozen_is_hashable_snapshot(self):
+        a = Assignment({2: False, 1: True})
+        assert a.frozen() == ((1, True), (2, False))
+        hash(a.frozen())
+
+    def test_as_literals(self):
+        a = Assignment({2: False, 1: True})
+        assert a.as_literals() == (Lit(1), Lit(-2))
+
+    def test_mapping_protocol(self):
+        a = Assignment({1: True, 2: False})
+        assert set(a.keys()) == {1, 2}
+        assert sorted(a.items()) == [(1, True), (2, False)]
+        assert a.get(3) is None
+        assert a.get(3, True) is True
+        assert list(iter(a)) == list(a.keys())
+
+    def test_equality_with_dict(self):
+        assert Assignment({1: True}) == {1: True}
+
+
+@given(
+    st.dictionaries(
+        st.integers(min_value=1, max_value=30), st.booleans(), max_size=15
+    )
+)
+def test_roundtrip_through_literals(values):
+    a = Assignment(values)
+    b = Assignment.from_literals(a.as_literals())
+    assert a == b

@@ -1,0 +1,54 @@
+"""Tests for the exhaustive reference solver."""
+
+import pytest
+
+from repro.sat.brute import brute_force_count, brute_force_solve
+from repro.sat.cnf import CNF, Clause
+
+
+def test_satisfiable_returns_model(tiny_sat_formula):
+    model = brute_force_solve(tiny_sat_formula)
+    assert model is not None
+    assert model.satisfies(tiny_sat_formula)
+
+
+def test_unsatisfiable_returns_none(tiny_unsat_formula):
+    assert brute_force_solve(tiny_unsat_formula) is None
+
+
+def test_empty_formula_trivially_sat():
+    model = brute_force_solve(CNF([], num_vars=0))
+    assert model is not None
+
+
+def test_empty_clause_unsat():
+    assert brute_force_solve(CNF([Clause([])], num_vars=1)) is None
+
+
+def test_count_free_variables():
+    # (x1) over 2 variables: x2 free -> 2 models.
+    assert brute_force_count(CNF([[1]], num_vars=2)) == 2
+
+
+def test_count_unsat_is_zero(tiny_unsat_formula):
+    assert brute_force_count(tiny_unsat_formula) == 0
+
+
+def test_count_tautology_like():
+    # (x1 ∨ ¬x1) is a tautology clause: all 2 assignments.
+    assert brute_force_count(CNF([[1, -1]], num_vars=1)) == 2
+
+
+def test_var_limit_enforced():
+    f = CNF([[1]], num_vars=25)
+    with pytest.raises(ValueError):
+        brute_force_solve(f)
+    with pytest.raises(ValueError):
+        brute_force_count(f)
+
+
+def test_exact_count_small_3sat():
+    # (x1 ∨ x2) ∧ (¬x1 ∨ x3): count by hand = 4
+    f = CNF([[1, 2], [-1, 3]], num_vars=3)
+    # enumerate: x1=0: need x2=1 -> x3 free (2); x1=1: need x3=1 -> x2 free (2)
+    assert brute_force_count(f) == 4

@@ -1,0 +1,137 @@
+"""Tests for DIMACS parsing/serialisation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sat.cnf import CNF, Clause
+from repro.sat.dimacs import (
+    DimacsError,
+    parse_dimacs,
+    read_dimacs,
+    to_dimacs,
+    write_dimacs,
+)
+
+BASIC = """c example
+p cnf 4 2
+1 2 3 0
+2 -3 4 0
+"""
+
+
+class TestParse:
+    def test_basic(self):
+        f = parse_dimacs(BASIC)
+        assert f.num_vars == 4
+        assert f.clauses == (Clause([1, 2, 3]), Clause([2, -3, 4]))
+
+    def test_comments_anywhere(self):
+        text = "c top\np cnf 1 1\nc middle\n1 0\n"
+        assert parse_dimacs(text).num_clauses == 1
+
+    def test_clause_spanning_lines(self):
+        text = "p cnf 3 1\n1 2\n3 0\n"
+        assert parse_dimacs(text).clauses == (Clause([1, 2, 3]),)
+
+    def test_multiple_clauses_per_line(self):
+        text = "p cnf 2 2\n1 0 -2 0\n"
+        assert parse_dimacs(text).num_clauses == 2
+
+    def test_satlib_percent_terminator(self):
+        text = "p cnf 1 1\n1 0\n%\n0\n"
+        assert parse_dimacs(text).num_clauses == 1
+
+    def test_blank_lines_ignored(self):
+        text = "p cnf 1 1\n\n1 0\n\n"
+        assert parse_dimacs(text).num_clauses == 1
+
+    def test_missing_header(self):
+        with pytest.raises(DimacsError, match="problem line"):
+            parse_dimacs("1 2 0\n")
+
+    def test_duplicate_header(self):
+        with pytest.raises(DimacsError, match="duplicate"):
+            parse_dimacs("p cnf 1 1\np cnf 1 1\n1 0\n")
+
+    def test_malformed_header(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 1\n")
+        with pytest.raises(DimacsError):
+            parse_dimacs("p sat 1 1\n")
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf one 1\n")
+
+    def test_bad_literal_token(self):
+        with pytest.raises(DimacsError, match="bad literal"):
+            parse_dimacs("p cnf 1 1\nx 0\n")
+
+    def test_clause_count_mismatch_strict(self):
+        with pytest.raises(DimacsError, match="clauses"):
+            parse_dimacs("p cnf 1 2\n1 0\n")
+
+    def test_clause_count_mismatch_lenient(self):
+        f = parse_dimacs("p cnf 1 2\n1 0\n", strict=False)
+        assert f.num_clauses == 1
+
+    def test_variable_overflow_strict(self):
+        with pytest.raises(DimacsError, match="exceeds"):
+            parse_dimacs("p cnf 1 1\n2 0\n")
+
+    def test_variable_overflow_lenient(self):
+        f = parse_dimacs("p cnf 1 1\n2 0\n", strict=False)
+        assert f.num_vars == 2
+
+    def test_unterminated_clause_strict(self):
+        with pytest.raises(DimacsError, match="unterminated"):
+            parse_dimacs("p cnf 2 1\n1 2\n")
+
+    def test_unterminated_clause_lenient(self):
+        f = parse_dimacs("p cnf 2 1\n1 2\n", strict=False)
+        assert f.clauses == (Clause([1, 2]),)
+
+    def test_negative_header_counts(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf -1 0\n")
+
+
+class TestSerialise:
+    def test_roundtrip(self):
+        f = parse_dimacs(BASIC)
+        assert parse_dimacs(to_dimacs(f)) == f
+
+    def test_comments_emitted(self):
+        text = to_dimacs(CNF([[1]]), comments=["hello", "two\nlines"])
+        assert text.startswith("c hello\nc two\nc lines\n")
+
+    def test_empty_formula(self):
+        assert "p cnf 0 0" in to_dimacs(CNF([]))
+
+    def test_file_roundtrip(self, tmp_path):
+        f = parse_dimacs(BASIC)
+        path = tmp_path / "f.cnf"
+        write_dimacs(f, path, comments=["x"])
+        assert read_dimacs(path) == f
+
+
+@st.composite
+def formulas(draw):
+    num_vars = draw(st.integers(min_value=1, max_value=12))
+    clauses = draw(
+        st.lists(
+            st.lists(
+                st.integers(min_value=1, max_value=num_vars).flatmap(
+                    lambda v: st.sampled_from([v, -v])
+                ),
+                min_size=1,
+                max_size=4,
+            ),
+            min_size=0,
+            max_size=10,
+        )
+    )
+    return CNF([Clause(c) for c in clauses], num_vars=num_vars)
+
+
+@given(formulas())
+def test_property_roundtrip(formula):
+    assert parse_dimacs(to_dimacs(formula)) == formula

@@ -1,0 +1,90 @@
+"""Tests for the k-SAT to 3-SAT reduction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat.brute import brute_force_solve
+from repro.sat.cnf import CNF, Clause
+from repro.sat.ksat import to_3sat
+
+
+def test_narrow_clauses_kept_verbatim(tiny_sat_formula):
+    red = to_3sat(tiny_sat_formula)
+    assert red.formula == tiny_sat_formula
+    assert red.num_aux_vars == 0
+
+
+def test_wide_clause_split_count():
+    f = CNF([[1, 2, 3, 4, 5]], num_vars=5)
+    red = to_3sat(f)
+    # k-literal clause -> k-2 clauses, k-3 auxiliaries.
+    assert red.formula.num_clauses == 3
+    assert red.num_aux_vars == 2
+    assert red.formula.is_3sat
+    assert red.aux_of_clause == ((6, 7),)
+
+
+def test_variable_numbering_preserved():
+    f = CNF([[1, 2, 3, 4]], num_vars=4)
+    red = to_3sat(f)
+    assert red.original_num_vars == 4
+    assert all(v > 4 for aux in red.aux_of_clause for v in aux)
+
+
+def test_four_literal_split_structure():
+    f = CNF([[1, 2, 3, 4]], num_vars=4)
+    red = to_3sat(f)
+    assert red.formula.clauses == (
+        Clause([1, 2, 5]),
+        Clause([-5, 3, 4]),
+    )
+
+
+def test_restrict_model_projects():
+    f = CNF([[1, 2, 3, 4]], num_vars=4)
+    red = to_3sat(f)
+    model = brute_force_solve(red.formula)
+    projected = red.restrict_model(model)
+    assert set(projected.keys()) <= {1, 2, 3, 4}
+    assert projected.satisfies(f)
+
+
+@st.composite
+def wide_formulas(draw):
+    num_vars = draw(st.integers(min_value=4, max_value=9))
+    clauses = draw(
+        st.lists(
+            st.lists(
+                st.integers(min_value=1, max_value=num_vars),
+                min_size=1,
+                max_size=7,
+                unique=True,
+            ).map(lambda vs: [v if v % 2 else -v for v in vs]),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    return CNF([Clause(c) for c in clauses], num_vars=num_vars)
+
+
+@settings(max_examples=40, deadline=None)
+@given(wide_formulas())
+def test_equisatisfiable(formula):
+    red = to_3sat(formula)
+    assert red.formula.is_3sat
+    original = brute_force_solve(formula) is not None
+    if red.formula.num_vars <= 24:
+        reduced = brute_force_solve(red.formula) is not None
+        assert original == reduced
+
+
+@settings(max_examples=25, deadline=None)
+@given(wide_formulas())
+def test_reduced_model_satisfies_original(formula):
+    red = to_3sat(formula)
+    if red.formula.num_vars > 24:
+        return
+    model = brute_force_solve(red.formula)
+    if model is not None:
+        assert red.restrict_model(model).satisfies(formula)

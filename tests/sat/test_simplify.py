@@ -1,0 +1,120 @@
+"""Tests for presolve simplification."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sat.brute import brute_force_solve
+from repro.sat.cnf import CNF, Clause
+from repro.sat.simplify import eliminate_pure_literals, propagate_units, simplify
+
+
+class TestUnitPropagation:
+    def test_simple_chain(self):
+        f = CNF([[1], [-1, 2], [-2, 3]])
+        result = propagate_units(f)
+        assert not result.conflict
+        assert result.forced == {1: True, 2: True, 3: True}
+        assert result.formula.num_clauses == 0
+        assert result.decided_sat
+
+    def test_conflict_between_units(self):
+        f = CNF([[1], [-1]])
+        assert propagate_units(f).conflict
+
+    def test_conflict_via_narrowing(self):
+        f = CNF([[1], [2], [-1, -2]])
+        assert propagate_units(f).conflict
+
+    def test_empty_clause_is_conflict(self):
+        assert propagate_units(CNF([Clause([])], num_vars=1)).conflict
+
+    def test_tautologies_dropped(self):
+        f = CNF([[1, -1]], num_vars=1)
+        result = propagate_units(f)
+        assert not result.conflict
+        assert result.formula.num_clauses == 0
+
+    def test_no_units_no_change(self):
+        f = CNF([[1, 2], [-1, -2]])
+        result = propagate_units(f)
+        assert result.formula == f
+        assert len(result.forced) == 0
+
+    def test_narrowed_clause_kept(self):
+        f = CNF([[1], [-1, 2, 3]])
+        result = propagate_units(f)
+        assert result.formula.clauses == (Clause([2, 3]),)
+
+
+class TestPureLiterals:
+    def test_pure_positive(self):
+        f = CNF([[1, 2], [1, -2]])
+        result = eliminate_pure_literals(f)
+        assert result.forced.get(1) is True
+        assert result.formula.num_clauses == 0
+
+    def test_cascading_purity(self):
+        # After 1 is eliminated, -2 becomes pure.
+        f = CNF([[1, 2], [-2, 3], [-2, -3]])
+        result = eliminate_pure_literals(f)
+        assert result.formula.num_clauses == 0
+
+    def test_never_conflicts(self):
+        f = CNF([[1, 2], [-1, 2], [1, -2], [-1, -2]])
+        result = eliminate_pure_literals(f)
+        assert not result.conflict
+
+
+class TestSimplify:
+    def test_detects_unsat(self, tiny_unsat_formula):
+        # No units/pures here, so full simplify leaves it open.
+        result = simplify(tiny_unsat_formula)
+        assert not result.decided_sat
+
+    def test_unit_then_pure(self):
+        f = CNF([[1], [-1, 2, 3], [-1, 2, -3]])
+        result = simplify(f)
+        assert result.decided_sat
+
+    def test_forced_assignment_consistent(self):
+        f = CNF([[1], [-1, 2]])
+        result = simplify(f)
+        model = result.forced.completed(f.num_vars)
+        assert model.satisfies(f)
+
+
+@st.composite
+def small_formulas(draw):
+    num_vars = draw(st.integers(min_value=1, max_value=8))
+    clauses = draw(
+        st.lists(
+            st.lists(
+                st.integers(min_value=1, max_value=num_vars),
+                min_size=1,
+                max_size=3,
+                unique=True,
+            ).map(lambda vs: [v if draw(st.booleans()) else -v for v in vs]),
+            min_size=0,
+            max_size=12,
+        )
+    )
+    return CNF([Clause(c) for c in clauses], num_vars=num_vars)
+
+
+@settings(max_examples=60, deadline=None)
+@given(small_formulas())
+def test_simplification_preserves_satisfiability(formula):
+    original_sat = brute_force_solve(formula) is not None
+    result = simplify(formula)
+    if result.conflict:
+        assert not original_sat
+        return
+    # Any model of the simplified formula extends (with forced values)
+    # to a model of the original; satisfiability must match.
+    residual = brute_force_solve(result.formula)
+    simplified_sat = residual is not None
+    assert simplified_sat == original_sat
+    if residual is not None:
+        combined = residual.copy()
+        for var, val in result.forced.items():
+            combined.assign(var, val)
+        assert combined.completed(formula.num_vars).satisfies(formula)

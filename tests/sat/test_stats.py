@@ -1,0 +1,57 @@
+"""Tests for formula statistics."""
+
+import pytest
+
+from repro.sat.cnf import CNF
+from repro.sat.stats import formula_stats
+
+
+def test_empty_formula():
+    stats = formula_stats(CNF([], num_vars=0))
+    assert stats.num_clauses == 0
+    assert stats.mean_occurrences == 0.0
+    assert stats.positive_literal_fraction == 0.0
+    assert stats.is_3sat
+
+
+def test_width_histogram():
+    f = CNF([[1], [1, 2], [1, 2, 3], [1, -2, 3]])
+    stats = formula_stats(f)
+    assert stats.width_histogram == ((1, 1), (2, 1), (3, 2))
+    assert stats.is_3sat
+
+
+def test_wide_clause_flagged():
+    stats = formula_stats(CNF([[1, 2, 3, 4]]))
+    assert not stats.is_3sat
+
+
+def test_occurrences():
+    f = CNF([[1, 2], [1, 3], [1, -2]])
+    stats = formula_stats(f)
+    assert stats.max_occurrences == 3  # variable 1
+    assert stats.mean_occurrences == pytest.approx(6 / 3)
+
+
+def test_polarity_fraction():
+    f = CNF([[1, -2], [-1, -3]])
+    stats = formula_stats(f)
+    assert stats.positive_literal_fraction == pytest.approx(0.25)
+
+
+def test_ratio():
+    f = CNF([[1, 2, 3]] * 4, num_vars=3)
+    # Duplicate clauses collapse? CNF keeps order/duplicates as given.
+    stats = formula_stats(f)
+    assert stats.clause_ratio == pytest.approx(4 / 3)
+
+
+def test_uniform_random_family(rng):
+    from repro.benchgen.random_ksat import random_3sat
+
+    f = random_3sat(50, 215, rng)
+    stats = formula_stats(f)
+    assert stats.clause_ratio == pytest.approx(4.3)
+    assert stats.width_histogram == ((3, 215),)
+    # Signs are balanced in expectation.
+    assert 0.4 < stats.positive_literal_fraction < 0.6

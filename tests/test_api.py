@@ -1,0 +1,31 @@
+"""Public API surface checks."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None, name
+
+
+def test_quickstart_flow():
+    """The README quickstart must actually work."""
+    import numpy as np
+
+    formula = repro.random_3sat(12, 40, np.random.default_rng(0))
+    result = repro.HyQSatSolver(
+        formula, device=repro.AnnealerDevice(repro.ChimeraGraph(4, 4, 4))
+    ).solve()
+    assert result.status.value in ("sat", "unsat")
+
+
+def test_classic_baselines_exported():
+    import numpy as np
+
+    formula = repro.random_3sat(10, 30, np.random.default_rng(1))
+    assert repro.minisat_solver(formula).solve().status is not None
+    assert repro.kissat_solver(formula).solve().status is not None

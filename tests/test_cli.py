@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def cnf_file(tmp_path):
+    path = tmp_path / "f.cnf"
+    path.write_text("p cnf 3 2\n1 2 3 0\n-1 2 0\n")
+    return str(path)
+
+
+def test_parser_subcommands():
+    parser = build_parser()
+    args = parser.parse_args(["solve", "x.cnf", "--classic"])
+    assert args.command == "solve" and args.classic
+
+
+def test_solve_classic(cnf_file, capsys):
+    assert main(["solve", cnf_file, "--classic"]) == 0
+    out = capsys.readouterr().out
+    assert "s SAT" in out
+    assert "v " in out
+
+
+def test_solve_hybrid(cnf_file, capsys):
+    assert main(["solve", cnf_file]) == 0
+    out = capsys.readouterr().out
+    assert "s SAT" in out
+    assert "qa_calls=" in out
+
+
+def test_solve_reduces_wide_input(tmp_path, capsys):
+    path = tmp_path / "wide.cnf"
+    path.write_text("p cnf 5 1\n1 2 3 4 5 0\n")
+    assert main(["solve", str(path), "--classic"]) == 0
+    assert "reducing" in capsys.readouterr().out
+
+
+def test_generate_to_stdout(capsys):
+    assert main(["generate", "BP"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("c ")
+    assert "p cnf" in out
+
+
+def test_generate_unknown_benchmark(capsys):
+    assert main(["generate", "NOPE"]) == 2
+    assert "unknown benchmark" in capsys.readouterr().out
+
+
+def test_generate_to_file(tmp_path, capsys):
+    out_path = tmp_path / "gen.cnf"
+    assert main(["generate", "GC1", "-o", str(out_path)]) == 0
+    assert out_path.exists()
+    from repro.sat import read_dimacs
+
+    formula = read_dimacs(out_path)
+    assert formula.num_clauses > 0
+
+
+def test_embed_hyqsat(cnf_file, capsys):
+    assert main(["embed", cnf_file, "--grid", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "scheme=hyqsat" in out
+    assert "success=True" in out
+
+
+def test_embed_minorminer(cnf_file, capsys):
+    assert main(["embed", cnf_file, "--scheme", "minorminer", "--grid", "4"]) == 0
+    assert "scheme=minorminer" in capsys.readouterr().out
+
+
+def test_suite_small_slice(capsys):
+    assert main(["suite", "--benchmarks", "BP", "--problems", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "Iteration reduction" in out
+    assert "BP" in out

@@ -1,0 +1,79 @@
+"""Cross-package integration tests.
+
+End-to-end flows that cross several subsystem boundaries: benchmark
+generation -> DIMACS round trip -> classic and hybrid solving ->
+model verification, plus solver-vs-solver agreement on every cheap
+benchmark family.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AnnealerDevice,
+    BENCHMARKS,
+    ChimeraGraph,
+    HyQSatConfig,
+    HyQSatSolver,
+    kissat_solver,
+    minisat_solver,
+    read_dimacs,
+    write_dimacs,
+)
+
+CHEAP_BENCHMARKS = ["GC1", "CFA", "BP", "II", "IF1", "CRY", "AI1"]
+
+
+@pytest.fixture(scope="module")
+def device():
+    return AnnealerDevice(ChimeraGraph(8, 8, 4), seed=0)
+
+
+@pytest.mark.parametrize("name", CHEAP_BENCHMARKS)
+def test_all_solvers_agree_on_benchmark(name, device):
+    formula = BENCHMARKS[name].generate(0, seed=2)
+    mini = minisat_solver(formula, seed=0).solve()
+    kis = kissat_solver(formula, seed=0).solve()
+    hyq = HyQSatSolver(formula, device=device, config=HyQSatConfig(seed=0)).solve()
+    assert mini.is_sat == kis.is_sat == hyq.is_sat, name
+    for result in (mini, kis, hyq):
+        if result.is_sat:
+            assert result.model.satisfies(formula), name
+
+
+@pytest.mark.parametrize("name", ["GC1", "AI1"])
+def test_dimacs_roundtrip_preserves_solving(name, tmp_path, device):
+    formula = BENCHMARKS[name].generate(1, seed=3)
+    path = tmp_path / f"{name}.cnf"
+    write_dimacs(formula, path, comments=[f"{name} integration test"])
+    reloaded = read_dimacs(path)
+    assert reloaded == formula
+    result = HyQSatSolver(
+        reloaded, device=device, config=HyQSatConfig(seed=1)
+    ).solve()
+    assert result.is_sat  # both families are satisfiable by construction
+    assert result.model.satisfies(formula)
+
+
+def test_hybrid_solver_stats_consistency(device):
+    formula = BENCHMARKS["AI1"].generate(2, seed=4)
+    solver = HyQSatSolver(formula, device=device, config=HyQSatConfig(seed=2))
+    result = solver.solve()
+    hybrid = result.hybrid
+    # Accounting invariants that must hold for any solve.
+    assert result.stats.iterations >= result.stats.conflicts
+    assert hybrid.qa_calls == sum(hybrid.strategy_counts.values())
+    assert hybrid.qa_calls == len(hybrid.energies)
+    assert all(np.isfinite(e) for e in hybrid.energies)
+    breakdown = result.time_breakdown(1e-5)
+    assert breakdown.total_s > 0
+
+
+def test_device_reuse_across_solves(device):
+    """One device instance can serve many solver instances."""
+    for index in range(3):
+        formula = BENCHMARKS["AI1"].generate(index, seed=5)
+        result = HyQSatSolver(
+            formula, device=device, config=HyQSatConfig(seed=index)
+        ).solve()
+        assert result.is_sat
