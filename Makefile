@@ -1,0 +1,19 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-full paper-tables
+
+test:
+	$(PYTHON) -m pytest tests/
+
+# QA hot-path micro-benchmark (< 60 s); writes BENCH_hotpath.json and
+# fails if the batched sampler is slower than the per-read baseline.
+bench:
+	$(PYTHON) -m benchmarks.bench_hotpath --quick
+
+bench-full:
+	$(PYTHON) -m benchmarks.bench_hotpath
+
+# Regenerate every paper table / figure reproduction.
+paper-tables:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -1,0 +1,214 @@
+"""QA hot-path benchmark: batched replica annealing + frontend cache.
+
+Measures the three legs of the hot-path optimisation against their
+reference implementations, on the same workload shape the hybrid
+solver produces (a ~120-clause residual embedded on the C16 lattice):
+
+1. **Sampler throughput** — the per-read restart loop
+   (``batch_reads=False``, the original reference dynamics) against
+   the vectorised all-replica batch, for several
+   ``num_reads x num_restarts`` shapes.
+2. **Frontend compile cache** — cold ``Frontend.prepare`` against a
+   cache hit for the identical (queue, trail) pair.
+3. **Full-solve acceptance** — a 100-variable random 3-SAT instance
+   solved cache-on and cache-off must agree in status (and model
+   validity), and the cached run must actually hit.
+
+Run with ``make bench`` or::
+
+    PYTHONPATH=src python -m benchmarks.bench_hotpath --quick
+
+Writes ``BENCH_hotpath.json`` (see ``--output``) and exits non-zero if
+the batched sampler is slower than the per-read baseline on any
+measured shape, or if the acceptance checks fail.  Timings are medians
+over several rounds; sampled bits and solver outcomes are fully
+deterministic for a fixed ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from repro.annealer.device import AnnealerDevice
+from repro.annealer.sampler import SamplerConfig, SimulatedAnnealingSampler
+from repro.benchgen.random_ksat import random_3sat
+from repro.core.config import HyQSatConfig
+from repro.core.frontend import Frontend
+from repro.core.hyqsat import HyQSatSolver
+from repro.topology.chimera import ChimeraGraph
+
+#: ``num_reads x num_restarts`` shapes measured (all >= 8 replicas,
+#: the acceptance floor for the 3x speedup criterion).
+SHAPES_QUICK = [(8, 1), (4, 4)]
+SHAPES_FULL = SHAPES_QUICK + [(8, 2), (8, 4)]
+
+
+def _median_seconds(fn: Callable[[], object], rounds: int, reps: int) -> float:
+    """Median over ``rounds`` of the mean time of ``reps`` calls."""
+    fn()  # warm-up outside the timed region
+    samples = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(reps):
+            fn()
+        samples.append((time.perf_counter() - start) / reps)
+    return float(np.median(samples))
+
+
+def bench_sampler(problem, shapes, rounds: int, reps: int, seed: int) -> List[Dict]:
+    results = []
+    for num_reads, num_restarts in shapes:
+        timings = {}
+        for batch in (False, True):
+            config = SamplerConfig(num_restarts=num_restarts, batch_reads=batch)
+            sampler = SimulatedAnnealingSampler(config, seed=seed)
+            timings[batch] = _median_seconds(
+                lambda: sampler.sample(problem, num_reads=num_reads), rounds, reps
+            )
+        replicas = num_reads * num_restarts
+        sweeps = SamplerConfig().num_sweeps * replicas
+        results.append(
+            {
+                "num_reads": num_reads,
+                "num_restarts": num_restarts,
+                "replicas": replicas,
+                "per_read_ms": round(timings[False] * 1e3, 3),
+                "batched_ms": round(timings[True] * 1e3, 3),
+                "per_read_sweeps_per_s": round(sweeps / timings[False]),
+                "batched_sweeps_per_s": round(sweeps / timings[True]),
+                "speedup": round(timings[False] / timings[True], 3),
+            }
+        )
+    return results
+
+
+def bench_frontend_cache(formula, hardware, queue, rounds: int) -> Dict:
+    miss_samples, hit_samples = [], []
+    for _ in range(rounds):
+        frontend = Frontend(formula, hardware, chain_strength=2.0)
+        start = time.perf_counter()
+        frontend.prepare(queue)
+        miss_samples.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        frontend.prepare(queue)
+        hit_samples.append(time.perf_counter() - start)
+        assert frontend.cache_hits == 1 and frontend.cache_misses == 1
+    miss = float(np.median(miss_samples))
+    hit = float(np.median(hit_samples))
+    return {
+        "miss_ms": round(miss * 1e3, 3),
+        "hit_ms": round(hit * 1e3, 4),
+        "speedup": round(miss / hit, 1),
+    }
+
+
+def bench_solve_acceptance(seed: int) -> Dict:
+    formula = random_3sat(100, 426, np.random.default_rng(1))
+    outcomes = {}
+    for cache_size in (64, 0):
+        device = AnnealerDevice(ChimeraGraph(16, 16, 4), seed=seed)
+        config = HyQSatConfig(seed=seed, frontend_cache_size=cache_size)
+        start = time.perf_counter()
+        result = HyQSatSolver(formula, device=device, config=config).solve()
+        outcomes[cache_size] = (result, time.perf_counter() - start)
+    on, on_seconds = outcomes[64]
+    off, off_seconds = outcomes[0]
+    model_valid = (not on.is_sat) or (
+        on.model.satisfies(formula) and off.model.satisfies(formula)
+    )
+    return {
+        "num_vars": 100,
+        "num_clauses": 426,
+        "status": on.status.value,
+        "statuses_match": on.status is off.status,
+        "model_valid": bool(model_valid),
+        "qa_calls": on.hybrid.qa_calls,
+        "cache_hits": on.hybrid.frontend_cache_hits,
+        "cache_misses": on.hybrid.frontend_cache_misses,
+        "hit_rate": round(on.hybrid.frontend_cache_hit_rate, 4),
+        "cache_on_seconds": round(on_seconds, 3),
+        "cache_off_seconds": round(off_seconds, 3),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small shape set, < 60 s total"
+    )
+    parser.add_argument("--output", default="BENCH_hotpath.json")
+    parser.add_argument("--seed", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    # The hybrid solver's workload shape: a mid-size residual embedded
+    # on the 2000Q-sized lattice.
+    formula = random_3sat(60, 250, np.random.default_rng(7))
+    hardware = ChimeraGraph(16, 16, 4)
+    queue = list(range(120))
+    problem = Frontend(formula, hardware, chain_strength=2.0).prepare(queue)
+    problem = problem.request.compiled
+    print(f"workload: 60 vars / 250 clauses, queue 120, {problem.num_qubits} qubits")
+
+    shapes = SHAPES_QUICK if args.quick else SHAPES_FULL
+    rounds, reps = (3, 2) if args.quick else (5, 3)
+    sampler_rows = bench_sampler(problem, shapes, rounds, reps, args.seed)
+    for row in sampler_rows:
+        print(
+            "sampler reads={num_reads} restarts={num_restarts}: "
+            "per-read {per_read_ms} ms, batched {batched_ms} ms, "
+            "speedup {speedup}x".format(**row)
+        )
+
+    cache_row = bench_frontend_cache(formula, hardware, queue, rounds)
+    print(
+        "frontend cache: miss {miss_ms} ms, hit {hit_ms} ms, "
+        "speedup {speedup}x".format(**cache_row)
+    )
+
+    solve_row = bench_solve_acceptance(0)
+    print(
+        "solve 100v/426c: status={status} statuses_match={statuses_match} "
+        "cache hits={cache_hits}/{qa_calls} calls "
+        "(hit rate {hit_rate})".format(**solve_row)
+    )
+
+    batched_never_slower = all(r["speedup"] >= 1.0 for r in sampler_rows)
+    meets_3x = all(r["speedup"] >= 3.0 for r in sampler_rows)
+    passed = (
+        batched_never_slower
+        and solve_row["statuses_match"]
+        and solve_row["model_valid"]
+        and solve_row["cache_hits"] > 0
+    )
+    report = {
+        "workload": {
+            "num_vars": 60,
+            "num_clauses": 250,
+            "queue_clauses": 120,
+            "num_qubits": problem.num_qubits,
+            "hardware": "chimera-16x16x4",
+        },
+        "quick": args.quick,
+        "seed": args.seed,
+        "sampler": sampler_rows,
+        "frontend_cache": cache_row,
+        "solve_acceptance": solve_row,
+        "batched_never_slower": batched_never_slower,
+        "meets_3x": meets_3x,
+        "passed": passed,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}  passed={passed} meets_3x={meets_3x}")
+    return 0 if passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

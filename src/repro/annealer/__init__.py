@@ -11,9 +11,10 @@ anneal, 110 µs readout, Section VI-A).
 """
 
 from repro.annealer.device import AnnealerDevice, AnnealRequest, AnnealResult, AnnealSample
-from repro.annealer.embedded import EmbeddedProblem, build_embedded_problem
+from repro.annealer.embedded import EmbeddedProblem, batch_energies, build_embedded_problem
 from repro.annealer.noise import NoiseModel
-from repro.annealer.sampler import SimulatedAnnealingSampler
+from repro.annealer.postprocess import LogicalDescender, logical_greedy_descent
+from repro.annealer.sampler import SamplerConfig, SimulatedAnnealingSampler
 from repro.annealer.switching import SwitchingLatencyModel
 from repro.annealer.timing import QpuTimingModel
 from repro.annealer.unembed import majority_vote_unembed
@@ -24,10 +25,14 @@ __all__ = [
     "AnnealSample",
     "AnnealerDevice",
     "EmbeddedProblem",
+    "LogicalDescender",
     "NoiseModel",
     "QpuTimingModel",
+    "SamplerConfig",
     "SimulatedAnnealingSampler",
     "SwitchingLatencyModel",
+    "batch_energies",
     "build_embedded_problem",
+    "logical_greedy_descent",
     "majority_vote_unembed",
 ]

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.annealer.embedded import EmbeddedProblem, build_embedded_problem
 from repro.annealer.noise import NoiseModel
-from repro.annealer.postprocess import logical_greedy_descent
+from repro.annealer.postprocess import LogicalDescender
 from repro.annealer.sampler import SamplerConfig, SimulatedAnnealingSampler
 from repro.annealer.timing import QpuTimingModel
 from repro.annealer.unembed import majority_vote_unembed
@@ -33,7 +33,10 @@ class AnnealRequest:
     ``objective`` is the *normalised* logical objective to run;
     ``energy_scale`` (the Eq. 6 ``d*``) converts read-back energies to
     problem units so the backend's confidence intervals are comparable
-    across problems.
+    across problems.  ``compiled`` optionally carries a precompiled
+    :class:`EmbeddedProblem` (e.g. from the frontend's compilation
+    cache); the device uses it when its recorded chain strength matches
+    the device's own, skipping the embed-graph compile entirely.
     """
 
     objective: QuadraticObjective
@@ -41,6 +44,7 @@ class AnnealRequest:
     edge_couplers: Mapping[Edge, Sequence[Tuple[int, int]]]
     energy_scale: float = 1.0
     num_reads: int = 1
+    compiled: Optional[EmbeddedProblem] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.energy_scale <= 0:
@@ -105,13 +109,15 @@ class AnnealerDevice:
 
     def run(self, request: AnnealRequest) -> AnnealResult:
         """Program, anneal, read out, and unembed."""
-        problem = build_embedded_problem(
-            request.objective,
-            request.embedding,
-            self.hardware,
-            request.edge_couplers,
-            chain_strength=self.chain_strength,
-        )
+        problem = request.compiled
+        if problem is None or problem.chain_strength != self.chain_strength:
+            problem = build_embedded_problem(
+                request.objective,
+                request.embedding,
+                self.hardware,
+                request.edge_couplers,
+                chain_strength=self.chain_strength,
+            )
         # A fresh per-call seed keeps repeated calls independent while
         # the device as a whole stays reproducible.
         self._call_count += 1
@@ -121,13 +127,18 @@ class AnnealerDevice:
         )
         rng = np.random.default_rng(call_seed + 1)
 
+        # The descender's dense logical arrays are built once per
+        # request and shared across every read of this call.
+        descender = (
+            LogicalDescender(request.objective)
+            if self.multi_qubit_correction
+            else None
+        )
         samples: List[AnnealSample] = []
         for bits in sampler.sample(problem, num_reads=request.num_reads):
             assignment, break_fraction = majority_vote_unembed(problem, bits, rng)
-            if self.multi_qubit_correction:
-                assignment, logical_energy = logical_greedy_descent(
-                    request.objective, assignment, rng
-                )
+            if descender is not None:
+                assignment, logical_energy = descender.descend(assignment, rng)
             else:
                 logical_energy = request.objective.energy(
                     {v: int(assignment[v]) for v in request.objective.variables}

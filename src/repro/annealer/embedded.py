@@ -18,13 +18,35 @@ ready for the vectorised sampler.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence, Tuple
+from functools import cached_property
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
+from scipy import sparse
 
 from repro.embedding.base import Edge, Embedding
 from repro.qubo.ising import QuadraticObjective
 from repro.topology.chimera import ChimeraGraph
+
+
+def batch_energies(
+    linear: np.ndarray,
+    couplings: sparse.csr_matrix,
+    states: np.ndarray,
+    offset: float = 0.0,
+) -> np.ndarray:
+    """Energies of a ``(R, n)`` batch of 0/1 states in one sparse pass.
+
+    ``couplings`` must be the *symmetric* sparse coupling matrix (both
+    ``(i, j)`` and ``(j, i)`` populated), so the quadratic term is
+    ``x @ C @ x / 2``.  This is the batch-energy kernel shared by the
+    sampler's best-replica selection and :meth:`EmbeddedProblem.energies`.
+    """
+    states = np.asarray(states, dtype=float)
+    if states.ndim != 2:
+        raise ValueError(f"states must be (R, n), got shape {states.shape}")
+    quad = couplings @ states.T  # (n, R)
+    return offset + states @ linear + 0.5 * np.einsum("ij,ji->i", states, quad)
 
 
 @dataclass(frozen=True)
@@ -48,6 +70,10 @@ class EmbeddedProblem:
     offset:
         Constant term of the logical objective (carried through so
         physical energies are comparable).
+    chain_strength:
+        The chain penalty this problem was compiled with (``None`` for
+        hand-built problems); lets a device recognise a precompiled
+        problem as matching its own setting.
     """
 
     qubits: Tuple[int, ...]
@@ -56,18 +82,58 @@ class EmbeddedProblem:
     chain_edges: Tuple[Tuple[int, int], ...]
     chain_of_index: Tuple[int, ...]
     offset: float
+    chain_strength: Optional[float] = None
 
     @property
     def num_qubits(self) -> int:
         """Number of physical qubits in play."""
         return len(self.qubits)
 
+    @cached_property
+    def coupling_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(rows_i, rows_j, weights)`` of the couplings, computed once.
+
+        One row per physical coupler (``i < j`` direction only) — the
+        layout the sampler's programming-noise channel draws over.
+        """
+        if not self.couplings:
+            empty = np.zeros(0)
+            return empty.astype(int), empty.astype(int), empty
+        rows_i = np.array([c[0] for c in self.couplings])
+        rows_j = np.array([c[1] for c in self.couplings])
+        weights = np.array([c[2] for c in self.couplings])
+        return rows_i, rows_j, weights
+
+    @cached_property
+    def couplings_csr(self) -> sparse.csr_matrix:
+        """Symmetric CSR coupling matrix, computed once and cached.
+
+        Both ``(i, j)`` and ``(j, i)`` carry the coupler weight, so
+        local fields are one ``matrix @ states`` product and energies
+        use the ``x @ C @ x / 2`` convention of :func:`batch_energies`.
+        """
+        n = self.num_qubits
+        rows_i, rows_j, weights = self.coupling_arrays
+        if weights.size == 0:
+            return sparse.csr_matrix((n, n))
+        return sparse.coo_matrix(
+            (
+                np.concatenate([weights, weights]),
+                (np.concatenate([rows_i, rows_j]), np.concatenate([rows_j, rows_i])),
+            ),
+            shape=(n, n),
+        ).tocsr()
+
     def energy(self, bits: np.ndarray) -> float:
         """Physical energy (including chain penalties) of a 0/1 vector."""
-        total = self.offset + float(self.linear @ bits)
-        for i, j, w in self.couplings:
-            total += w * bits[i] * bits[j]
-        return total
+        state = np.asarray(bits, dtype=float)
+        return float(
+            batch_energies(self.linear, self.couplings_csr, state[None, :], self.offset)[0]
+        )
+
+    def energies(self, states: np.ndarray) -> np.ndarray:
+        """Physical energies of a ``(R, n)`` batch of 0/1 states."""
+        return batch_energies(self.linear, self.couplings_csr, states, self.offset)
 
 
 def build_embedded_problem(
@@ -145,4 +211,5 @@ def build_embedded_problem(
         chain_edges=tuple(sorted(set(chain_edge_keys))),
         chain_of_index=tuple(chain_of_index),
         offset=objective.offset,
+        chain_strength=chain_strength,
     )

@@ -10,6 +10,12 @@ satisfiability structure the HyQSAT backend interprets.
 The descent is exact first-improvement local search on the logical
 objective, visiting variables in a seeded random order until a local
 minimum is reached (or the sweep cap hits).
+
+:class:`LogicalDescender` precompiles the objective's dense arrays once
+so a device processing many reads of the same request pays the
+objective → matrix conversion a single time; the
+:func:`logical_greedy_descent` function remains as the one-shot
+wrapper.
 """
 
 from __future__ import annotations
@@ -22,6 +28,94 @@ from repro.qubo.ising import QuadraticObjective
 from repro.sat.assignment import Assignment
 
 
+class LogicalDescender:
+    """Greedy descent over one logical objective, arrays built once.
+
+    The variable order, bias vector, and dense symmetric coupling
+    matrix are precomputed at construction; :meth:`descend` then costs
+    only the sweeps themselves.  Use one instance per
+    :class:`~repro.annealer.device.AnnealRequest` (the device does)
+    instead of re-deriving the arrays for every read.
+    """
+
+    def __init__(self, objective: QuadraticObjective):
+        self.objective = objective
+        self.order: List[int] = sorted(objective.variables)
+        self.index: Dict[int, int] = {var: i for i, var in enumerate(self.order)}
+        n = len(self.order)
+        self.num_variables = n
+        self.bias = np.zeros(n)
+        self.matrix = np.zeros((n, n))
+        for var, coeff in objective.linear.items():
+            self.bias[self.index[var]] = coeff
+        for (u, v), coeff in objective.quadratic.items():
+            self.matrix[self.index[u], self.index[v]] += coeff
+            self.matrix[self.index[v], self.index[u]] += coeff
+
+    def state_of(self, assignment: Assignment) -> np.ndarray:
+        """Dense 0/1 state of ``assignment`` over this objective's
+        variables (absent variables are treated as False)."""
+        state = np.zeros(self.num_variables)
+        for var, i in self.index.items():
+            if assignment.get(var, False):
+                state[i] = 1.0
+        return state
+
+    def energy_of(self, state: np.ndarray) -> float:
+        """Objective energy of a dense 0/1 state."""
+        return float(
+            self.objective.offset
+            + state @ self.bias
+            + state @ (self.matrix @ state) / 2.0
+        )
+
+    def energies(self, states: np.ndarray) -> np.ndarray:
+        """Objective energies of an ``(R, n)`` batch of dense states."""
+        states = np.asarray(states, dtype=float)
+        quad = np.einsum("ij,ij->i", states, states @ self.matrix)
+        return self.objective.offset + states @ self.bias + 0.5 * quad
+
+    def descend(
+        self,
+        assignment: Assignment,
+        rng: np.random.Generator,
+        max_sweeps: int = 32,
+    ) -> Tuple[Assignment, float]:
+        """Descend ``assignment`` to a local minimum of the objective.
+
+        Returns ``(improved_assignment, energy)``; the input assignment
+        is not mutated.
+        """
+        n = self.num_variables
+        if n == 0:
+            return assignment.copy(), self.objective.offset
+
+        state = self.state_of(assignment)
+        # Incremental local fields: flipping i changes every field by a
+        # column of the coupling matrix, so a full sweep is O(n^2) worst
+        # case instead of O(n^2) *per variable*.
+        field = self.bias + self.matrix @ state
+        for _ in range(max_sweeps):
+            improved = False
+            for i in rng.permutation(n):
+                delta = (1.0 - 2.0 * state[i]) * field[i]
+                if delta < -1e-12:
+                    sign = 1.0 - 2.0 * state[i]
+                    state[i] = 1.0 - state[i]
+                    field += sign * self.matrix[i]
+                    improved = True
+            if not improved:
+                break
+
+        out = assignment.copy()
+        for var, i in self.index.items():
+            out.assign(var, bool(state[i]))
+        energy = self.objective.energy(
+            {var: int(state[self.index[var]]) for var in self.order}
+        )
+        return out, energy
+
+
 def logical_greedy_descent(
     objective: QuadraticObjective,
     assignment: Assignment,
@@ -30,47 +124,7 @@ def logical_greedy_descent(
 ) -> Tuple[Assignment, float]:
     """Descend ``assignment`` to a local minimum of ``objective``.
 
-    Returns ``(improved_assignment, energy)``; the input assignment is
-    not mutated.  Variables absent from the assignment are treated as
-    False.
+    One-shot convenience over :class:`LogicalDescender`; returns
+    ``(improved_assignment, energy)`` and leaves the input unmutated.
     """
-    order = sorted(objective.variables)
-    index = {var: i for i, var in enumerate(order)}
-    n = len(order)
-    if n == 0:
-        return assignment.copy(), objective.offset
-
-    state = np.zeros(n)
-    for var, i in index.items():
-        if assignment.get(var, False):
-            state[i] = 1.0
-
-    b = np.zeros(n)
-    matrix = np.zeros((n, n))
-    for var, coeff in objective.linear.items():
-        b[index[var]] = coeff
-    for (u, v), coeff in objective.quadratic.items():
-        matrix[index[u], index[v]] += coeff
-        matrix[index[v], index[u]] += coeff
-
-    # Incremental local fields: flipping i changes every field by a
-    # column of the coupling matrix, so a full sweep is O(n^2) worst
-    # case instead of O(n^2) *per variable*.
-    field = b + matrix @ state
-    for _ in range(max_sweeps):
-        improved = False
-        for i in rng.permutation(n):
-            delta = (1.0 - 2.0 * state[i]) * field[i]
-            if delta < -1e-12:
-                sign = 1.0 - 2.0 * state[i]
-                state[i] = 1.0 - state[i]
-                field += sign * matrix[i]
-                improved = True
-        if not improved:
-            break
-
-    out = assignment.copy()
-    for var, i in index.items():
-        out.assign(var, bool(state[i]))
-    energy = objective.energy({var: int(state[index[var]]) for var in order})
-    return out, energy
+    return LogicalDescender(objective).descend(assignment, rng, max_sweeps=max_sweeps)

@@ -13,6 +13,21 @@ sweep modes are provided:
   the default; it is orders of magnitude faster in numpy and settles to
   the same low-energy states on the problem sizes HyQSAT embeds.
 
+On top of the parallel mode, **replica batching** (``batch_reads``, on
+by default) folds all ``num_reads × num_restarts`` independent anneal
+trajectories into one ``(n, R)`` float32 state matrix and runs a
+*single* vectorised schedule pass: per-sweep local fields are one
+sparse ``matrix @ states`` product, Metropolis acceptance and dilution
+merge into a single uniform draw per spin, greedy descent
+batches the same way, and each read is recovered as its best-energy
+restart via the batch-energy kernel
+(:func:`repro.annealer.embedded.batch_energies`).  The per-spin flip
+probability is *exactly* that of the per-read reference loop
+(``0.5 * min(1, exp(-beta * delta))``), so the batched trajectories
+are statistically equivalent, but they consume the RNG stream in a
+different shape and are therefore not bit-identical with the per-read
+path.  Batched sampling remains fully deterministic for a fixed seed.
+
 The sampler is deterministic given its seed, and the noise model hooks
 in at two points: coefficient perturbation before the run and readout
 flips after it.
@@ -26,7 +41,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 from scipy import sparse
 
-from repro.annealer.embedded import EmbeddedProblem
+from repro.annealer.embedded import EmbeddedProblem, batch_energies
 from repro.annealer.noise import NoiseModel
 
 
@@ -46,6 +61,10 @@ class SamplerConfig:
     #: is given enough attempts to reach the true ground state; higher
     #: restart counts emulate that regime.
     num_restarts: int = 1
+    #: Anneal all ``num_reads × num_restarts`` replicas at once as one
+    #: ``(R, n)`` state matrix (parallel mode only).  Off falls back to
+    #: the per-read reference loop.
+    batch_reads: bool = True
 
     def __post_init__(self) -> None:
         if self.num_sweeps < 1:
@@ -86,6 +105,8 @@ class SimulatedAnnealingSampler:
 
         linear, matrix = self._programmed_arrays(problem, rng)
         betas = self._schedule()
+        if self.config.batch_reads and self.config.sweep_mode == "parallel":
+            return self._sample_batched(num_reads, linear, matrix, betas, rng)
         reads: List[np.ndarray] = []
         for _ in range(num_reads):
             best_bits: Optional[np.ndarray] = None
@@ -111,19 +132,71 @@ class SimulatedAnnealingSampler:
 
     # ------------------------------------------------------------------
 
+    def _sample_batched(
+        self,
+        num_reads: int,
+        linear: np.ndarray,
+        matrix: sparse.csr_matrix,
+        betas: np.ndarray,
+        rng: np.random.Generator,
+    ) -> List[np.ndarray]:
+        """One vectorised schedule pass over all replicas at once.
+
+        ``num_reads × num_restarts`` replicas anneal as a single state
+        matrix held in ``(n, R)`` column-major-replica layout (each
+        replica is a column, so the sparse ``matrix @ states`` product
+        feeds the dense element-wise updates without transposes); each
+        read then keeps its lowest-energy restart via the batch-energy
+        kernel — no Python loop over couplings.
+
+        The batch runs in float32 with a *merged* acceptance draw: one
+        uniform per spin decides accept-and-dilute at once (see
+        :meth:`_anneal_batch`), with exactly the per-spin flip
+        probability of the per-read path's two draws.  The dynamics are
+        therefore statistically equivalent to (but not bit-identical
+        with) the per-read reference loop, and remain fully
+        deterministic for a fixed seed.
+        """
+        n = linear.shape[0]
+        restarts = self.config.num_restarts
+        replicas = num_reads * restarts
+        linear32 = linear.astype(np.float32)
+        matrix32 = matrix.astype(np.float32)
+        states = rng.integers(0, 2, size=(n, replicas)).astype(np.float32)
+        states = self._anneal_batch(states, linear32, matrix32, betas, rng)
+        if self.config.greedy_descent:
+            states = self._descend_batch(states, linear32, matrix32, rng)
+        final = states.T.astype(float)  # (R, n), float64 for selection
+        if restarts == 1:
+            chosen = final
+        else:
+            energies = batch_energies(linear, matrix, final)
+            grouped = energies.reshape(num_reads, restarts)
+            picks = grouped.argmin(axis=1) + np.arange(num_reads) * restarts
+            chosen = final[picks]
+        reads: List[np.ndarray] = []
+        for row in chosen:
+            bits = row.astype(np.int8)
+            reads.append(self.noise.flip_readout(bits, rng).astype(np.int8))
+        return reads
+
     def _programmed_arrays(
         self, problem: EmbeddedProblem, rng: np.random.Generator
     ) -> Tuple[np.ndarray, sparse.csr_matrix]:
         """Bias vector and symmetric sparse coupling matrix with
-        programming noise applied (the pre-anneal channel)."""
+        programming noise applied (the pre-anneal channel).
+
+        Noiseless programming reuses the problem's cached CSR directly;
+        otherwise one noise draw per physical coupler is applied
+        symmetrically to a fresh matrix.
+        """
         n = problem.num_qubits
-        linear = problem.linear.astype(float).copy()
+        if self.noise.coefficient_std == 0.0:
+            return problem.linear.astype(float), problem.couplings_csr
+        linear = problem.linear.astype(float)
         linear = self.noise.perturb_coefficients(linear, rng)
-        if problem.couplings:
-            rows_i = np.array([c[0] for c in problem.couplings])
-            rows_j = np.array([c[1] for c in problem.couplings])
-            weights = np.array([c[2] for c in problem.couplings])
-            # One noise draw per physical coupler, applied symmetrically.
+        rows_i, rows_j, weights = problem.coupling_arrays
+        if weights.size:
             weights = self.noise.perturb_coefficients(weights, rng)
             matrix = sparse.coo_matrix(
                 (
@@ -150,10 +223,16 @@ class SimulatedAnnealingSampler:
         self,
         bits: np.ndarray,
         linear: np.ndarray,
-        matrix: np.ndarray,
+        matrix: sparse.csr_matrix,
         betas: np.ndarray,
         rng: np.random.Generator,
     ) -> np.ndarray:
+        """Diluted parallel Metropolis on a single ``(n,)`` state.
+
+        ``matrix`` is the symmetric ``(n, n)`` CSR coupling matrix (both
+        coupler directions populated), so the local field is one
+        ``matrix @ state`` product.
+        """
         state = bits.astype(float)
         for beta in betas:
             field = linear + matrix @ state
@@ -166,11 +245,72 @@ class SimulatedAnnealingSampler:
             state = np.where(flips, 1.0 - state, state)
         return state.astype(np.int8)
 
+    def _anneal_batch(
+        self,
+        states: np.ndarray,
+        linear: np.ndarray,
+        matrix: sparse.csr_matrix,
+        betas: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Diluted parallel Metropolis on an ``(n, R)`` replica matrix
+        (float32; replicas are columns).
+
+        The state is kept as a ±1 magnetisation matrix ``m = 1 - 2s``,
+        under which the energy change of flipping spin ``i`` is
+        ``delta_i = m_i * (c_i - (matrix @ m)_i / 2)`` with
+        ``c = linear + rowsum(matrix) / 2``.  Both the ``-1/2`` scale
+        and the constant field ``c`` are folded into an *augmented*
+        sparse matrix (one extra column holding ``c``, matched by an
+        all-ones row in the state), so the per-sweep work is one sparse
+        product for all replicas plus five fused in-place element
+        passes.  Acceptance and dilution merge into a single uniform
+        draw per spin — flip iff ``2u < exp(-beta * max(delta, 0))``,
+        exactly the per-read reference's
+        ``0.5 * min(1, exp(-beta * delta))`` flip probability — and the
+        uniforms for many sweeps are drawn (and pre-doubled) in bulk
+        chunks to amortise generator call overhead.
+        """
+        n, num_replicas = states.shape
+        zero = np.float32(0.0)
+        c = linear + np.float32(0.5) * np.asarray(
+            matrix.sum(axis=1), dtype=np.float32
+        ).ravel()
+        augmented = sparse.hstack(
+            [np.float32(-0.5) * matrix, sparse.csr_matrix(c[:, None])],
+            format="csr",
+        ).astype(np.float32)
+        full = np.empty((n + 1, num_replicas), dtype=np.float32)
+        full[:n] = np.float32(1.0) - states - states  # ±1 magnetisation
+        full[n] = 1.0  # constant row feeding the c column
+        m = full[:n]  # writable view; row n stays 1
+        num_sweeps = len(betas)
+        chunk = max(1, int(16_000_000 // max(1, n * num_replicas)))
+        start = 0
+        while start < num_sweeps:
+            count = min(chunk, num_sweeps - start)
+            doubled_u = rng.random((count, n, num_replicas), dtype=np.float32)
+            doubled_u += doubled_u
+            for j in range(count):
+                delta = augmented @ full  # c - (matrix @ m)/2, all replicas
+                delta *= m
+                np.maximum(delta, zero, out=delta)
+                delta *= np.float32(-betas[start + j])
+                np.exp(delta, out=delta)  # 2 * flip threshold per spin
+                # Branch-free flip: m *= copysign(1, 2u - threshold)
+                # negates exactly the spins with 2u < threshold (masked
+                # ufunc writes are an order of magnitude slower here).
+                np.subtract(doubled_u[j], delta, out=delta)
+                np.copysign(np.float32(1.0), delta, out=delta)
+                m *= delta
+            start += count
+        return np.float32(0.5) * (np.float32(1.0) - m)  # back to 0/1
+
     def _descend(
         self,
         bits: np.ndarray,
         linear: np.ndarray,
-        matrix: np.ndarray,
+        matrix: sparse.csr_matrix,
         rng: np.random.Generator,
     ) -> np.ndarray:
         """Zero-temperature greedy descent to the nearest local minimum.
@@ -178,7 +318,9 @@ class SimulatedAnnealingSampler:
         The standard post-anneal calibration step (greedy descent,
         Ayanzadeh et al. [6]): flips are only accepted when they
         strictly lower the energy, applied with 0.5 dilution so the
-        vectorised update converges instead of oscillating.
+        vectorised update converges instead of oscillating.  ``matrix``
+        is the symmetric CSR coupling matrix, as in
+        :meth:`_anneal_parallel`.
         """
         state = bits.astype(float)
         for _ in range(self.config.max_descent_sweeps):
@@ -193,14 +335,48 @@ class SimulatedAnnealingSampler:
             state = np.where(flips, 1.0 - state, state)
         return state.astype(np.int8)
 
+    def _descend_batch(
+        self,
+        states: np.ndarray,
+        linear: np.ndarray,
+        matrix: sparse.csr_matrix,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Batched greedy descent on an ``(n, R)`` replica matrix
+        (float32; replicas are columns).
+
+        Converged replicas simply stop producing improving flips; the
+        sweep loop ends when no replica can improve (or the cap hits).
+        """
+        one = np.float32(1.0)
+        half = np.float32(0.5)
+        eps = np.float32(-1e-6)
+        for _ in range(self.config.max_descent_sweeps):
+            fields = linear[:, None] + matrix @ states
+            delta = (one - states - states) * fields
+            improving = delta < eps
+            if not improving.any():
+                break
+            flips = improving & (
+                rng.random(states.shape, dtype=np.float32) < half
+            )
+            if not flips.any():
+                continue
+            states = np.where(flips, one - states, states)
+        return states
+
     def _anneal_sequential(
         self,
         bits: np.ndarray,
         linear: np.ndarray,
-        matrix: np.ndarray,
+        matrix: sparse.csr_matrix,
         betas: np.ndarray,
         rng: np.random.Generator,
     ) -> np.ndarray:
+        """Single-spin Metropolis reference dynamics on an ``(n,)``
+        state.  ``matrix`` is the symmetric CSR coupling matrix; its raw
+        ``indptr``/``indices``/``data`` arrays drive the per-spin field
+        lookups."""
         state = bits.astype(float)
         n = state.shape[0]
         indptr, indices, data = matrix.indptr, matrix.indices, matrix.data

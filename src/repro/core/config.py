@@ -37,6 +37,26 @@ class HyQSatConfig:
     #: CDCL absorb errors.
     num_reads: int = 1
 
+    #: Anneal all ``num_reads × num_restarts`` replicas of a QA call as
+    #: one batched state matrix (the vectorised hot path).  Only
+    #: applied when the solver constructs its own default device; a
+    #: user-supplied :class:`~repro.annealer.device.AnnealerDevice`
+    #: keeps its own sampler configuration.
+    batch_reads: bool = True
+
+    #: LRU bound (entries) of the frontend compilation cache, which
+    #: memoises encode → embed → normalise → compile per
+    #: (clause-queue fingerprint, trail restriction).  0 disables it.
+    frontend_cache_size: int = 64
+
+    #: While no new conflict has been learned since the last QA call,
+    #: re-deploy the *same* clause queue and trail snapshot instead of
+    #: drawing a fresh random queue head: the activity scores — and so
+    #: the "hardest clauses" — only change at conflicts, the frontend
+    #: compilation cache turns the repeat into a free prepare, and the
+    #: device still draws fresh samples (its per-call seed advances).
+    reuse_queue_between_conflicts: bool = True
+
     #: Section IV-C coefficient adjustment on/off (Figure 15 ablation).
     adjust_coefficients: bool = True
 
@@ -75,3 +95,5 @@ class HyQSatConfig:
             raise ValueError("warmup_iterations must be >= 0 when set")
         if self.strategy_4_decisions < 0:
             raise ValueError("strategy_4_decisions must be >= 0")
+        if self.frontend_cache_size < 0:
+            raise ValueError("frontend_cache_size must be >= 0")

@@ -7,21 +7,45 @@ Pipeline per QA call:
 3. apply the Section IV-C coefficient adjustment (optional),
 4. embed with the linear-time Section IV-B scheme,
 5. rebuild the objective over the *embedded* clauses only and
-   normalise it into hardware range (Eq. 6).
+   normalise it into hardware range (Eq. 6),
+6. optionally precompile the physical :class:`EmbeddedProblem` for the
+   device (when the device's chain strength is known).
 
 The result carries everything the device needs
 (:class:`~repro.annealer.device.AnnealRequest` ingredients) plus the
 bookkeeping the backend needs (which formula clauses actually went to
 hardware).
+
+**Compilation cache.**  Inside one hybrid solve the activity queue
+stabilises after a few conflicts, so the frontend sees the same clause
+queue — restricted by the same trail snapshot — over and over.  Each
+prepared call is therefore memoised in a bounded LRU keyed on
+``(clause-queue fingerprint, partial-assignment restriction)``:
+
+- the *fingerprint* is the sorted tuple of queued formula clause
+  indices (order-insensitive — the prepared request only depends on
+  the clause *set*, so a re-ordered BFS of the same set hits);
+- the *restriction* is the ``(var, value)`` snapshot of the trail over
+  exactly the variables occurring in the queued clauses — the only
+  part of the trail that affects clause conditioning — so unrelated
+  trail growth does not spuriously invalidate entries, while any
+  change to a relevant variable does.
+
+A hit skips encode, coefficient adjustment, embed, normalise, *and*
+(via the ``compiled`` payload on the request) the device-side chain
+compile.  Hit/miss counters are exposed for
+:class:`~repro.core.hyqsat.HybridStats`.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from collections import OrderedDict
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.annealer.device import AnnealRequest
+from repro.annealer.embedded import build_embedded_problem
 from repro.embedding.base import Edge, Embedding
 from repro.embedding.hyqsat_embed import HyQSatEmbedder, HyQSatEmbeddingResult
 from repro.qubo.coefficients import adjust_coefficients
@@ -32,6 +56,18 @@ from repro.sat.assignment import Assignment
 from repro.sat.cnf import CNF, Clause
 from repro.topology.chimera import ChimeraGraph
 
+#: The request object a prepared (and possibly cached) frontend call
+#: hands to the device.  Alias kept so cache-level APIs/tests can talk
+#: about "prepared requests" without importing the annealer layer.
+PreparedRequest = AnnealRequest
+
+#: Cache key: (sorted queue clause indices, ((var, value), ...) trail
+#: restriction over the queue's variables).
+CacheKey = Tuple[Tuple[int, ...], Tuple[Tuple[int, bool], ...]]
+
+#: Sentinel distinguishing "not cached" from a cached ``None`` result.
+_MISSING = object()
+
 
 @dataclass(frozen=True)
 class FrontendResult:
@@ -40,7 +76,8 @@ class FrontendResult:
     ``formula_clauses`` are indices into the *original formula* of the
     clauses that were embedded; ``request`` is ready for
     :meth:`~repro.annealer.device.AnnealerDevice.run`.  ``elapsed_seconds``
-    is the frontend CPU time (Figure 11's frontend share).
+    is the frontend CPU time (Figure 11's frontend share); for a cache
+    hit it is the (tiny) lookup time, not the original compile time.
     """
 
     request: AnnealRequest
@@ -64,7 +101,19 @@ class FrontendResult:
 
 
 class Frontend:
-    """Builds QA requests from clause queues."""
+    """Builds QA requests from clause queues.
+
+    Parameters
+    ----------
+    cache_size:
+        LRU bound of the compilation cache (entries); ``0`` disables
+        caching entirely.
+    chain_strength:
+        When set (the hybrid solver passes its device's value), each
+        prepared request also carries the precompiled
+        :class:`~repro.annealer.embedded.EmbeddedProblem` so the device
+        skips its own compile.
+    """
 
     def __init__(
         self,
@@ -72,12 +121,27 @@ class Frontend:
         hardware: ChimeraGraph,
         adjust: bool = True,
         num_reads: int = 1,
+        cache_size: int = 64,
+        chain_strength: Optional[float] = None,
     ):
+        if cache_size < 0:
+            raise ValueError("cache_size must be non-negative")
         self.formula = formula
         self.hardware = hardware
         self.adjust = adjust
         self.num_reads = num_reads
+        self.cache_size = cache_size
+        self.chain_strength = chain_strength
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self._cache: "OrderedDict[CacheKey, Optional[FrontendResult]]" = OrderedDict()
         self._embedder = HyQSatEmbedder(hardware)
+
+    def reset_cache(self) -> None:
+        """Drop all cached entries and zero the hit/miss counters."""
+        self._cache.clear()
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     def prepare(
         self,
@@ -94,10 +158,52 @@ class Frontend:
 
         Returns None when nothing could be embedded (e.g. an empty
         queue or a first clause that exceeds hardware capacity).
+        Results (including the None outcome) are memoised in the
+        compilation cache; a hit returns the cached result with only
+        ``elapsed_seconds`` refreshed to the lookup cost.
         """
         start = time.perf_counter()
         if not queue:
             return None
+        key: Optional[CacheKey] = None
+        if self.cache_size > 0:
+            key = self._cache_key(queue, assignment)
+            cached = self._cache.get(key, _MISSING)
+            if cached is not _MISSING:
+                self._cache.move_to_end(key)
+                self.cache_hits += 1
+                if cached is None:
+                    return None
+                return replace(cached, elapsed_seconds=time.perf_counter() - start)
+            self.cache_misses += 1
+        result = self._prepare_uncached(queue, assignment, start)
+        if key is not None:
+            self._cache[key] = result
+            if len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+        return result
+
+    def _cache_key(
+        self, queue: Sequence[int], assignment: Optional["Assignment"]
+    ) -> CacheKey:
+        """(queue fingerprint, trail restriction) — see module docs."""
+        fingerprint = tuple(sorted(queue))
+        if assignment is None:
+            return fingerprint, ()
+        pairs = set()
+        for i in fingerprint:
+            for lit in self.formula.clauses[i].lits:
+                value = assignment.get(lit.var)
+                if value is not None:
+                    pairs.add((lit.var, value))
+        return fingerprint, tuple(sorted(pairs))
+
+    def _prepare_uncached(
+        self,
+        queue: Sequence[int],
+        assignment: Optional["Assignment"],
+        start: float,
+    ) -> Optional[FrontendResult]:
         clauses = []
         kept_indices = []
         for i in queue:
@@ -125,12 +231,22 @@ class Frontend:
         objective = self._embedded_objective(encoding, embed_result.embedded_clauses)
         normalized, d_star = normalize(objective)
 
+        compiled = None
+        if self.chain_strength is not None:
+            compiled = build_embedded_problem(
+                normalized,
+                embed_result.embedding,
+                self.hardware,
+                embed_result.edge_couplers,
+                chain_strength=self.chain_strength,
+            )
         request = AnnealRequest(
             objective=normalized,
             embedding=embed_result.embedding,
             edge_couplers=embed_result.edge_couplers,
             energy_scale=d_star,
             num_reads=self.num_reads,
+            compiled=compiled,
         )
         formula_clauses = tuple(queue[k] for k in embed_result.embedded_clauses)
         return FrontendResult(

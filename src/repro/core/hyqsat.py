@@ -65,6 +65,8 @@ class HybridStats:
     frontend_seconds: float = 0.0
     backend_seconds: float = 0.0
     embedded_clause_total: int = 0
+    frontend_cache_hits: int = 0
+    frontend_cache_misses: int = 0
     strategy_counts: Dict[Strategy, int] = field(
         default_factory=lambda: {s: 0 for s in Strategy}
     )
@@ -76,6 +78,15 @@ class HybridStats:
         if self.qa_calls == 0:
             return 0.0
         return self.embedded_clause_total / self.qa_calls
+
+    @property
+    def frontend_cache_hit_rate(self) -> float:
+        """Fraction of frontend prepares served from the compilation
+        cache (0.0 when the cache never fielded a lookup)."""
+        lookups = self.frontend_cache_hits + self.frontend_cache_misses
+        if lookups == 0:
+            return 0.0
+        return self.frontend_cache_hits / lookups
 
 
 @dataclass(frozen=True)
@@ -186,17 +197,30 @@ class HyQSatSolver:
             )
         self.formula = formula
         self._ksat_reduction = None
-        self.device = device or AnnealerDevice()
         self.config = config or HyQSatConfig()
+        if device is None:
+            from repro.annealer.sampler import SamplerConfig as _SamplerConfig
+
+            device = AnnealerDevice(
+                sampler_config=_SamplerConfig(batch_reads=self.config.batch_reads)
+            )
+        self.device = device
         self.solver_config = solver_config or SolverConfig()
         self.hybrid_stats = HybridStats()
         self._conflicts_at_enqueue = -1
+        # Last deployed queue + trail snapshot, reused while no new
+        # conflict has been learned (see HyQSatConfig.reuse_queue_between_conflicts).
+        self._last_queue: Optional[List[int]] = None
+        self._last_snapshot: Optional[Assignment] = None
+        self._conflicts_at_queue = -1
 
         self._frontend = Frontend(
             formula,
             self.device.hardware,
             adjust=self.config.adjust_coefficients,
             num_reads=self.config.num_reads,
+            cache_size=self.config.frontend_cache_size,
+            chain_strength=getattr(self.device, "chain_strength", None),
         )
         self._backend = Backend(
             bands=self.config.bands,
@@ -240,9 +264,15 @@ class HyQSatSolver:
             )
             warmup = math.ceil(math.sqrt(estimate))
         self.hybrid_stats = HybridStats(warmup_iterations=warmup)
+        self._frontend.reset_cache()
+        self._last_queue = None
+        self._last_snapshot = None
+        self._conflicts_at_queue = -1
 
         solver = CdclSolver(self.formula, config=self.solver_config)
         result = solver.solve(hook=_HybridHook(self))
+        self.hybrid_stats.frontend_cache_hits = self._frontend.cache_hits
+        self.hybrid_stats.frontend_cache_misses = self._frontend.cache_misses
         model = result.model
         if model is not None and self._ksat_reduction is not None:
             model = self._ksat_reduction.restrict_model(model)
@@ -275,17 +305,34 @@ class HyQSatSolver:
         unsat = solver.unsatisfied_original_clauses()
         if not unsat:
             return None
-        if config.use_activity_queue:
-            queue = self._queue_gen.generate(
-                solver.counters.activity, self._capacity, candidates=unsat
-            )
+        conflicts_now = solver.stats.conflicts
+        if (
+            config.reuse_queue_between_conflicts
+            and self._last_queue is not None
+            and conflicts_now == self._conflicts_at_queue
+        ):
+            # Nothing was learned since the last deploy, so the
+            # activity queue is unchanged by construction: re-present
+            # the identical (queue, snapshot) pair — the frontend's
+            # compilation cache makes the prepare free — and let the
+            # device draw fresh samples of the same hard kernel.
+            queue, snapshot = self._last_queue, self._last_snapshot
         else:
-            queue = self._queue_gen.generate_random(
-                self._capacity, candidates=unsat
-            )
+            if config.use_activity_queue:
+                queue = self._queue_gen.generate(
+                    solver.counters.activity, self._capacity, candidates=unsat
+                )
+            else:
+                queue = self._queue_gen.generate_random(
+                    self._capacity, candidates=unsat
+                )
+            snapshot = solver.current_assignment()
+            self._last_queue = queue
+            self._last_snapshot = snapshot
+            self._conflicts_at_queue = conflicts_now
         queue_seconds = time.perf_counter() - queue_start
 
-        prepared = self._frontend.prepare(queue, solver.current_assignment())
+        prepared = self._frontend.prepare(queue, snapshot)
         stats.frontend_seconds += queue_seconds
         if prepared is None:
             return None

@@ -92,6 +92,61 @@ class TestCompilation:
         assert problem.offset == norm_obj.offset
 
 
+class TestEnergyKernels:
+    """The vectorised CSR energy path and the batch kernel."""
+
+    def _loop_energy(self, problem, state):
+        total = problem.offset + float(problem.linear @ state)
+        for i, j, w in problem.couplings:
+            total += w * state[i] * state[j]
+        return total
+
+    def test_energy_matches_loop_reference(self, small_hardware):
+        clauses = [Clause([1, 2, 3]), Clause([-1, 2]), Clause([-2, -3, 1])]
+        *_, problem = _compile(clauses, 3, small_hardware)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            state = rng.integers(0, 2, size=problem.num_qubits).astype(float)
+            assert problem.energy(state) == pytest.approx(
+                self._loop_energy(problem, state), abs=1e-9
+            )
+
+    def test_batch_energies_match_single(self, small_hardware):
+        clauses = [Clause([1, 2, 3]), Clause([2, -3])]
+        *_, problem = _compile(clauses, 3, small_hardware)
+        rng = np.random.default_rng(1)
+        states = rng.integers(0, 2, size=(7, problem.num_qubits)).astype(float)
+        batch = problem.energies(states)
+        assert batch.shape == (7,)
+        for k in range(7):
+            assert batch[k] == pytest.approx(problem.energy(states[k]), abs=1e-9)
+
+    def test_batch_energies_rejects_wrong_rank(self, small_hardware):
+        from repro.annealer.embedded import batch_energies
+
+        clauses = [Clause([1, 2])]
+        *_, problem = _compile(clauses, 2, small_hardware)
+        with pytest.raises(ValueError):
+            batch_energies(
+                problem.linear, problem.couplings_csr, np.zeros(problem.num_qubits)
+            )
+
+    def test_couplings_csr_symmetric(self, small_hardware):
+        clauses = [Clause([1, 2, 3])]
+        *_, problem = _compile(clauses, 3, small_hardware)
+        csr = problem.couplings_csr
+        assert (abs(csr - csr.T)).max() == 0
+        dense = csr.toarray()
+        for i, j, w in problem.couplings:
+            assert dense[i, j] == pytest.approx(w)
+            assert dense[j, i] == pytest.approx(w)
+
+    def test_chain_strength_recorded(self, small_hardware):
+        clauses = [Clause([1, 2, 3])]
+        *_, problem = _compile(clauses, 3, small_hardware, chain_strength=2.5)
+        assert problem.chain_strength == 2.5
+
+
 @settings(max_examples=15, deadline=None)
 @given(st.integers(min_value=0, max_value=10_000))
 def test_property_energy_equivalence_random(seed, ):

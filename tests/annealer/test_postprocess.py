@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.annealer.postprocess import logical_greedy_descent
+from repro.annealer.postprocess import LogicalDescender, logical_greedy_descent
 from repro.qubo.ising import QuadraticObjective
 from repro.sat.assignment import Assignment
 
@@ -39,6 +39,56 @@ def test_empty_objective():
         QuadraticObjective(offset=3.0), Assignment(), np.random.default_rng(0)
     )
     assert energy == 3.0
+
+
+def _random_objective(rng, n):
+    obj = QuadraticObjective(offset=float(rng.normal()))
+    for v in range(1, n + 1):
+        obj.add_linear(v, float(rng.normal()))
+    for _ in range(n):
+        u, v = rng.choice(np.arange(1, n + 1), size=2, replace=False)
+        obj.add_quadratic(int(u), int(v), float(rng.normal()))
+    return obj
+
+
+class TestLogicalDescender:
+    """The precompiled-arrays descent engine the device reuses per
+    request."""
+
+    def test_energy_of_matches_objective(self):
+        rng = np.random.default_rng(2)
+        obj = _random_objective(rng, 6)
+        descender = LogicalDescender(obj)
+        for _ in range(8):
+            bits = {v: int(rng.integers(0, 2)) for v in descender.order}
+            state = np.array([bits[v] for v in descender.order], dtype=float)
+            assert descender.energy_of(state) == pytest.approx(obj.energy(bits))
+
+    def test_batch_energies_match_single(self):
+        rng = np.random.default_rng(3)
+        obj = _random_objective(rng, 5)
+        descender = LogicalDescender(obj)
+        states = rng.integers(0, 2, size=(6, descender.num_variables)).astype(float)
+        batch = descender.energies(states)
+        for k in range(6):
+            assert batch[k] == pytest.approx(descender.energy_of(states[k]))
+
+    def test_state_roundtrip(self):
+        obj = QuadraticObjective(linear={1: 1.0, 3: -1.0})
+        descender = LogicalDescender(obj)
+        state = descender.state_of(Assignment({1: True, 3: False}))
+        assert list(state) == [1.0, 0.0]
+
+    def test_descend_equals_wrapper(self):
+        rng_obj = np.random.default_rng(4)
+        obj = _random_objective(rng_obj, 6)
+        start = Assignment({v: bool(rng_obj.integers(0, 2)) for v in range(1, 7)})
+        out_a, e_a = LogicalDescender(obj).descend(
+            start, np.random.default_rng(9)
+        )
+        out_b, e_b = logical_greedy_descent(obj, start, np.random.default_rng(9))
+        assert e_a == pytest.approx(e_b)
+        assert all(out_a[v] == out_b[v] for v in range(1, 7))
 
 
 @settings(max_examples=30, deadline=None)

@@ -105,6 +105,127 @@ class TestNoiseIntegration:
             SimulatedAnnealingSampler().sample(_problem([0.0], []), num_reads=0)
 
 
+def _embedded_random_3sat(hardware, num_vars=8, num_clauses=24, seed=9):
+    """Compile a random 3-SAT residual onto ``hardware`` (C4 in tests).
+
+    Only the clauses the embedder actually placed contribute to the
+    objective, mirroring the frontend's embedded-subset rebuild.
+    """
+    from repro.annealer.embedded import build_embedded_problem
+    from repro.embedding.hyqsat_embed import HyQSatEmbedder
+    from repro.qubo.encoding import encode_formula
+    from repro.qubo.ising import QuadraticObjective
+    from repro.qubo.normalization import normalize
+    from tests.conftest import make_random_3sat
+
+    formula = make_random_3sat(num_vars, num_clauses, seed=seed)
+    enc = encode_formula(list(formula.clauses), formula.num_vars)
+    emb = HyQSatEmbedder(hardware).embed(enc)
+    assert emb.embedded_clauses
+    keep = set(emb.embedded_clauses)
+    objective = QuadraticObjective()
+    for sub in enc.sub_objectives:
+        if sub.clause_index in keep:
+            objective.add_objective(sub.objective, scale=sub.coefficient)
+    norm_obj, _ = normalize(objective)
+    return build_embedded_problem(
+        norm_obj, emb.embedding, hardware, emb.edge_couplers, 1.5
+    )
+
+
+class TestBatchedReplicas:
+    """The vectorised all-replica hot path (``batch_reads=True``)."""
+
+    def test_deterministic_given_seed(self, small_hardware):
+        problem = _embedded_random_3sat(small_hardware)
+        config = SamplerConfig(num_restarts=3, batch_reads=True)
+        a = SimulatedAnnealingSampler(config, seed=13).sample(problem, num_reads=4)
+        b = SimulatedAnnealingSampler(config, seed=13).sample(problem, num_reads=4)
+        assert all((x == y).all() for x, y in zip(a, b))
+        c = SimulatedAnnealingSampler(config, seed=14).sample(problem, num_reads=4)
+        assert any((x != y).any() for x, y in zip(a, c))
+
+    def test_reads_are_valid_bit_vectors(self, small_hardware):
+        problem = _embedded_random_3sat(small_hardware)
+        config = SamplerConfig(num_restarts=2, batch_reads=True)
+        reads = SimulatedAnnealingSampler(config, seed=0).sample(problem, num_reads=5)
+        assert len(reads) == 5
+        for bits in reads:
+            assert bits.shape == (problem.num_qubits,)
+            assert set(np.unique(bits)) <= {0, 1}
+
+    def test_energy_distribution_matches_per_read(self, small_hardware):
+        # The merged acceptance draw has exactly the per-read flip
+        # probability, so the final-energy distributions must agree
+        # (they are not bit-identical: the RNG stream shape differs).
+        problem = _embedded_random_3sat(small_hardware)
+        per_read = SamplerConfig(batch_reads=False)
+        batched = SamplerConfig(batch_reads=True)
+        e_ref = [
+            problem.energy(b)
+            for b in SimulatedAnnealingSampler(per_read, seed=21).sample(
+                problem, num_reads=40
+            )
+        ]
+        e_new = [
+            problem.energy(b)
+            for b in SimulatedAnnealingSampler(batched, seed=21).sample(
+                problem, num_reads=40
+            )
+        ]
+        spread = max(np.std(e_ref), np.std(e_new), 1e-6)
+        assert abs(np.mean(e_new) - np.mean(e_ref)) < spread
+
+    @pytest.mark.parametrize("batch", [False, True])
+    def test_ground_state_simple_problems(self, batch):
+        problem = _problem([-1.0, 1.0], [])
+        config = SamplerConfig(num_sweeps=64, batch_reads=batch)
+        bits = SimulatedAnnealingSampler(config, seed=0).sample(problem)[0]
+        assert list(bits) == [1, 0]
+
+    def test_batched_restarts_never_worse(self):
+        couplings = [(i, j, 1.0) for i in range(8) for j in range(i + 1, 8)]
+        problem = _problem([-1.0] * 8, couplings)
+        single = SimulatedAnnealingSampler(
+            SamplerConfig(num_sweeps=4, num_restarts=1, batch_reads=True), seed=5
+        )
+        multi = SimulatedAnnealingSampler(
+            SamplerConfig(num_sweeps=4, num_restarts=12, batch_reads=True), seed=5
+        )
+        e_single = problem.energy(single.sample(problem)[0])
+        e_multi = problem.energy(multi.sample(problem)[0])
+        assert e_multi <= e_single + 1e-9
+
+    def test_sequential_mode_ignores_batch_flag(self):
+        problem = _problem([0.5, -0.5, 0.2], [(0, 1, -1.0), (1, 2, 0.5)])
+        on = SamplerConfig(sweep_mode="sequential", num_sweeps=16, batch_reads=True)
+        off = SamplerConfig(sweep_mode="sequential", num_sweeps=16, batch_reads=False)
+        a = SimulatedAnnealingSampler(on, seed=3).sample(problem, num_reads=2)
+        b = SimulatedAnnealingSampler(off, seed=3).sample(problem, num_reads=2)
+        assert all((x == y).all() for x, y in zip(a, b))
+
+    def test_batched_readout_noise_applied(self):
+        problem = _problem([-5.0], [])  # strongly wants 1
+        noisy = SimulatedAnnealingSampler(
+            SamplerConfig(batch_reads=True), noise=NoiseModel.bit_flip(1.0), seed=0
+        )
+        assert noisy.sample(problem)[0][0] == 0
+
+    def test_batched_descent_reaches_local_minimum(self, small_hardware):
+        problem = _embedded_random_3sat(small_hardware)
+        config = SamplerConfig(num_sweeps=2, greedy_descent=True, batch_reads=True)
+        sampler = SimulatedAnnealingSampler(config, seed=3)
+        for bits in sampler.sample(problem, num_reads=3):
+            state = bits.astype(float)
+            linear, matrix = sampler._programmed_arrays(
+                problem, np.random.default_rng(0)
+            )
+            field = linear + matrix @ state
+            delta = (1.0 - 2.0 * state) * field
+            # float32 descent: minimal up to single-precision resolution
+            assert (delta >= -1e-4).all()
+
+
 class TestDescentAndRestarts:
     def test_descent_reaches_local_minimum(self):
         # From any state, descent must end with no improving flip.

@@ -33,3 +33,16 @@ def test_bands_are_per_instance():
 def test_warmup_override():
     assert HyQSatConfig(warmup_iterations=0).warmup_iterations == 0
     assert HyQSatConfig().warmup_iterations is None
+
+
+def test_hot_path_defaults():
+    config = HyQSatConfig()
+    assert config.batch_reads is True
+    assert config.frontend_cache_size == 64
+    assert config.reuse_queue_between_conflicts is True
+
+
+def test_frontend_cache_size_validated():
+    assert HyQSatConfig(frontend_cache_size=0).frontend_cache_size == 0
+    with pytest.raises(ValueError):
+        HyQSatConfig(frontend_cache_size=-1)

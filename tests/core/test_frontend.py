@@ -98,6 +98,113 @@ class TestCoefficientToggle:
         assert frontend.prepare([0]).request.num_reads == 7
 
 
+class TestCompilationCache:
+    def test_repeat_queue_hits_and_reuses_request(self, formula, small_hardware):
+        frontend = Frontend(formula, small_hardware)
+        first = frontend.prepare([0, 1, 2])
+        again = frontend.prepare([0, 1, 2])
+        assert frontend.cache_misses == 1
+        assert frontend.cache_hits == 1
+        # The expensive payload is the *same object*, not a recompile.
+        assert again.request is first.request
+        assert again.formula_clauses == first.formula_clauses
+
+    def test_queue_order_insensitive(self, formula, small_hardware):
+        frontend = Frontend(formula, small_hardware)
+        first = frontend.prepare([2, 0, 1])
+        again = frontend.prepare([1, 2, 0])
+        assert frontend.cache_hits == 1
+        assert again.request is first.request
+
+    def test_relevant_assignment_change_misses(self, formula, small_hardware):
+        frontend = Frontend(formula, small_hardware)
+        frontend.prepare([0], Assignment({1: False}))
+        frontend.prepare([0], Assignment({1: True}))
+        assert frontend.cache_hits == 0
+        assert frontend.cache_misses == 2
+
+    def test_unrelated_assignment_still_hits(self, formula, small_hardware):
+        # Clause 0 is over {1, 2, 3}; var 5 cannot affect its residual.
+        frontend = Frontend(formula, small_hardware)
+        first = frontend.prepare([0], Assignment({1: False}))
+        again = frontend.prepare([0], Assignment({1: False, 5: True}))
+        assert frontend.cache_hits == 1
+        assert again.request is first.request
+
+    def test_none_result_cached(self, formula, small_hardware):
+        frontend = Frontend(formula, small_hardware)
+        trail = Assignment({5: False})
+        assert frontend.prepare([3], trail) is None
+        assert frontend.prepare([3], trail) is None
+        assert frontend.cache_misses == 1
+        assert frontend.cache_hits == 1
+
+    def test_lru_bound_evicts_oldest(self, formula, small_hardware):
+        frontend = Frontend(formula, small_hardware, cache_size=2)
+        frontend.prepare([0])
+        frontend.prepare([1])
+        frontend.prepare([2])  # evicts [0]
+        frontend.prepare([0])  # miss again
+        assert frontend.cache_hits == 0
+        assert frontend.cache_misses == 4
+        assert frontend.prepare([2]) is not None  # still resident
+        assert frontend.cache_hits == 1
+
+    def test_cache_disabled(self, formula, small_hardware):
+        frontend = Frontend(formula, small_hardware, cache_size=0)
+        first = frontend.prepare([0])
+        again = frontend.prepare([0])
+        assert frontend.cache_hits == 0
+        assert frontend.cache_misses == 0
+        assert again.request is not first.request
+
+    def test_negative_cache_size_rejected(self, formula, small_hardware):
+        with pytest.raises(ValueError):
+            Frontend(formula, small_hardware, cache_size=-1)
+
+    def test_reset_cache(self, formula, small_hardware):
+        frontend = Frontend(formula, small_hardware)
+        frontend.prepare([0])
+        frontend.prepare([0])
+        frontend.reset_cache()
+        assert frontend.cache_hits == 0
+        assert frontend.cache_misses == 0
+        frontend.prepare([0])
+        assert frontend.cache_misses == 1
+
+    def test_hit_refreshes_elapsed_time(self, formula, small_hardware):
+        frontend = Frontend(formula, small_hardware)
+        first = frontend.prepare([0, 1, 2])
+        again = frontend.prepare([0, 1, 2])
+        assert again.elapsed_seconds > 0
+        assert again.elapsed_seconds != first.elapsed_seconds
+
+
+class TestPrecompiledProblem:
+    def test_compiled_attached_when_chain_strength_known(
+        self, formula, small_hardware
+    ):
+        frontend = Frontend(formula, small_hardware, chain_strength=1.0)
+        result = frontend.prepare([0, 1, 2])
+        assert result.request.compiled is not None
+        assert result.request.compiled.chain_strength == 1.0
+
+    def test_no_compile_without_chain_strength(self, formula, small_hardware):
+        result = Frontend(formula, small_hardware).prepare([0])
+        assert result.request.compiled is None
+
+    def test_device_accepts_precompiled_request(self, formula, small_hardware):
+        from repro.annealer import AnnealerDevice
+
+        device = AnnealerDevice(small_hardware, seed=0)
+        frontend = Frontend(
+            formula, small_hardware, chain_strength=device.chain_strength
+        )
+        result = frontend.prepare([0, 1, 2])
+        anneal = device.run(result.request)
+        assert anneal.samples
+
+
 class TestEmbeddedObjectiveSubset:
     def test_only_embedded_clauses_in_objective(self, small_hardware):
         from repro.topology.chimera import ChimeraGraph

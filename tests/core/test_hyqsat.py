@@ -163,6 +163,44 @@ class TestAblationFlags:
             assert result.is_sat == expected
 
 
+class TestFrontendCacheIntegration:
+    def test_cache_on_off_identical_solve(self):
+        # Acceptance check: a full 100-variable solve must produce the
+        # same outcome with the compilation cache on and off, and the
+        # cached run must actually hit.
+        f = make_random_3sat(100, 426, seed=1)
+        results = {}
+        for cache_size in (64, 0):
+            config = HyQSatConfig(seed=0, frontend_cache_size=cache_size)
+            device = AnnealerDevice(ChimeraGraph(16, 16, 4), seed=0)
+            results[cache_size] = HyQSatSolver(f, device=device, config=config).solve()
+        on, off = results[64], results[0]
+        assert on.status is off.status
+        if on.is_sat:
+            assert on.model.satisfies(f)
+            assert off.model.satisfies(f)
+        assert on.hybrid.frontend_cache_hits > 0
+        assert off.hybrid.frontend_cache_hits == 0
+        assert off.hybrid.frontend_cache_misses == 0
+
+    def test_hit_rate_property(self):
+        from repro.core.hyqsat import HybridStats
+
+        stats = HybridStats()
+        assert stats.frontend_cache_hit_rate == 0.0
+        stats.frontend_cache_hits = 3
+        stats.frontend_cache_misses = 1
+        assert stats.frontend_cache_hit_rate == pytest.approx(0.75)
+
+    def test_queue_reuse_disabled_still_correct(self, shared_device):
+        for seed in range(4):
+            f = make_random_3sat(8, 32, seed=seed + 80)
+            expected = brute_force_solve(f) is not None
+            config = HyQSatConfig(seed=seed, reuse_queue_between_conflicts=False)
+            result = HyQSatSolver(f, device=shared_device, config=config).solve()
+            assert result.is_sat == expected
+
+
 class TestConfigValidation:
     def test_invalid_values(self):
         with pytest.raises(ValueError):
