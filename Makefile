@@ -1,10 +1,15 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-full paper-tables
+.PHONY: test ci bench bench-full paper-tables
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# What .github/workflows/ci.yml runs per Python version.
+ci:
+	$(PYTHON) -m compileall -q src
+	$(PYTHON) -m pytest -x -q
 
 # QA hot-path micro-benchmark (< 60 s); writes BENCH_hotpath.json and
 # fails if the batched sampler is slower than the per-read baseline.

@@ -19,6 +19,7 @@ from repro.analysis import format_table
 from repro.benchgen import random_3sat
 from repro.core.clause_queue import ClauseQueueGenerator
 from repro.embedding import (
+    EmbeddingTimeout,
     HyQSatEmbedder,
     MinorminerLikeEmbedder,
     PlaceAndRouteEmbedder,
@@ -58,18 +59,28 @@ def test_fig13_embedding_efficiency(benchmark):
                 results["hyqsat"][size].append(
                     (hy.elapsed_seconds, hy.num_embedded == len(encoding.clauses), hy.avg_chain_length)
                 )
-                mm = MinorminerLikeEmbedder(
-                    hardware, max_passes=20, timeout_seconds=TIMEOUT, seed=q
-                ).embed(edges, variables)
-                results["minorminer"][size].append(
-                    (mm.elapsed_seconds, mm.success, mm.avg_chain_length)
-                )
-                pr = PlaceAndRouteEmbedder(
-                    hardware, timeout_seconds=TIMEOUT, seed=q
-                ).embed(edges, variables)
-                results["pr"][size].append(
-                    (pr.elapsed_seconds, pr.success, pr.avg_chain_length)
-                )
+                try:
+                    mm = MinorminerLikeEmbedder(
+                        hardware, max_passes=20, timeout_seconds=TIMEOUT, seed=q
+                    ).embed(edges, variables)
+                    results["minorminer"][size].append(
+                        (mm.elapsed_seconds, mm.success, mm.avg_chain_length)
+                    )
+                except EmbeddingTimeout as timeout:
+                    results["minorminer"][size].append(
+                        (timeout.elapsed_seconds, False, float("nan"))
+                    )
+                try:
+                    pr = PlaceAndRouteEmbedder(
+                        hardware, timeout_seconds=TIMEOUT, seed=q
+                    ).embed(edges, variables)
+                    results["pr"][size].append(
+                        (pr.elapsed_seconds, pr.success, pr.avg_chain_length)
+                    )
+                except EmbeddingTimeout as timeout:
+                    results["pr"][size].append(
+                        (timeout.elapsed_seconds, False, float("nan"))
+                    )
         return results
 
     results = benchmark.pedantic(run_all, rounds=1, iterations=1)

@@ -27,7 +27,7 @@ Public surface (re-exported here):
   :func:`random_3sat`.
 """
 
-from repro.annealer import AnnealerDevice, NoiseModel, QpuTimingModel
+from repro.annealer import AnnealerDevice, FaultModel, NoiseModel, QpuTimingModel
 from repro.benchgen import BENCHMARKS, generate_suite, random_3sat
 from repro.cdcl import (
     CdclSolver,
@@ -38,8 +38,16 @@ from repro.cdcl import (
     kissat_solver,
     minisat_solver,
 )
-from repro.core import HyQSatConfig, HyQSatResult, HyQSatSolver
+from repro.core import (
+    BreakerPolicy,
+    HyQSatConfig,
+    HyQSatResult,
+    HyQSatSolver,
+    ResilienceConfig,
+    RetryPolicy,
+)
 from repro.embedding import HyQSatEmbedder, MinorminerLikeEmbedder, PlaceAndRouteEmbedder
+from repro.resilience import QaUnavailable, ResilientDevice
 from repro.ml import Band, ConfidenceBands, GaussianNaiveBayes
 from repro.qubo import QuadraticObjective, adjust_coefficients, encode_formula
 from repro.sat import CNF, Assignment, Clause, Lit, read_dimacs, to_3sat, write_dimacs
@@ -52,12 +60,14 @@ __all__ = [
     "Assignment",
     "BENCHMARKS",
     "Band",
+    "BreakerPolicy",
     "CNF",
     "CdclSolver",
     "ChimeraGraph",
     "Clause",
     "ConfidenceBands",
     "DratProof",
+    "FaultModel",
     "GaussianNaiveBayes",
     "HyQSatConfig",
     "HyQSatEmbedder",
@@ -67,8 +77,12 @@ __all__ = [
     "MinorminerLikeEmbedder",
     "NoiseModel",
     "PlaceAndRouteEmbedder",
+    "QaUnavailable",
     "QpuTimingModel",
     "QuadraticObjective",
+    "ResilienceConfig",
+    "ResilientDevice",
+    "RetryPolicy",
     "SolverConfig",
     "SolverResult",
     "adjust_coefficients",

@@ -12,7 +12,12 @@
 
 from repro.analysis.calibration import measure_iteration_cost
 from repro.analysis.figures import ascii_histogram, ascii_scatter, ascii_series
-from repro.analysis.metrics import ReductionStats, reduction_stats, speedup
+from repro.analysis.metrics import (
+    ReductionStats,
+    reduction_stats,
+    resilience_summary,
+    speedup,
+)
 from repro.analysis.tables import format_table
 from repro.analysis.visits import conflict_proportion, visit_profile
 
@@ -25,6 +30,7 @@ __all__ = [
     "format_table",
     "measure_iteration_cost",
     "reduction_stats",
+    "resilience_summary",
     "speedup",
     "visit_profile",
 ]

@@ -1,9 +1,14 @@
-"""Reduction and speedup metrics (Table I / Table II statistics)."""
+"""Reduction, speedup, and resilience metrics.
+
+Table I / Table II statistics plus the service-level summary of a
+fault-injected solve (availability, retry overhead, budget burn) the
+robustness experiments report.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
@@ -52,3 +57,31 @@ def speedup(baseline_seconds: float, treated_seconds: float) -> float:
     if treated_seconds <= 0:
         raise ValueError("treated time must be positive")
     return baseline_seconds / treated_seconds
+
+
+def resilience_summary(hybrid) -> Dict[str, float]:
+    """Service-level summary of a (possibly fault-injected) solve.
+
+    Takes a :class:`~repro.core.hyqsat.HybridStats` and returns the
+    flat metric dict the robustness experiments tabulate:
+    availability (successful calls / attempted calls), retry overhead
+    (retries per successful call), fault totals per channel, and the
+    modelled QA budget spent.
+    """
+    attempted = hybrid.qa_calls + hybrid.qa_failures
+    out: Dict[str, float] = {
+        "qa_calls": float(hybrid.qa_calls),
+        "qa_attempted": float(attempted),
+        "qa_failures": float(hybrid.qa_failures),
+        "qa_retries": float(hybrid.qa_retries),
+        "availability": hybrid.qa_availability,
+        "retries_per_call": (
+            hybrid.qa_retries / hybrid.qa_calls if hybrid.qa_calls else 0.0
+        ),
+        "budget_spent_us": hybrid.qa_budget_spent_us,
+        "dropped_reads": float(hybrid.qa_dropped_reads),
+        "degraded": 1.0 if hybrid.degraded else 0.0,
+    }
+    for channel, count in sorted(hybrid.qa_fault_counts.items()):
+        out[f"fault_{channel}"] = float(count)
+    return out

@@ -12,6 +12,14 @@ anneal, 110 µs readout, Section VI-A).
 
 from repro.annealer.device import AnnealerDevice, AnnealRequest, AnnealResult, AnnealSample
 from repro.annealer.embedded import EmbeddedProblem, batch_energies, build_embedded_problem
+from repro.annealer.faults import (
+    CalibrationDrift,
+    DeviceFault,
+    FaultInjector,
+    FaultModel,
+    ProgrammingError,
+    ReadoutTimeout,
+)
 from repro.annealer.noise import NoiseModel
 from repro.annealer.postprocess import LogicalDescender, logical_greedy_descent
 from repro.annealer.sampler import SamplerConfig, SimulatedAnnealingSampler
@@ -24,10 +32,16 @@ __all__ = [
     "AnnealResult",
     "AnnealSample",
     "AnnealerDevice",
+    "CalibrationDrift",
+    "DeviceFault",
     "EmbeddedProblem",
+    "FaultInjector",
+    "FaultModel",
     "LogicalDescender",
     "NoiseModel",
+    "ProgrammingError",
     "QpuTimingModel",
+    "ReadoutTimeout",
     "SamplerConfig",
     "SimulatedAnnealingSampler",
     "SwitchingLatencyModel",

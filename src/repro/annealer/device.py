@@ -9,12 +9,21 @@ energies and the modelled device time.
 
 from __future__ import annotations
 
+import dataclasses
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.annealer.embedded import EmbeddedProblem, build_embedded_problem
+from repro.annealer.faults import (
+    CalibrationDrift,
+    FaultInjector,
+    FaultModel,
+    ProgrammingError,
+    ReadoutTimeout,
+)
 from repro.annealer.noise import NoiseModel
 from repro.annealer.postprocess import LogicalDescender
 from repro.annealer.sampler import SamplerConfig, SimulatedAnnealingSampler
@@ -47,10 +56,34 @@ class AnnealRequest:
     compiled: Optional[EmbeddedProblem] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
+        if not math.isfinite(self.energy_scale):
+            raise ValueError(
+                f"energy_scale must be finite, got {self.energy_scale}"
+            )
         if self.energy_scale <= 0:
             raise ValueError("energy_scale must be positive")
         if self.num_reads < 1:
             raise ValueError("num_reads must be >= 1")
+        variables = self.objective.variables
+        if not variables:
+            raise ValueError(
+                "objective has no variables: nothing to anneal (an empty "
+                "or fully-conditioned clause queue must be skipped upstream)"
+            )
+        if len(self.embedding) == 0:
+            raise ValueError("embedding is empty")
+        missing = sorted(v for v in variables if v not in self.embedding)
+        if missing:
+            raise ValueError(
+                f"objective variables without a chain: {missing[:5]}"
+            )
+        empty_chains = [
+            v for v in self.embedding if not self.embedding.chain_of(v)
+        ]
+        if empty_chains:
+            raise ValueError(
+                f"embedding has empty chains for variables: {empty_chains[:5]}"
+            )
 
 
 @dataclass(frozen=True)
@@ -69,10 +102,16 @@ class AnnealSample:
 
 @dataclass(frozen=True)
 class AnnealResult:
-    """All samples of one device call plus modelled device time."""
+    """All samples of one device call plus modelled device time.
+
+    ``dropped_reads`` counts reads lost to the fault injector's
+    per-read dropout channel (0 on a fault-free device); the device
+    still bills their time, as real hardware does.
+    """
 
     samples: Tuple[AnnealSample, ...]
     qpu_time_us: float
+    dropped_reads: int = 0
 
     @property
     def best(self) -> AnnealSample:
@@ -86,7 +125,14 @@ class AnnealResult:
 
 
 class AnnealerDevice:
-    """A simulated quantum annealer with a fixed topology and noise."""
+    """A simulated quantum annealer with a fixed topology and noise.
+
+    When a :class:`~repro.annealer.faults.FaultModel` is supplied,
+    :meth:`run` may raise the typed faults of
+    :mod:`repro.annealer.faults`; wrap the device in
+    :class:`~repro.resilience.ResilientDevice` to get retries,
+    deadlines, and circuit breaking on top.
+    """
 
     def __init__(
         self,
@@ -97,6 +143,8 @@ class AnnealerDevice:
         chain_strength: float = 1.0,
         multi_qubit_correction: bool = True,
         seed: int = 0,
+        faults: Optional[FaultModel] = None,
+        fault_seed: Optional[int] = None,
     ):
         self.hardware = hardware or ChimeraGraph(16, 16, 4)
         self.noise = noise or NoiseModel.noiseless()
@@ -106,9 +154,42 @@ class AnnealerDevice:
         self.multi_qubit_correction = multi_qubit_correction
         self.seed = seed
         self._call_count = 0
+        self.fault_injector: Optional[FaultInjector] = None
+        if faults is not None and not faults.is_faultless:
+            self.fault_injector = FaultInjector(
+                faults, seed if fault_seed is None else fault_seed
+            )
+
+    def recalibrate(self) -> None:
+        """Clear accumulated calibration drift (no-op without faults)."""
+        if self.fault_injector is not None:
+            self.fault_injector.recalibrate()
 
     def run(self, request: AnnealRequest) -> AnnealResult:
-        """Program, anneal, read out, and unembed."""
+        """Program, anneal, read out, and unembed.
+
+        Raises
+        ------
+        ProgrammingError, ReadoutTimeout, CalibrationDrift
+            Only when the device was built with a fault model; see
+            :mod:`repro.annealer.faults` for the channel semantics.
+        """
+        call = None
+        if self.fault_injector is not None:
+            call = self.fault_injector.begin_call(request.num_reads)
+            if call.programming_failed:
+                raise ProgrammingError(
+                    "problem failed to program onto the chip",
+                    call_index=call.call_index,
+                )
+            if self.fault_injector.drifted_out:
+                raise CalibrationDrift(
+                    "device drifted out of calibration "
+                    f"(|offset| = {abs(call.drift):.4f})",
+                    call_index=call.call_index,
+                    drift=call.drift,
+                )
+
         problem = request.compiled
         if problem is None or problem.chain_strength != self.chain_strength:
             problem = build_embedded_problem(
@@ -117,6 +198,12 @@ class AnnealerDevice:
                 self.hardware,
                 request.edge_couplers,
                 chain_strength=self.chain_strength,
+            )
+        if call is not None and call.drift != 0.0:
+            # Sub-threshold calibration drift: a persistent bias offset
+            # on every programmed linear coefficient.
+            problem = dataclasses.replace(
+                problem, linear=problem.linear + call.drift
             )
         # A fresh per-call seed keeps repeated calls independent while
         # the device as a whole stays reproducible.
@@ -150,7 +237,35 @@ class AnnealerDevice:
                     chain_break_fraction=break_fraction,
                 )
             )
+        full_time_us = self.timing.total_us(request.num_reads)
+
+        dropped = 0
+        if call is not None:
+            if call.timeout_after_reads is not None:
+                raise ReadoutTimeout(
+                    f"call timed out after {call.timeout_after_reads} of "
+                    f"{request.num_reads} reads",
+                    call_index=call.call_index,
+                    partial=samples[: call.timeout_after_reads],
+                    elapsed_us=full_time_us,
+                )
+            if call.dropped_reads:
+                kept = [
+                    s
+                    for i, s in enumerate(samples)
+                    if i not in set(call.dropped_reads)
+                ]
+                dropped = len(samples) - len(kept)
+                if not kept:
+                    raise ReadoutTimeout(
+                        f"all {request.num_reads} reads dropped",
+                        call_index=call.call_index,
+                        partial=(),
+                        elapsed_us=full_time_us,
+                    )
+                samples = kept
         return AnnealResult(
             samples=tuple(samples),
-            qpu_time_us=self.timing.total_us(request.num_reads),
+            qpu_time_us=full_time_us,
+            dropped_reads=dropped,
         )

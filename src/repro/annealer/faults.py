@@ -1,0 +1,250 @@
+"""Fault injection for the annealer device.
+
+The physics noise model (:mod:`repro.annealer.noise`) perturbs what a
+*successful* anneal returns; this module models the calls that do not
+succeed at all.  Live QPU service fails in ways the paper's deployment
+story has to survive: problems that fail to program onto the chip
+(flux programming / chain compile errors), calls that exceed their
+deadline and come back with partial reads, devices that drift out of
+calibration between recalibration cycles, and individual reads dropped
+by the readout chain (Gabor et al. and Krüger & Mauerer document all
+four on production D-Wave hardware).
+
+Each channel is a typed, *retryable* exception plus a per-channel
+probability in :class:`FaultModel`; :class:`FaultInjector` draws every
+fault decision from one seeded RNG in a fixed per-call order, so a
+given ``(problem, fault_seed)`` pair replays the identical fault
+sequence — the property the resilience layer's determinism tests rely
+on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+class DeviceFault(RuntimeError):
+    """Base class of injected device failures.
+
+    ``retryable`` tells the resilience layer whether an immediate
+    retry can possibly succeed (``CalibrationDrift`` additionally
+    needs a :meth:`~FaultInjector.recalibrate` first).
+    """
+
+    retryable: bool = True
+
+    def __init__(self, message: str, call_index: int = -1):
+        super().__init__(message)
+        self.call_index = call_index
+
+
+class ProgrammingError(DeviceFault):
+    """The problem failed to program onto the chip.
+
+    Models flux-programming and chain-compile failures: the device
+    never annealed, so only the programming overhead was spent.
+    """
+
+
+class ReadoutTimeout(DeviceFault):
+    """The call exceeded its deadline; zero or more reads survived.
+
+    ``partial`` carries the :class:`~repro.annealer.device.AnnealSample`
+    reads completed before the timeout (possibly empty) and
+    ``elapsed_us`` the modelled device time consumed by the doomed
+    call — the resilience layer charges it against the QA budget and
+    may salvage the partial reads instead of retrying.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        call_index: int = -1,
+        partial: Tuple = (),
+        elapsed_us: float = 0.0,
+    ):
+        super().__init__(message, call_index)
+        self.partial = tuple(partial)
+        self.elapsed_us = elapsed_us
+
+
+class CalibrationDrift(DeviceFault):
+    """The device drifted too far out of calibration to trust.
+
+    Raised once the accumulated bias offset crosses the model's
+    ``drift_fail_threshold``; every subsequent call fails the same way
+    until the device is recalibrated.  ``drift`` is the accumulated
+    offset at failure time.
+    """
+
+    requires_recalibration: bool = True
+
+    def __init__(self, message: str, call_index: int = -1, drift: float = 0.0):
+        super().__init__(message, call_index)
+        self.drift = drift
+
+
+def fault_channel(fault: DeviceFault) -> str:
+    """Canonical channel name of a fault instance (stats keys)."""
+    names = {
+        ProgrammingError: "programming_error",
+        ReadoutTimeout: "readout_timeout",
+        CalibrationDrift: "calibration_drift",
+    }
+    for cls in type(fault).__mro__:
+        if cls in names:
+            return names[cls]
+    return "device_fault"
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Per-channel fault probabilities and drift dynamics.
+
+    Attributes
+    ----------
+    programming_fail_prob:
+        Per-call probability the problem fails to program
+        (:class:`ProgrammingError`).
+    readout_timeout_prob:
+        Per-call probability the call times out mid-readout
+        (:class:`ReadoutTimeout` carrying the reads completed so far).
+    read_dropout_prob:
+        Per-read probability an individual read is dropped from the
+        result; a call whose every read drops degenerates to a
+        :class:`ReadoutTimeout` with no partial reads.
+    drift_onset_prob:
+        Per-call probability the calibration drifts one
+        ``drift_bias_step`` further (signed; direction drawn once at
+        onset).  Drift *persists across calls* until
+        :meth:`FaultInjector.recalibrate`.
+    drift_bias_step:
+        Bias offset (hardware units) each drift event adds to every
+        programmed linear coefficient.
+    drift_fail_threshold:
+        Absolute accumulated drift beyond which calls raise
+        :class:`CalibrationDrift` instead of silently degrading.
+    """
+
+    programming_fail_prob: float = 0.0
+    readout_timeout_prob: float = 0.0
+    read_dropout_prob: float = 0.0
+    drift_onset_prob: float = 0.0
+    drift_bias_step: float = 0.02
+    drift_fail_threshold: float = 0.1
+
+    def __post_init__(self) -> None:
+        for name in (
+            "programming_fail_prob",
+            "readout_timeout_prob",
+            "read_dropout_prob",
+            "drift_onset_prob",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.drift_bias_step < 0:
+            raise ValueError("drift_bias_step must be non-negative")
+        if self.drift_fail_threshold <= 0:
+            raise ValueError("drift_fail_threshold must be positive")
+
+    @classmethod
+    def none(cls) -> "FaultModel":
+        """A fault-free device (the seed state's implicit assumption)."""
+        return cls()
+
+    @classmethod
+    def uniform(cls, probability: float) -> "FaultModel":
+        """Every stochastic channel at the same probability."""
+        return cls(
+            programming_fail_prob=probability,
+            readout_timeout_prob=probability,
+            read_dropout_prob=probability,
+            drift_onset_prob=probability,
+        )
+
+    @property
+    def is_faultless(self) -> bool:
+        """True when no channel can ever fire."""
+        return (
+            self.programming_fail_prob == 0.0
+            and self.readout_timeout_prob == 0.0
+            and self.read_dropout_prob == 0.0
+            and self.drift_onset_prob == 0.0
+        )
+
+
+@dataclass(frozen=True)
+class CallFaults:
+    """The fault decisions of one device call, drawn up front.
+
+    Drawing every decision at ``begin_call`` time (in a fixed order)
+    decouples the fault sequence from how far the device gets before
+    failing, which is what makes replay exact.
+    """
+
+    call_index: int
+    programming_failed: bool
+    timeout_after_reads: Optional[int]
+    dropped_reads: Tuple[int, ...]
+    drift: float
+
+
+class FaultInjector:
+    """Draws per-call fault decisions from a seeded RNG.
+
+    One injector serves one device.  Per call the draw order is fixed
+    (programming, timeout, per-read dropouts, drift), and each call's
+    RNG is derived from ``(seed, call_index)``, so the fault sequence
+    for call *k* is independent of the number of random values earlier
+    calls consumed.
+    """
+
+    def __init__(self, model: FaultModel, seed: int = 0):
+        self.model = model
+        self.seed = seed
+        self.calls = 0
+        self.drift = 0.0
+        self._drift_direction = 0.0
+
+    def begin_call(self, num_reads: int) -> CallFaults:
+        """Draw the fault decisions of the next call."""
+        self.calls += 1
+        model = self.model
+        rng = np.random.default_rng(
+            (self.seed * 9_576_890_767 + self.calls) % (2**63)
+        )
+        programming_failed = bool(rng.random() < model.programming_fail_prob)
+        timeout_after: Optional[int] = None
+        if rng.random() < model.readout_timeout_prob:
+            timeout_after = int(rng.integers(0, num_reads))
+        dropped: List[int] = []
+        if model.read_dropout_prob > 0.0:
+            mask = rng.random(num_reads) < model.read_dropout_prob
+            dropped = [int(i) for i in np.nonzero(mask)[0]]
+        if rng.random() < model.drift_onset_prob:
+            if self._drift_direction == 0.0:
+                self._drift_direction = 1.0 if rng.random() < 0.5 else -1.0
+            else:
+                rng.random()  # keep the draw count per call fixed
+            self.drift += self._drift_direction * model.drift_bias_step
+        return CallFaults(
+            call_index=self.calls,
+            programming_failed=programming_failed,
+            timeout_after_reads=timeout_after,
+            dropped_reads=tuple(dropped),
+            drift=self.drift,
+        )
+
+    @property
+    def drifted_out(self) -> bool:
+        """True when accumulated drift exceeds the failure threshold."""
+        return abs(self.drift) > self.model.drift_fail_threshold
+
+    def recalibrate(self) -> None:
+        """Reset the calibration drift (the operator's recal cycle)."""
+        self.drift = 0.0
+        self._drift_direction = 0.0

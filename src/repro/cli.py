@@ -3,6 +3,7 @@
 Subcommands::
 
     hyqsat solve <file.cnf> [--classic] [--noise] [--seed N]
+                 [--qa-faults SPEC] [--qa-retries N] [--qa-budget-us T]
     hyqsat generate <benchmark> [--index I] [--seed N] [-o out.cnf]
     hyqsat embed <file.cnf> [--scheme hyqsat|minorminer|pr] [--grid N]
     hyqsat suite [--benchmarks GC1,AI1,...] [--problems N]
@@ -22,10 +23,45 @@ from typing import List, Optional
 import numpy as np
 
 
+def _parse_fault_spec(text: str):
+    """Parse ``--qa-faults``: a bare probability applies to every
+    channel; ``key=value`` pairs (comma-separated) set channels
+    individually — keys: ``prog``, ``timeout``, ``dropout``, ``drift``.
+    """
+    from repro.annealer import FaultModel
+
+    try:
+        return FaultModel.uniform(float(text))
+    except ValueError:
+        pass
+    keys = {
+        "prog": "programming_fail_prob",
+        "timeout": "readout_timeout_prob",
+        "dropout": "read_dropout_prob",
+        "drift": "drift_onset_prob",
+    }
+    values = {}
+    for part in text.split(","):
+        if "=" not in part:
+            raise SystemExit(
+                f"bad --qa-faults entry {part!r}; expected key=prob with "
+                f"keys {sorted(keys)}"
+            )
+        key, _, prob = part.partition("=")
+        if key.strip() not in keys:
+            raise SystemExit(
+                f"unknown --qa-faults channel {key!r}; known: {sorted(keys)}"
+            )
+        values[keys[key.strip()]] = float(prob)
+    return FaultModel(**values)
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     from repro.annealer import AnnealerDevice, NoiseModel
     from repro.cdcl import minisat_solver
-    from repro.core import HyQSatConfig, HyQSatSolver
+    from repro.core import HyQSatConfig, HyQSatSolver, ResilienceConfig, RetryPolicy
+    from repro.core.config import BreakerPolicy
+    from repro.resilience import ResilientDevice
     from repro.sat import read_dimacs, to_3sat
 
     formula = read_dimacs(args.path, strict=not args.lenient)
@@ -38,7 +74,24 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         hybrid = None
     else:
         noise = NoiseModel.dwave_2000q() if args.noise else NoiseModel.noiseless()
-        device = AnnealerDevice(noise=noise, seed=args.seed)
+        faults = _parse_fault_spec(args.qa_faults) if args.qa_faults else None
+        fault_seed = args.seed if args.fault_seed is None else args.fault_seed
+        device = AnnealerDevice(
+            noise=noise, seed=args.seed, faults=faults, fault_seed=fault_seed
+        )
+        if not args.no_resilience:
+            device = ResilientDevice(
+                device,
+                ResilienceConfig(
+                    retry=RetryPolicy(max_attempts=args.qa_retries),
+                    breaker=BreakerPolicy(
+                        failure_threshold=args.qa_breaker_threshold
+                    ),
+                    call_deadline_us=args.qa_deadline_us,
+                    qa_budget_us=args.qa_budget_us,
+                    seed=fault_seed,
+                ),
+            )
         solver = HyQSatSolver(
             formula, device=device, config=HyQSatConfig(seed=args.seed)
         )
@@ -61,6 +114,20 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             f"frontend_cache_misses={hybrid.frontend_cache_misses} "
             f"hit_rate={hybrid.frontend_cache_hit_rate:.2f}"
         )
+        print(
+            f"c qa_retries={hybrid.qa_retries} qa_failures={hybrid.qa_failures} "
+            f"qa_availability={hybrid.qa_availability:.2f} "
+            f"breaker_state={hybrid.breaker_state} "
+            f"qa_budget_spent_us={hybrid.qa_budget_spent_us:.1f}"
+        )
+        if hybrid.degraded:
+            print(f"c degraded_to_cdcl reason={hybrid.degraded_reason}")
+        if hybrid.qa_fault_counts:
+            faults_joined = " ".join(
+                f"{name}={count}"
+                for name, count in sorted(hybrid.qa_fault_counts.items())
+            )
+            print(f"c qa_faults {faults_joined}")
     print(f"c wall_seconds={elapsed:.3f}")
     return 0 if result.status.value != "unknown" else 1
 
@@ -110,6 +177,8 @@ def _cmd_embed(args: argparse.Namespace) -> int:
         result = HyQSatEmbedder(hardware).embed(encoding)
         embedded = result.num_embedded
     else:
+        from repro.embedding import EmbeddingTimeout
+
         edges = list(encoding.objective.quadratic.keys())
         variables = encoding.objective.variables
         embedder = (
@@ -117,7 +186,15 @@ def _cmd_embed(args: argparse.Namespace) -> int:
             if args.scheme == "minorminer"
             else PlaceAndRouteEmbedder(hardware, timeout_seconds=args.timeout)
         )
-        result = embedder.embed(edges, variables)
+        try:
+            result = embedder.embed(edges, variables)
+        except EmbeddingTimeout as timeout:
+            print(
+                f"scheme={args.scheme} timeout after {timeout.passes} "
+                f"pass(es) / {timeout.elapsed_seconds:.2f}s "
+                f"(budget {args.timeout:.3g}s)"
+            )
+            return 1
         embedded = formula.num_clauses if result.success else 0
     print(
         f"scheme={args.scheme} success={result.success} "
@@ -172,6 +249,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve.add_argument("--noise", action="store_true", help="noisy 2000Q device model")
     p_solve.add_argument("--seed", type=int, default=0)
     p_solve.add_argument("--lenient", action="store_true", help="tolerate malformed DIMACS")
+    p_solve.add_argument(
+        "--qa-faults",
+        default=None,
+        metavar="SPEC",
+        help="inject device faults: a probability for all channels "
+        "(e.g. 0.2) or key=prob pairs over prog,timeout,dropout,drift "
+        "(e.g. prog=0.1,timeout=0.05)",
+    )
+    p_solve.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="fault-injection RNG seed (defaults to --seed)",
+    )
+    p_solve.add_argument(
+        "--qa-retries", type=int, default=4, help="max attempts per QA call"
+    )
+    p_solve.add_argument(
+        "--qa-deadline-us",
+        type=float,
+        default=None,
+        help="per-call deadline in modelled device microseconds",
+    )
+    p_solve.add_argument(
+        "--qa-budget-us",
+        type=float,
+        default=None,
+        help="global QA time budget in modelled device microseconds",
+    )
+    p_solve.add_argument(
+        "--qa-breaker-threshold",
+        type=int,
+        default=5,
+        help="consecutive failed calls before the circuit breaker opens",
+    )
+    p_solve.add_argument(
+        "--no-resilience",
+        action="store_true",
+        help="call the (possibly faulty) device bare, without the "
+        "retry/breaker proxy",
+    )
     p_solve.set_defaults(func=_cmd_solve)
 
     p_gen = sub.add_parser("generate", help="generate a benchmark instance")

@@ -18,7 +18,12 @@ The pieces map one-to-one onto the paper's architecture (Figure 4):
 
 from repro.core.backend import Backend, BackendDecision, Strategy
 from repro.core.clause_queue import ClauseQueueGenerator
-from repro.core.config import HyQSatConfig
+from repro.core.config import (
+    BreakerPolicy,
+    HyQSatConfig,
+    ResilienceConfig,
+    RetryPolicy,
+)
 from repro.core.frontend import Frontend, FrontendResult
 from repro.core.hyqsat import HybridStats, HyQSatResult, HyQSatSolver, estimate_iterations
 from repro.core.timing import TimeBreakdown
@@ -26,6 +31,7 @@ from repro.core.timing import TimeBreakdown
 __all__ = [
     "Backend",
     "BackendDecision",
+    "BreakerPolicy",
     "ClauseQueueGenerator",
     "Frontend",
     "FrontendResult",
@@ -33,6 +39,8 @@ __all__ = [
     "HyQSatConfig",
     "HyQSatResult",
     "HyQSatSolver",
+    "ResilienceConfig",
+    "RetryPolicy",
     "Strategy",
     "TimeBreakdown",
     "estimate_iterations",

@@ -1,4 +1,12 @@
-"""Configuration of the hybrid solver."""
+"""Configuration of the hybrid solver and its resilience policies.
+
+Besides :class:`HyQSatConfig` this module holds the dataclass policies
+consumed by :mod:`repro.resilience`: retry/backoff, per-call deadline +
+global QA time budget, and the circuit breaker.  All times are
+*modelled device microseconds* (the
+:class:`~repro.annealer.timing.QpuTimingModel` clock), never wall
+clock, so budgeted behaviour is reproducible.
+"""
 
 from __future__ import annotations
 
@@ -6,6 +14,81 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.ml.intervals import ConfidenceBands
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry + exponential backoff with decorrelated jitter.
+
+    Attempt *k*'s backoff is drawn uniformly from
+    ``[base_backoff_us, min(max_backoff_us, 3 * previous_backoff)]``
+    (the AWS "decorrelated jitter" scheme), from a seeded RNG so the
+    whole retry trace replays deterministically.  Backoff time is
+    charged against the QA budget like any other device time.
+    """
+
+    max_attempts: int = 4
+    base_backoff_us: float = 100.0
+    max_backoff_us: float = 10_000.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_backoff_us < 0:
+            raise ValueError("base_backoff_us must be non-negative")
+        if self.max_backoff_us < self.base_backoff_us:
+            raise ValueError("max_backoff_us must be >= base_backoff_us")
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Circuit breaker: closed → open → half-open → closed.
+
+    ``failure_threshold`` consecutive failed calls open the breaker;
+    after ``cooldown_us`` of modelled time it admits
+    ``half_open_probes`` probe call(s) — all must succeed to close it,
+    any failure reopens it and restarts the cooldown.
+    """
+
+    failure_threshold: int = 5
+    cooldown_us: float = 50_000.0
+    half_open_probes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.cooldown_us < 0:
+            raise ValueError("cooldown_us must be non-negative")
+        if self.half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Everything :class:`~repro.resilience.ResilientDevice` needs.
+
+    ``call_deadline_us`` caps the modelled time of one device call —
+    requests that cannot fit are truncated to the reads that do;
+    ``qa_budget_us`` is the global modelled-time budget across the
+    whole solve (``None`` = unlimited).  ``accept_partial_reads``
+    salvages the partial samples a :class:`ReadoutTimeout` carries
+    instead of discarding them; ``recalibrate_on_drift`` answers a
+    :class:`CalibrationDrift` with a recalibration before retrying.
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker: BreakerPolicy = field(default_factory=BreakerPolicy)
+    call_deadline_us: Optional[float] = None
+    qa_budget_us: Optional[float] = None
+    accept_partial_reads: bool = True
+    recalibrate_on_drift: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.call_deadline_us is not None and self.call_deadline_us <= 0:
+            raise ValueError("call_deadline_us must be positive when set")
+        if self.qa_budget_us is not None and self.qa_budget_us <= 0:
+            raise ValueError("qa_budget_us must be positive when set")
 
 
 @dataclass

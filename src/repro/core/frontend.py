@@ -46,7 +46,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.annealer.device import AnnealRequest
 from repro.annealer.embedded import build_embedded_problem
-from repro.embedding.base import Edge, Embedding
+from repro.embedding.base import Edge, Embedding, EmbeddingTimeout
 from repro.embedding.hyqsat_embed import HyQSatEmbedder, HyQSatEmbeddingResult
 from repro.qubo.coefficients import adjust_coefficients
 from repro.qubo.encoding import FormulaEncoding, encode_formula
@@ -224,12 +224,24 @@ class Frontend:
         if self.adjust:
             encoding = adjust_coefficients(encoding).encoding
 
-        embed_result = self._embedder.embed(encoding)
+        try:
+            embed_result = self._embedder.embed(encoding)
+        except EmbeddingTimeout:
+            # An over-budget embed is a skippable clause queue, not a
+            # crash: this QA call is forfeited (the paper's Strategy 3
+            # outcome) and CDCL continues unaided.
+            return None
         if not embed_result.embedded_clauses:
             return None
 
         objective = self._embedded_objective(encoding, embed_result.embedded_clauses)
         normalized, d_star = normalize(objective)
+        if not normalized.variables:
+            # The queue's sub-objectives summed to a constant (every
+            # assignment violates the same number of queued clauses —
+            # e.g. a complete UNSAT core): the device has nothing to
+            # decide, so skip the call and let CDCL refute it.
+            return None
 
         compiled = None
         if self.chain_strength is not None:

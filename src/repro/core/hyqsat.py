@@ -28,12 +28,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.annealer.device import AnnealerDevice
+from repro.annealer.faults import DeviceFault, fault_channel
 from repro.cdcl.solver import CdclSolver, SolverConfig, SolverResult, SolverStatus
 from repro.core.backend import Backend, BackendDecision, Strategy
 from repro.core.clause_queue import ClauseQueueGenerator
 from repro.core.config import HyQSatConfig
 from repro.core.frontend import Frontend
 from repro.core.timing import TimeBreakdown
+from repro.resilience.device import QaUnavailable
 from repro.sat.assignment import Assignment
 from repro.sat.cnf import CNF, Lit
 
@@ -57,7 +59,16 @@ def estimate_iterations(num_vars: int, num_clauses: int) -> int:
 
 @dataclass
 class HybridStats:
-    """Counters of the hybrid layer (on top of the CDCL stats)."""
+    """Counters of the hybrid layer (on top of the CDCL stats).
+
+    ``qa_calls`` counts calls that returned samples; calls lost to
+    device faults land in ``qa_failures`` instead (and, when the call
+    was refused outright by the resilience layer, also in
+    ``qa_unavailable``), so the ``qa_calls == sum(strategy_counts) ==
+    len(energies)`` invariants keep holding under fault injection.
+    ``degraded`` flips when a persistent failure (open breaker, spent
+    budget) switched the rest of the run to pure CDCL.
+    """
 
     warmup_iterations: int = 0
     qa_calls: int = 0
@@ -67,6 +78,16 @@ class HybridStats:
     embedded_clause_total: int = 0
     frontend_cache_hits: int = 0
     frontend_cache_misses: int = 0
+    qa_retries: int = 0
+    qa_failures: int = 0
+    qa_unavailable: int = 0
+    qa_dropped_reads: int = 0
+    qa_budget_spent_us: float = 0.0
+    qa_fault_counts: Dict[str, int] = field(default_factory=dict)
+    breaker_state: str = "closed"
+    breaker_transitions: int = 0
+    degraded: bool = False
+    degraded_reason: Optional[str] = None
     strategy_counts: Dict[Strategy, int] = field(
         default_factory=lambda: {s: 0 for s in Strategy}
     )
@@ -87,6 +108,15 @@ class HybridStats:
         if lookups == 0:
             return 0.0
         return self.frontend_cache_hits / lookups
+
+    @property
+    def qa_availability(self) -> float:
+        """Share of attempted QA calls that returned samples (1.0 when
+        no call was ever attempted)."""
+        attempted = self.qa_calls + self.qa_failures
+        if attempted == 0:
+            return 1.0
+        return self.qa_calls / attempted
 
 
 @dataclass(frozen=True)
@@ -160,6 +190,8 @@ class _HybridHook:
     def on_iteration(self, solver: CdclSolver) -> Optional[Assignment]:
         owner = self._owner
         config = owner.config
+        if owner._qa_disabled:
+            return None  # degraded to pure CDCL; stay out of the way
         if solver.stats.iterations > owner.hybrid_stats.warmup_iterations:
             return None
         if (solver.stats.iterations - 1) % config.qa_period != 0:
@@ -208,6 +240,10 @@ class HyQSatSolver:
         self.solver_config = solver_config or SolverConfig()
         self.hybrid_stats = HybridStats()
         self._conflicts_at_enqueue = -1
+        # Flipped by a persistent QA failure (open breaker / spent
+        # budget): the rest of the run is pure CDCL, keeping every
+        # learned clause.
+        self._qa_disabled = False
         # Last deployed queue + trail snapshot, reused while no new
         # conflict has been learned (see HyQSatConfig.reuse_queue_between_conflicts).
         self._last_queue: Optional[List[int]] = None
@@ -268,11 +304,13 @@ class HyQSatSolver:
         self._last_queue = None
         self._last_snapshot = None
         self._conflicts_at_queue = -1
+        self._qa_disabled = False
 
         solver = CdclSolver(self.formula, config=self.solver_config)
         result = solver.solve(hook=_HybridHook(self))
         self.hybrid_stats.frontend_cache_hits = self._frontend.cache_hits
         self.hybrid_stats.frontend_cache_misses = self._frontend.cache_misses
+        self._sync_resilience_stats()
         model = result.model
         if model is not None and self._ksat_reduction is not None:
             model = self._ksat_reduction.restrict_model(model)
@@ -284,6 +322,24 @@ class HyQSatSolver:
         )
 
     # ------------------------------------------------------------------
+
+    def _sync_resilience_stats(self) -> None:
+        """Fold the resilience layer's counters into the hybrid stats
+        (no-op for a bare device)."""
+        stats = getattr(self.device, "stats", None)
+        if stats is None or not hasattr(stats, "retry_trace"):
+            return
+        hybrid = self.hybrid_stats
+        hybrid.qa_retries = stats.retries
+        hybrid.qa_budget_spent_us = stats.budget_spent_us
+        for name, count in stats.fault_counts.items():
+            hybrid.qa_fault_counts[name] = (
+                hybrid.qa_fault_counts.get(name, 0) + count
+            )
+        breaker = getattr(self.device, "breaker", None)
+        if breaker is not None:
+            hybrid.breaker_state = breaker.state.value
+            hybrid.breaker_transitions = len(breaker.transitions)
 
     def _qa_step(self, solver: CdclSolver) -> Optional[Assignment]:
         """One QA call: queue -> frontend -> device -> backend -> apply."""
@@ -338,8 +394,33 @@ class HyQSatSolver:
             return None
         stats.frontend_seconds += prepared.elapsed_seconds
 
-        anneal = self.device.run(prepared.request)
+        try:
+            anneal = self.device.run(prepared.request)
+        except QaUnavailable as unavailable:
+            # The resilience layer gave up on this call.  Per-call
+            # exhaustion maps to the paper's Strategy 3 (no feedback,
+            # warm-up continues); a persistent condition (open breaker,
+            # spent budget) flips the rest of the run to pure CDCL —
+            # the learned clauses stay, only the QA guidance stops.
+            stats.qa_failures += 1
+            stats.qa_unavailable += 1
+            if unavailable.persistent:
+                self._qa_disabled = True
+                stats.degraded = True
+                stats.degraded_reason = unavailable.reason
+            return None
+        except DeviceFault as fault:
+            # A bare (unwrapped) faulty device: one lost call, treated
+            # exactly like Strategy 3 — the QA call contributed
+            # nothing and CDCL carries on.
+            stats.qa_failures += 1
+            channel = fault_channel(fault)
+            stats.qa_fault_counts[channel] = (
+                stats.qa_fault_counts.get(channel, 0) + 1
+            )
+            return None
         stats.qa_calls += 1
+        stats.qa_dropped_reads += anneal.dropped_reads
         stats.qpu_time_us += anneal.qpu_time_us
         stats.embedded_clause_total += prepared.num_embedded
         stats.energies.append(anneal.best.energy)

@@ -16,6 +16,7 @@ Three embedders reproduce the Figure 13 comparison:
 from repro.embedding.base import (
     Embedding,
     EmbeddingResult,
+    EmbeddingTimeout,
     chain_length_stats,
     find_edge_couplers,
     verify_embedding,
@@ -29,6 +30,7 @@ __all__ = [
     "ConnectionRequirementList",
     "Embedding",
     "EmbeddingResult",
+    "EmbeddingTimeout",
     "HyQSatEmbedder",
     "HyQSatEmbeddingResult",
     "MinorminerLikeEmbedder",

@@ -21,6 +21,25 @@ from repro.topology.chimera import ChimeraGraph
 Edge = Tuple[int, int]
 
 
+class EmbeddingTimeout(TimeoutError):
+    """An embedder ran out of its wall-clock budget.
+
+    Distinct from an embedding *failure* (which means the budget was
+    spent and no valid embedding exists at the attempted density): a
+    timeout says nothing about embeddability, so callers may retry
+    with a larger budget, shrink the problem, or — as the HyQSAT
+    frontend does — skip this clause queue and let CDCL carry on.
+
+    Carries the progress made: ``passes`` completed improvement/route
+    passes and ``elapsed_seconds`` of wall time spent.
+    """
+
+    def __init__(self, message: str, passes: int, elapsed_seconds: float):
+        super().__init__(message)
+        self.passes = passes
+        self.elapsed_seconds = elapsed_seconds
+
+
 def _norm_edge(u: int, v: int) -> Edge:
     return (u, v) if u < v else (v, u)
 

@@ -28,7 +28,13 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.embedding.base import Edge, Embedding, EmbeddingResult, find_edge_couplers
+from repro.embedding.base import (
+    Edge,
+    Embedding,
+    EmbeddingResult,
+    EmbeddingTimeout,
+    find_edge_couplers,
+)
 from repro.topology.chimera import ChimeraGraph
 
 _INF = float("inf")
@@ -72,7 +78,13 @@ class MinorminerLikeEmbedder:
     def embed(
         self, edges: Sequence[Edge], variables: Optional[Iterable[int]] = None
     ) -> EmbeddingResult:
-        """Embed the problem graph given by ``edges`` (all-or-nothing)."""
+        """Embed the problem graph given by ``edges`` (all-or-nothing).
+
+        Raises :class:`~repro.embedding.base.EmbeddingTimeout` when the
+        wall-clock budget runs out mid-search; returns a failure
+        result only when the pass budget is exhausted (the problem is
+        too dense for this heuristic).
+        """
         start = time.perf_counter()
         rng = self._rng = np.random.default_rng(self.seed)
 
@@ -112,8 +124,13 @@ class MinorminerLikeEmbedder:
                 for qubit in chain:
                     usage[qubit] += 1
                 if out_of_time():
-                    return EmbeddingResult(
-                        Embedding(), False, time.perf_counter() - start
+                    elapsed = time.perf_counter() - start
+                    raise EmbeddingTimeout(
+                        f"minorminer-like embedder exceeded its "
+                        f"{self.timeout_seconds:.3g}s budget after "
+                        f"{pass_num} completed pass(es)",
+                        passes=pass_num,
+                        elapsed_seconds=elapsed,
                     )
             if max(usage) <= 1:
                 break

@@ -27,7 +27,13 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.embedding.base import Edge, Embedding, EmbeddingResult, find_edge_couplers
+from repro.embedding.base import (
+    Edge,
+    Embedding,
+    EmbeddingResult,
+    EmbeddingTimeout,
+    find_edge_couplers,
+)
 from repro.topology.chimera import ChimeraGraph, QubitCoord
 
 _INF = float("inf")
@@ -62,7 +68,12 @@ class PlaceAndRouteEmbedder:
     def embed(
         self, edges: Sequence[Edge], variables: Optional[Iterable[int]] = None
     ) -> EmbeddingResult:
-        """Embed the problem graph given by ``edges`` (all-or-nothing)."""
+        """Embed the problem graph given by ``edges`` (all-or-nothing).
+
+        Raises :class:`~repro.embedding.base.EmbeddingTimeout` when the
+        wall-clock budget runs out; a failure result means the round
+        budget was exhausted without finding a disjoint routing.
+        """
         start = time.perf_counter()
 
         adjacency: Dict[int, Set[int]] = {}
@@ -77,11 +88,17 @@ class PlaceAndRouteEmbedder:
 
         for round_num in range(self.max_rounds):
             if time.perf_counter() - start > self.timeout_seconds:
-                break
+                raise EmbeddingTimeout(
+                    f"place-and-route embedder exceeded its "
+                    f"{self.timeout_seconds:.3g}s budget after "
+                    f"{round_num} completed round(s)",
+                    passes=round_num,
+                    elapsed_seconds=time.perf_counter() - start,
+                )
             placement = self._place(adjacency, shuffle_seed=round_num)
             if len(placement) < len(adjacency):
                 continue  # ran out of cells
-            chains = self._route(placement, adjacency, start)
+            chains = self._route(placement, adjacency, start, round_num)
             if chains is None:
                 continue
             embedding = Embedding(
@@ -158,6 +175,7 @@ class PlaceAndRouteEmbedder:
         placement: Dict[int, int],
         adjacency: Dict[int, Set[int]],
         start_time: float,
+        round_num: int = 0,
     ) -> Optional[Dict[int, Set[int]]]:
         """Grow chains from fixed seeds until disjoint or give up."""
         usage = [0] * self.hardware.num_qubits
@@ -176,7 +194,14 @@ class PlaceAndRouteEmbedder:
             )
             for vertex in vertex_order:
                 if time.perf_counter() - start_time > self.timeout_seconds:
-                    return None
+                    raise EmbeddingTimeout(
+                        f"place-and-route routing exceeded its "
+                        f"{self.timeout_seconds:.3g}s budget in round "
+                        f"{round_num} after {pass_num} completed route "
+                        f"pass(es)",
+                        passes=pass_num,
+                        elapsed_seconds=time.perf_counter() - start_time,
+                    )
                 seed_qubit = placement[vertex]
                 for qubit in chains[vertex]:
                     usage[qubit] -= 1

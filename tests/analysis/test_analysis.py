@@ -87,3 +87,37 @@ class TestCalibration:
     def test_cost_is_positive_and_small(self):
         cost = measure_iteration_cost(num_vars=30, num_clauses=120, trials=2)
         assert 0 < cost < 0.1
+
+
+class TestResilienceSummary:
+    def test_summary_fields(self):
+        from repro.analysis.metrics import resilience_summary
+        from repro.core.hyqsat import HybridStats
+
+        hybrid = HybridStats(
+            qa_calls=8,
+            qa_failures=2,
+            qa_retries=4,
+            qa_dropped_reads=3,
+            qa_budget_spent_us=1234.5,
+            qa_fault_counts={"programming_error": 2, "readout_timeout": 1},
+            degraded=True,
+        )
+        summary = resilience_summary(hybrid)
+        assert summary["qa_calls"] == 8.0
+        assert summary["qa_attempted"] == 10.0
+        assert summary["availability"] == pytest.approx(0.8)
+        assert summary["retries_per_call"] == pytest.approx(0.5)
+        assert summary["budget_spent_us"] == pytest.approx(1234.5)
+        assert summary["dropped_reads"] == 3.0
+        assert summary["degraded"] == 1.0
+        assert summary["fault_programming_error"] == 2.0
+        assert summary["fault_readout_timeout"] == 1.0
+
+    def test_no_calls_means_full_availability(self):
+        from repro.analysis.metrics import resilience_summary
+        from repro.core.hyqsat import HybridStats
+
+        summary = resilience_summary(HybridStats())
+        assert summary["availability"] == 1.0
+        assert summary["retries_per_call"] == 0.0

@@ -45,17 +45,21 @@ class TestRun:
         assert result.best.energy == pytest.approx(0.0, abs=1e-9)
         assert result.best.assignment.satisfies_clause(Clause([1, 2, 3]))
 
-    def test_unsat_pair_has_positive_energy(self, small_hardware):
+    def test_unsat_core_has_positive_energy(self, small_hardware):
+        # (x1 v x2), (-x1), (-x2): unsatisfiable, objective 1 + x1*x2.
+        # (A perfectly balanced contradiction like [x1], [-x1] sums to
+        # a *constant* objective, which AnnealRequest now rejects.)
+        core = [Clause([1, 2]), Clause([-1]), Clause([-2])]
         device = AnnealerDevice(small_hardware, seed=0)
-        result = device.run(_request([Clause([1]), Clause([-1])], 1, small_hardware))
+        result = device.run(_request(core, 2, small_hardware))
         assert result.best.energy >= 1.0 - 1e-9
 
     def test_energy_in_problem_units(self, small_hardware):
         # Three copies of the same contradiction scale the gap.
-        clauses = [Clause([1]), Clause([-1])]
+        core = [Clause([1, 2]), Clause([-1]), Clause([-2])]
         device = AnnealerDevice(small_hardware, seed=1)
-        result = device.run(_request(clauses, 1, small_hardware))
-        assert result.best.energy == pytest.approx(1.0, abs=1e-9)
+        result = device.run(_request(core * 3, 2, small_hardware))
+        assert result.best.energy == pytest.approx(3.0, abs=1e-9)
 
     def test_num_reads_returned(self, small_hardware):
         device = AnnealerDevice(small_hardware, seed=2)

@@ -1,0 +1,233 @@
+"""Tests for the fault model, the injector, and the faulty device."""
+
+import numpy as np
+import pytest
+
+from repro.annealer.device import AnnealerDevice, AnnealRequest
+from repro.annealer.faults import (
+    CalibrationDrift,
+    DeviceFault,
+    FaultInjector,
+    FaultModel,
+    ProgrammingError,
+    ReadoutTimeout,
+    fault_channel,
+)
+from repro.embedding.hyqsat_embed import HyQSatEmbedder
+from repro.qubo.encoding import encode_formula
+from repro.qubo.normalization import normalize
+from repro.sat.cnf import Clause
+
+
+def _request(clauses, n, hardware, num_reads=1):
+    enc = encode_formula(clauses, n)
+    norm_obj, d = normalize(enc.objective)
+    emb = HyQSatEmbedder(hardware).embed(enc)
+    assert emb.success
+    return AnnealRequest(
+        objective=norm_obj,
+        embedding=emb.embedding,
+        edge_couplers=emb.edge_couplers,
+        energy_scale=d,
+        num_reads=num_reads,
+    )
+
+
+class TestFaultModel:
+    def test_probabilities_validated(self):
+        with pytest.raises(ValueError):
+            FaultModel(programming_fail_prob=1.5)
+        with pytest.raises(ValueError):
+            FaultModel(read_dropout_prob=-0.1)
+        with pytest.raises(ValueError):
+            FaultModel(drift_fail_threshold=0.0)
+
+    def test_none_is_faultless(self):
+        assert FaultModel.none().is_faultless
+        assert not FaultModel.uniform(0.1).is_faultless
+
+    def test_uniform_sets_every_channel(self):
+        model = FaultModel.uniform(0.25)
+        assert model.programming_fail_prob == 0.25
+        assert model.readout_timeout_prob == 0.25
+        assert model.read_dropout_prob == 0.25
+        assert model.drift_onset_prob == 0.25
+
+    def test_fault_channel_names(self):
+        assert fault_channel(ProgrammingError("x")) == "programming_error"
+        assert fault_channel(ReadoutTimeout("x")) == "readout_timeout"
+        assert fault_channel(CalibrationDrift("x")) == "calibration_drift"
+        assert fault_channel(DeviceFault("x")) == "device_fault"
+
+
+class TestFaultInjector:
+    def test_identical_seed_replays_identical_decisions(self):
+        model = FaultModel.uniform(0.3)
+        a = FaultInjector(model, seed=7)
+        b = FaultInjector(model, seed=7)
+        for _ in range(50):
+            assert a.begin_call(8) == b.begin_call(8)
+
+    def test_different_seeds_diverge(self):
+        model = FaultModel.uniform(0.3)
+        a = FaultInjector(model, seed=1)
+        b = FaultInjector(model, seed=2)
+        decisions_a = [a.begin_call(8) for _ in range(50)]
+        decisions_b = [b.begin_call(8) for _ in range(50)]
+        assert decisions_a != decisions_b
+
+    def test_drift_persists_until_recalibration(self):
+        model = FaultModel(drift_onset_prob=1.0, drift_bias_step=0.05)
+        injector = FaultInjector(model, seed=0)
+        first = injector.begin_call(1)
+        second = injector.begin_call(1)
+        assert abs(first.drift) == pytest.approx(0.05)
+        assert abs(second.drift) == pytest.approx(0.10)
+        # Direction is drawn once and held.
+        assert np.sign(second.drift) == np.sign(first.drift)
+        injector.recalibrate()
+        assert injector.drift == 0.0
+        assert not injector.drifted_out
+
+    def test_drifted_out_crosses_threshold(self):
+        model = FaultModel(
+            drift_onset_prob=1.0, drift_bias_step=0.06, drift_fail_threshold=0.1
+        )
+        injector = FaultInjector(model, seed=0)
+        injector.begin_call(1)
+        assert not injector.drifted_out
+        injector.begin_call(1)
+        assert injector.drifted_out
+
+
+class TestFaultyDevice:
+    def test_faultless_model_disables_injection(self, small_hardware):
+        device = AnnealerDevice(small_hardware, faults=FaultModel.none())
+        assert device.fault_injector is None
+
+    def test_programming_error_raised(self, small_hardware):
+        device = AnnealerDevice(
+            small_hardware,
+            faults=FaultModel(programming_fail_prob=1.0),
+            fault_seed=0,
+        )
+        with pytest.raises(ProgrammingError):
+            device.run(_request([Clause([1, 2])], 2, small_hardware))
+
+    def test_readout_timeout_carries_partial_reads(self, small_hardware):
+        device = AnnealerDevice(
+            small_hardware,
+            faults=FaultModel(readout_timeout_prob=1.0),
+            fault_seed=3,
+        )
+        request = _request([Clause([1, 2])], 2, small_hardware, num_reads=6)
+        with pytest.raises(ReadoutTimeout) as info:
+            device.run(request)
+        fault = info.value
+        assert 0 <= len(fault.partial) < 6
+        assert fault.elapsed_us == device.timing.total_us(6)
+
+    def test_calibration_drift_persists_until_recalibrate(self, small_hardware):
+        device = AnnealerDevice(
+            small_hardware,
+            faults=FaultModel(
+                drift_onset_prob=1.0,
+                drift_bias_step=0.06,
+                drift_fail_threshold=0.1,
+            ),
+            fault_seed=0,
+        )
+        request = _request([Clause([1, 2])], 2, small_hardware)
+        device.run(request)  # first call drifts but stays in range
+        with pytest.raises(CalibrationDrift):
+            device.run(request)
+        with pytest.raises(CalibrationDrift):
+            device.run(request)  # persists across calls
+        device.recalibrate()
+        device.run(request)  # back in calibration
+
+    def test_dropped_reads_counted(self, small_hardware):
+        device = AnnealerDevice(
+            small_hardware,
+            faults=FaultModel(read_dropout_prob=0.5),
+            fault_seed=1,
+        )
+        request = _request([Clause([1, 2])], 2, small_hardware, num_reads=12)
+        result = device.run(request)
+        assert result.dropped_reads > 0
+        assert len(result.samples) + result.dropped_reads == 12
+        # Time is billed for the dropped reads too.
+        assert result.qpu_time_us == device.timing.total_us(12)
+
+    def test_same_fault_seed_same_fault_sequence(self, small_hardware):
+        model = FaultModel.uniform(0.4)
+        request = _request([Clause([1, 2])], 2, small_hardware, num_reads=4)
+
+        def trace(seed):
+            device = AnnealerDevice(
+                small_hardware, faults=model, fault_seed=seed
+            )
+            out = []
+            for _ in range(20):
+                try:
+                    result = device.run(request)
+                    out.append(("ok", len(result.samples)))
+                except DeviceFault as fault:
+                    out.append((fault_channel(fault), None))
+            return out
+
+        assert trace(9) == trace(9)
+
+
+class TestRequestValidationHardening:
+    def test_non_finite_energy_scale_rejected(self, small_hardware):
+        req = _request([Clause([1, 2])], 2, small_hardware)
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError, match="finite"):
+                AnnealRequest(
+                    req.objective, req.embedding, req.edge_couplers, bad
+                )
+
+    def test_zero_variable_objective_rejected(self, small_hardware):
+        from repro.qubo.ising import QuadraticObjective
+
+        req = _request([Clause([1, 2])], 2, small_hardware)
+        with pytest.raises(ValueError, match="no variables"):
+            AnnealRequest(
+                QuadraticObjective(), req.embedding, req.edge_couplers, 1.0
+            )
+
+    def test_empty_embedding_rejected(self, small_hardware):
+        from repro.embedding.base import Embedding
+
+        req = _request([Clause([1, 2])], 2, small_hardware)
+        with pytest.raises(ValueError, match="empty"):
+            AnnealRequest(req.objective, Embedding({}), req.edge_couplers, 1.0)
+
+    def test_missing_chain_rejected(self, small_hardware):
+        from repro.embedding.base import Embedding
+
+        req = _request([Clause([1, 2])], 2, small_hardware)
+        some_var = sorted(req.objective.variables)[0]
+        chains = {
+            v: req.embedding.chain_of(v)
+            for v in req.embedding
+            if v != some_var
+        }
+        with pytest.raises(ValueError, match="without a chain"):
+            AnnealRequest(
+                req.objective, Embedding(chains), req.edge_couplers, 1.0
+            )
+
+    def test_empty_chain_rejected(self, small_hardware):
+        from repro.embedding.base import Embedding
+
+        req = _request([Clause([1, 2])], 2, small_hardware)
+        broken = Embedding(req.embedding.chains)
+        # Embedding.set_chain refuses empty chains, so corrupt the
+        # internal map directly to exercise the request-level guard.
+        broken._chains[sorted(req.objective.variables)[0]] = ()
+        with pytest.raises(ValueError, match="empty chains"):
+            AnnealRequest(
+                req.objective, broken, req.edge_couplers, 1.0
+            )
