@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test ci bench bench-full paper-tables
+.PHONY: test ci bench bench-full bench-obs docs-check paper-tables
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -10,6 +10,7 @@ test:
 ci:
 	$(PYTHON) -m compileall -q src
 	$(PYTHON) -m pytest -x -q
+	$(PYTHON) tools/docs_lint.py
 
 # QA hot-path micro-benchmark (< 60 s); writes BENCH_hotpath.json and
 # fails if the batched sampler is slower than the per-read baseline.
@@ -18,6 +19,16 @@ bench:
 
 bench-full:
 	$(PYTHON) -m benchmarks.bench_hotpath
+
+# Observability overhead check; needs BENCH_hotpath.json (make bench)
+# and fails if the disabled path costs more than 2% over its baseline.
+bench-obs:
+	$(PYTHON) -m benchmarks.bench_observability --quick
+
+# Docs lint: broken relative links, phantom --flags, undocumented
+# solve flags (see tools/docs_lint.py).
+docs-check:
+	$(PYTHON) tools/docs_lint.py
 
 # Regenerate every paper table / figure reproduction.
 paper-tables:

@@ -1,0 +1,134 @@
+"""Observability overhead benchmark: the disabled path must be free.
+
+The observability layer is opt-in; every hot-path touch point guards on
+``Observability.enabled`` (one attribute load + branch) or on the
+shared null tracer.  This benchmark pins that promise:
+
+1. **Disabled path** — the exact 100-variable cache-on solve measured
+   by ``benchmarks.bench_hotpath`` (same formula/device/config seeds),
+   run with the default ``DISABLED`` bundle, must stay within 2% of
+   the ``solve_acceptance.cache_on_seconds`` baseline recorded in
+   ``BENCH_hotpath.json``.  Best-of-rounds is compared, so scheduler
+   noise inflates neither side.
+2. **Instrumented path** — the same solve with tracing + metrics on
+   (in-memory sink), reported for context; full instrumentation is
+   allowed to cost, it just has to be *opt-in*.
+
+Run with ``make bench-obs`` or::
+
+    PYTHONPATH=src python -m benchmarks.bench_observability --quick
+
+Writes ``BENCH_observability.json`` and exits non-zero when the
+disabled-path overhead exceeds the budget.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.annealer.device import AnnealerDevice
+from repro.benchgen.random_ksat import random_3sat
+from repro.core.config import HyQSatConfig
+from repro.core.hyqsat import HyQSatSolver
+from repro.observability import Observability
+from repro.topology.chimera import ChimeraGraph
+
+#: Allowed disabled-path slowdown vs the hot-path baseline.
+OVERHEAD_BUDGET = 0.02
+
+
+def _solve_once(observability: Optional[Observability], seed: int) -> float:
+    """One timed solve of the bench_hotpath acceptance workload."""
+    formula = random_3sat(100, 426, np.random.default_rng(1))
+    device = AnnealerDevice(ChimeraGraph(16, 16, 4), seed=seed)
+    config = HyQSatConfig(seed=seed, frontend_cache_size=64)
+    kwargs = {} if observability is None else {"observability": observability}
+    start = time.perf_counter()
+    result = HyQSatSolver(formula, device=device, config=config, **kwargs).solve()
+    elapsed = time.perf_counter() - start
+    assert result.status.value in ("sat", "unsat", "unknown")
+    return elapsed
+
+
+def _best_of(rounds: int, make_obs, seed: int) -> Dict:
+    samples: List[float] = []
+    for _ in range(rounds):
+        samples.append(_solve_once(make_obs() if make_obs else None, seed))
+    return {
+        "rounds": rounds,
+        "seconds": [round(s, 3) for s in samples],
+        "best_seconds": round(min(samples), 3),
+        "median_seconds": round(float(np.median(samples)), 3),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="3 rounds per mode")
+    parser.add_argument("--output", default="BENCH_observability.json")
+    parser.add_argument(
+        "--baseline",
+        default="BENCH_hotpath.json",
+        help="hot-path report holding solve_acceptance.cache_on_seconds",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.baseline, encoding="utf-8") as handle:
+            baseline = json.load(handle)["solve_acceptance"]["cache_on_seconds"]
+    except (OSError, KeyError) as error:
+        print(f"error: cannot read baseline from {args.baseline}: {error}")
+        print("run 'make bench' first to produce BENCH_hotpath.json")
+        return 2
+
+    rounds = 3 if args.quick else 5
+    disabled = _best_of(rounds, None, args.seed)
+    instrumented = _best_of(
+        rounds, lambda: Observability.tracing(metrics=True), args.seed
+    )
+
+    overhead = disabled["best_seconds"] / baseline - 1.0
+    instrumented_cost = (
+        instrumented["best_seconds"] / disabled["best_seconds"] - 1.0
+    )
+    passed = overhead <= OVERHEAD_BUDGET
+
+    print(f"baseline (BENCH_hotpath cache_on_seconds): {baseline:.3f}s")
+    print(
+        f"disabled path: best {disabled['best_seconds']:.3f}s "
+        f"(overhead {overhead:+.1%}, budget {OVERHEAD_BUDGET:.0%})"
+    )
+    print(
+        f"instrumented (trace+metrics): best {instrumented['best_seconds']:.3f}s "
+        f"({instrumented_cost:+.1%} vs disabled)"
+    )
+    print("PASS" if passed else "FAIL: disabled-path overhead exceeds budget")
+
+    report = {
+        "workload": {"num_vars": 100, "num_clauses": 426, "cache_size": 64},
+        "quick": args.quick,
+        "seed": args.seed,
+        "baseline_seconds": baseline,
+        "disabled": disabled,
+        "instrumented": instrumented,
+        "disabled_overhead": round(overhead, 4),
+        "instrumented_overhead_vs_disabled": round(instrumented_cost, 4),
+        "overhead_budget": OVERHEAD_BUDGET,
+        "passed": passed,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=1)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    return 0 if passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,8 @@
   the benchmark harness and the CLI.
 - :mod:`repro.analysis.calibration` — per-iteration CDCL cost
   measurement for the modelled end-to-end times (Table II).
+- :mod:`repro.analysis.trace_report` — summaries of ``--trace`` JSONL
+  files (span aggregates, per-iteration drill-down).
 """
 
 from repro.analysis.calibration import measure_iteration_cost
@@ -19,6 +21,12 @@ from repro.analysis.metrics import (
     speedup,
 )
 from repro.analysis.tables import format_table
+from repro.analysis.trace_report import (
+    format_report,
+    iteration_rows,
+    load_trace,
+    summarize,
+)
 from repro.analysis.visits import conflict_proportion, visit_profile
 
 __all__ = [
@@ -27,10 +35,14 @@ __all__ = [
     "ascii_scatter",
     "ascii_series",
     "conflict_proportion",
+    "format_report",
     "format_table",
+    "iteration_rows",
+    "load_trace",
     "measure_iteration_cost",
     "reduction_stats",
     "resilience_summary",
     "speedup",
+    "summarize",
     "visit_profile",
 ]

@@ -67,6 +67,13 @@ def resilience_summary(hybrid) -> Dict[str, float]:
     availability (successful calls / attempted calls), retry overhead
     (retries per successful call), fault totals per channel, and the
     modelled QA budget spent.
+
+    When no QA call was ever attempted (e.g. a pure-CDCL run or a
+    solve that finished before the first warm-up deploy) the ratio
+    fields — ``availability`` and ``retries_per_call`` — are **absent**
+    rather than fabricated: a run that never exercised the QA service
+    has no availability, and reporting 1.0 would let an all-classic
+    run masquerade as a perfectly healthy device in aggregated tables.
     """
     attempted = hybrid.qa_calls + hybrid.qa_failures
     out: Dict[str, float] = {
@@ -74,14 +81,15 @@ def resilience_summary(hybrid) -> Dict[str, float]:
         "qa_attempted": float(attempted),
         "qa_failures": float(hybrid.qa_failures),
         "qa_retries": float(hybrid.qa_retries),
-        "availability": hybrid.qa_availability,
-        "retries_per_call": (
-            hybrid.qa_retries / hybrid.qa_calls if hybrid.qa_calls else 0.0
-        ),
         "budget_spent_us": hybrid.qa_budget_spent_us,
         "dropped_reads": float(hybrid.qa_dropped_reads),
         "degraded": 1.0 if hybrid.degraded else 0.0,
     }
+    if attempted:
+        out["availability"] = hybrid.qa_calls / attempted
+        out["retries_per_call"] = (
+            hybrid.qa_retries / hybrid.qa_calls if hybrid.qa_calls else 0.0
+        )
     for channel, count in sorted(hybrid.qa_fault_counts.items()):
         out[f"fault_{channel}"] = float(count)
     return out

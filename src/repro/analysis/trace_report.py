@@ -1,0 +1,246 @@
+"""Summarise a ``--trace`` JSONL file into a readable report.
+
+Reads a trace written by :class:`repro.observability.Tracer` (schema
+``hyqsat-trace/1``, see ``docs/TELEMETRY.md``), rebuilds the span tree
+from the ``id``/``parent`` links, and aggregates it three ways:
+
+- **per span name** — count, total/mean wall time, total modelled QPU
+  time (the wall/QPU split behind the paper's Figure 11 breakdown);
+- **per event name** — occurrence counts;
+- **per iteration** — one row per ``iteration`` span with its phase
+  timings and the anneal outcome, for drilling into a single solve.
+
+Use from code (:func:`summarize` / :func:`iteration_rows` /
+:func:`format_report`) or as a module::
+
+    PYTHONPATH=src python -m repro.analysis.trace_report run.jsonl
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.observability.tracer import read_trace
+
+#: Span-name display order of the per-span table (unknown names sort
+#: after these, alphabetically).
+_SPAN_ORDER = (
+    "solve",
+    "iteration",
+    "select",
+    "embed",
+    "compile",
+    "anneal",
+    "classify",
+    "feedback",
+)
+
+
+def load_trace(path_or_lines) -> List[Dict[str, Any]]:
+    """Load and schema-check a JSONL trace (thin alias of
+    :func:`repro.observability.read_trace`)."""
+    return read_trace(path_or_lines)
+
+
+def _spans(records: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    return [r for r in records if r.get("type") == "span"]
+
+
+def _events(records: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    return [r for r in records if r.get("type") == "event"]
+
+
+def summarize(records: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate a record list into a plain-dict report.
+
+    Returns keys:
+
+    - ``solve`` — the root span's attributes (status, iterations, ...)
+      plus its wall/QPU totals; ``None`` when the trace has no ``solve``
+      span (e.g. a truncated file);
+    - ``spans`` — ordered ``{name: {count, wall_s, mean_wall_s,
+      qpu_us}}``;
+    - ``events`` — ``{name: count}``;
+    - ``iterations`` — :func:`iteration_rows`.
+    """
+    spans = _spans(records)
+    events = _events(records)
+
+    by_name: Dict[str, Dict[str, Any]] = {}
+    for span in spans:
+        agg = by_name.setdefault(
+            span["name"], {"count": 0, "wall_s": 0.0, "qpu_us": 0.0}
+        )
+        agg["count"] += 1
+        agg["wall_s"] += span["wall_dur_s"]
+        agg["qpu_us"] += span["qpu_dur_us"]
+    ordered: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+    rest = sorted(set(by_name) - set(_SPAN_ORDER))
+    for name in (*_SPAN_ORDER, *rest):
+        if name in by_name:
+            agg = by_name[name]
+            agg["mean_wall_s"] = agg["wall_s"] / agg["count"]
+            ordered[name] = agg
+
+    event_counts: Dict[str, int] = {}
+    for event in events:
+        event_counts[event["name"]] = event_counts.get(event["name"], 0) + 1
+
+    solve: Optional[Dict[str, Any]] = None
+    for span in spans:
+        if span["name"] == "solve":
+            solve = {
+                "wall_s": span["wall_dur_s"],
+                "qpu_us": span["qpu_dur_us"],
+                **span.get("attrs", {}),
+            }
+            break
+
+    return {
+        "solve": solve,
+        "spans": ordered,
+        "events": dict(sorted(event_counts.items())),
+        "iterations": iteration_rows(records),
+    }
+
+
+def iteration_rows(records: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """One row per ``iteration`` span, in iteration order.
+
+    Each row carries the iteration index, wall/QPU durations, the wall
+    time of each phase child that ran (``select``/``embed``/``anneal``/
+    ``classify``/``feedback``), the anneal ``outcome`` attribute when a
+    QA call happened, and the per-iteration CDCL event counts.
+    """
+    spans = _spans(records)
+    events = _events(records)
+    iterations = [s for s in spans if s["name"] == "iteration"]
+    iterations.sort(key=lambda s: s.get("attrs", {}).get("index", 0))
+
+    children: Dict[Any, List[Dict[str, Any]]] = {}
+    for span in spans:
+        children.setdefault(span.get("parent"), []).append(span)
+    events_by_span: Dict[Any, List[Dict[str, Any]]] = {}
+    for event in events:
+        events_by_span.setdefault(event.get("span"), []).append(event)
+
+    rows: List[Dict[str, Any]] = []
+    for iteration in iterations:
+        row: Dict[str, Any] = {
+            "index": iteration.get("attrs", {}).get("index"),
+            "wall_s": iteration["wall_dur_s"],
+            "qpu_us": iteration["qpu_dur_us"],
+        }
+        for child in children.get(iteration["id"], ()):
+            row[child["name"] + "_s"] = child["wall_dur_s"]
+            if child["name"] == "anneal":
+                attrs = child.get("attrs", {})
+                row["outcome"] = attrs.get("outcome")
+                if "energy" in attrs:
+                    row["energy"] = attrs["energy"]
+        for event in events_by_span.get(iteration["id"], ()):
+            key = event["name"].replace(".", "_")
+            row[key] = row.get(key, 0) + 1
+        rows.append(row)
+    return rows
+
+
+def format_report(summary: Dict[str, Any], max_iterations: int = 12) -> str:
+    """Render a :func:`summarize` dict as plain text."""
+    from repro.analysis.tables import format_table
+
+    lines: List[str] = []
+    solve = summary.get("solve")
+    if solve is not None:
+        head = " ".join(
+            f"{key}={solve[key]}"
+            for key in ("status", "num_vars", "num_clauses", "iterations",
+                        "qa_calls", "warmup_iterations")
+            if key in solve
+        )
+        lines.append(f"solve: {head}")
+        lines.append(
+            f"wall: {solve['wall_s']:.4f}s  modelled QPU: {solve['qpu_us']:.1f}us"
+        )
+        lines.append("")
+
+    span_rows = [
+        [
+            name,
+            agg["count"],
+            f"{agg['wall_s'] * 1e3:.2f}",
+            f"{agg['mean_wall_s'] * 1e3:.3f}",
+            f"{agg['qpu_us']:.1f}",
+        ]
+        for name, agg in summary["spans"].items()
+    ]
+    if span_rows:
+        lines.append(
+            format_table(
+                ["Span", "Count", "Wall ms", "Mean ms", "QPU us"],
+                span_rows,
+                title="Span aggregates",
+            )
+        )
+    if summary["events"]:
+        lines.append("")
+        lines.append(
+            format_table(
+                ["Event", "Count"],
+                [[name, count] for name, count in summary["events"].items()],
+                title="Events",
+            )
+        )
+
+    qa_rows = [
+        row for row in summary["iterations"] if row.get("outcome") is not None
+    ]
+    if qa_rows:
+        shown = qa_rows[:max_iterations]
+        lines.append("")
+        lines.append(
+            format_table(
+                ["Iter", "Outcome", "Energy", "Anneal ms", "QPU us"],
+                [
+                    [
+                        row.get("index", "?"),
+                        row.get("outcome", ""),
+                        (
+                            f"{row['energy']:.3f}"
+                            if "energy" in row
+                            else "-"
+                        ),
+                        f"{row.get('anneal_s', 0.0) * 1e3:.3f}",
+                        f"{row['qpu_us']:.1f}",
+                    ]
+                    for row in shown
+                ],
+                title=f"QA iterations ({len(shown)} of {len(qa_rows)})",
+            )
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.analysis.trace_report <trace.jsonl>``."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 1 or argv[0] in ("-h", "--help"):
+        print("usage: python -m repro.analysis.trace_report <trace.jsonl>")
+        return 2
+    try:
+        records = load_trace(argv[0])
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    try:
+        print(format_report(summarize(records)))
+    except BrokenPipeError:  # report piped into head/less and cut short
+        sys.stderr.close()
+        return 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests on main()
+    sys.exit(main())

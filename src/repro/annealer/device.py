@@ -154,6 +154,14 @@ class AnnealerDevice:
         self.multi_qubit_correction = multi_qubit_correction
         self.seed = seed
         self._call_count = 0
+        #: Cumulative modelled device time (µs) across every call,
+        #: including calls lost to readout faults — the monotonic
+        #: QPU-clock source for the observability layer on a bare
+        #: (unwrapped) device.
+        self.total_modelled_us = 0.0
+        from repro.observability import DISABLED
+
+        self.observability = DISABLED
         self.fault_injector: Optional[FaultInjector] = None
         if faults is not None and not faults.is_faultless:
             self.fault_injector = FaultInjector(
@@ -164,6 +172,15 @@ class AnnealerDevice:
         """Clear accumulated calibration drift (no-op without faults)."""
         if self.fault_injector is not None:
             self.fault_injector.recalibrate()
+
+    def set_observability(self, observability) -> None:
+        """Attach a tracing/metrics bundle (the hybrid solver calls
+        this so device-side compiles appear in the span tree)."""
+        from repro.observability import DISABLED, declare_solver_metrics
+
+        self.observability = observability or DISABLED
+        if self.observability.metrics is not None:
+            declare_solver_metrics(self.observability.metrics)
 
     def run(self, request: AnnealRequest) -> AnnealResult:
         """Program, anneal, read out, and unembed.
@@ -190,15 +207,25 @@ class AnnealerDevice:
                     drift=call.drift,
                 )
 
+        obs = self.observability
         problem = request.compiled
         if problem is None or problem.chain_strength != self.chain_strength:
-            problem = build_embedded_problem(
-                request.objective,
-                request.embedding,
-                self.hardware,
-                request.edge_couplers,
-                chain_strength=self.chain_strength,
-            )
+            with obs.tracer.span("compile", where="device"):
+                problem = build_embedded_problem(
+                    request.objective,
+                    request.embedding,
+                    self.hardware,
+                    request.edge_couplers,
+                    chain_strength=self.chain_strength,
+                )
+            if obs.metrics is not None:
+                obs.metrics.counter("hyqsat_device_compile_total").labels(
+                    source="device"
+                ).inc()
+        elif obs.metrics is not None:
+            obs.metrics.counter("hyqsat_device_compile_total").labels(
+                source="precompiled"
+            ).inc()
         if call is not None and call.drift != 0.0:
             # Sub-threshold calibration drift: a persistent bias offset
             # on every programmed linear coefficient.
@@ -238,6 +265,7 @@ class AnnealerDevice:
                 )
             )
         full_time_us = self.timing.total_us(request.num_reads)
+        self.total_modelled_us += full_time_us
 
         dropped = 0
         if call is not None:

@@ -167,9 +167,20 @@ class CdclSolver:
         formula: CNF,
         config: Optional[SolverConfig] = None,
         proof: Optional["DratProof"] = None,
+        observability=None,
     ):
         self.formula = formula
         self.config = config or SolverConfig()
+        #: When tracing is enabled, every search iteration becomes an
+        #: ``iteration`` span carrying ``cdcl.propagate`` /
+        #: ``cdcl.conflict`` / ``cdcl.restart`` events (see
+        #: docs/TELEMETRY.md).  ``None`` keeps the hot loop free of any
+        #: instrumentation call.
+        self._tracer = (
+            observability.tracer
+            if observability is not None and observability.tracer.enabled
+            else None
+        )
         self.stats = SolverStats()
         self.counters = ClauseCounters.for_clauses(formula.num_clauses)
         #: Optional DRAT log; learned clauses, deletions, and the final
@@ -318,6 +329,7 @@ class CdclSolver:
         conflicts_until_restart = self._next_restart_interval(restart_num)
         conflicts_in_window = 0
 
+        tracer = self._tracer
         while True:
             if (
                 self.config.max_conflicts is not None
@@ -329,53 +341,78 @@ class CdclSolver:
                 return SolverResult(SolverStatus.UNKNOWN, None, self.stats)
 
             self.stats.iterations += 1
-            if hook is not None:
-                proposed = hook.on_iteration(self)
-                if proposed is not None and proposed.satisfies(self.formula):
-                    return SolverResult(SolverStatus.SAT, proposed, self.stats)
-
-            conflict = self._propagate()
-            if conflict is not None:
-                self.stats.conflicts += 1
-                conflicts_in_window += 1
-                if self.decision_level == 0:
-                    self._record_refutation(assumptions)
-                    return SolverResult(SolverStatus.UNSAT, None, self.stats)
-                learned_lits, backjump = self._analyze(conflict)
-                self._backtrack(backjump)
-                self._learn(learned_lits)
-                self._decay_clause_activity()
-                self._heuristic.after_conflict()
-                continue
-
-            if (
-                conflicts_until_restart is not None
-                and conflicts_in_window >= conflicts_until_restart
-            ):
-                restart_num += 1
-                conflicts_in_window = 0
-                conflicts_until_restart = self._next_restart_interval(restart_num)
-                self.stats.restarts += 1
-                self._backtrack(0)
-                continue
-
-            if len(self._learned) >= max_learned + len(self._trail):
-                self._reduce_learned_db()
-                max_learned *= self.config.learntsize_inc
-
-            next_lit = self._pick_branch(assumption_lits)
-            if next_lit is None:
-                return SolverResult(
-                    SolverStatus.SAT, self._model(), self.stats
-                )
-            if next_lit == -1:  # assumption conflict
-                return SolverResult(SolverStatus.UNSAT, None, self.stats)
-            self.stats.decisions += 1
-            self._trail_lim.append(len(self._trail))
-            self.stats.max_decision_level = max(
-                self.stats.max_decision_level, self.decision_level
+            span = (
+                tracer.start_span("iteration", index=self.stats.iterations)
+                if tracer is not None
+                else None
             )
-            self._assign(next_lit, reason=None)
+            try:
+                if hook is not None:
+                    proposed = hook.on_iteration(self)
+                    if proposed is not None and proposed.satisfies(self.formula):
+                        return SolverResult(SolverStatus.SAT, proposed, self.stats)
+
+                conflict = self._propagate()
+                if tracer is not None:
+                    tracer.event(
+                        "cdcl.propagate",
+                        trail=len(self._trail),
+                        level=self.decision_level,
+                    )
+                if conflict is not None:
+                    self.stats.conflicts += 1
+                    conflicts_in_window += 1
+                    if self.decision_level == 0:
+                        self._record_refutation(assumptions)
+                        return SolverResult(SolverStatus.UNSAT, None, self.stats)
+                    conflict_level = self.decision_level
+                    learned_lits, backjump = self._analyze(conflict)
+                    self._backtrack(backjump)
+                    self._learn(learned_lits)
+                    self._decay_clause_activity()
+                    self._heuristic.after_conflict()
+                    if tracer is not None:
+                        tracer.event(
+                            "cdcl.conflict",
+                            level=conflict_level,
+                            backjump=backjump,
+                            learned_size=len(learned_lits),
+                        )
+                    continue
+
+                if (
+                    conflicts_until_restart is not None
+                    and conflicts_in_window >= conflicts_until_restart
+                ):
+                    restart_num += 1
+                    conflicts_in_window = 0
+                    conflicts_until_restart = self._next_restart_interval(restart_num)
+                    self.stats.restarts += 1
+                    self._backtrack(0)
+                    if tracer is not None:
+                        tracer.event("cdcl.restart", number=restart_num)
+                    continue
+
+                if len(self._learned) >= max_learned + len(self._trail):
+                    self._reduce_learned_db()
+                    max_learned *= self.config.learntsize_inc
+
+                next_lit = self._pick_branch(assumption_lits)
+                if next_lit is None:
+                    return SolverResult(
+                        SolverStatus.SAT, self._model(), self.stats
+                    )
+                if next_lit == -1:  # assumption conflict
+                    return SolverResult(SolverStatus.UNSAT, None, self.stats)
+                self.stats.decisions += 1
+                self._trail_lim.append(len(self._trail))
+                self.stats.max_decision_level = max(
+                    self.stats.max_decision_level, self.decision_level
+                )
+                self._assign(next_lit, reason=None)
+            finally:
+                if span is not None:
+                    span.end()
 
     # ------------------------------------------------------------------
     # Core machinery

@@ -4,13 +4,18 @@ Subcommands::
 
     hyqsat solve <file.cnf> [--classic] [--noise] [--seed N]
                  [--qa-faults SPEC] [--qa-retries N] [--qa-budget-us T]
+                 [--trace FILE] [--profile] [--metrics FILE]
     hyqsat generate <benchmark> [--index I] [--seed N] [-o out.cnf]
     hyqsat embed <file.cnf> [--scheme hyqsat|minorminer|pr] [--grid N]
     hyqsat suite [--benchmarks GC1,AI1,...] [--problems N]
+    hyqsat trace-report <trace.jsonl>
 
 ``solve`` runs HyQSAT (or the classic CDCL baseline) on a DIMACS file;
 ``generate`` materialises a benchmark instance; ``embed`` reports
-embedding statistics; ``suite`` reproduces a small Table I slice.
+embedding statistics; ``suite`` reproduces a small Table I slice;
+``trace-report`` summarises a ``--trace`` JSONL file.  The solve-time
+observability flags (``--trace``, ``--profile``, ``--metrics``) are
+documented in docs/TELEMETRY.md.
 """
 
 from __future__ import annotations
@@ -68,6 +73,24 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     if not formula.is_3sat:
         print(f"reducing {formula.max_clause_size}-SAT input to 3-SAT")
         formula = to_3sat(formula).formula
+
+    observability = None
+    if args.trace or args.profile or args.metrics:
+        if args.classic:
+            raise SystemExit(
+                "--trace/--profile/--metrics instrument the hybrid solve "
+                "loop and cannot be combined with --classic"
+            )
+        from repro.observability import Observability
+
+        want_metrics = bool(args.profile or args.metrics)
+        if args.trace:
+            observability = Observability.tracing(
+                args.trace, metrics=want_metrics
+            )
+        else:
+            observability = Observability.profiling()
+
     start = time.perf_counter()
     if args.classic:
         result = minisat_solver(formula, seed=args.seed).solve()
@@ -93,7 +116,10 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                 ),
             )
         solver = HyQSatSolver(
-            formula, device=device, config=HyQSatConfig(seed=args.seed)
+            formula,
+            device=device,
+            config=HyQSatConfig(seed=args.seed),
+            observability=observability,
         )
         result = solver.solve()
         hybrid = result.hybrid
@@ -129,6 +155,28 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             )
             print(f"c qa_faults {faults_joined}")
     print(f"c wall_seconds={elapsed:.3f}")
+
+    if observability is not None:
+        observability.close()
+        if args.trace:
+            print(f"c trace={args.trace}")
+        if args.profile:
+            from repro.observability import profile_rows
+
+            for row in profile_rows(observability.metrics):
+                print(
+                    f"c profile phase={row['phase']} count={row['count']} "
+                    f"total_s={row['total_s']} mean_ms={row['mean_ms']}"
+                )
+        if args.metrics:
+            registry = observability.metrics
+            if args.metrics_format == "json":
+                text = registry.dump_json() + "\n"
+            else:
+                text = registry.to_prometheus()
+            with open(args.metrics, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"c metrics={args.metrics} format={args.metrics_format}")
     return 0 if result.status.value != "unknown" else 1
 
 
@@ -236,6 +284,12 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_report(args: argparse.Namespace) -> int:
+    from repro.analysis.trace_report import main as report_main
+
+    return report_main([args.path])
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -290,6 +344,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="call the (possibly faulty) device bare, without the "
         "retry/breaker proxy",
     )
+    p_solve.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a JSONL span/event trace of the solve "
+        "(schema: docs/TELEMETRY.md; summarise with 'hyqsat trace-report')",
+    )
+    p_solve.add_argument(
+        "--profile",
+        action="store_true",
+        help="collect per-phase latency metrics and print a profile "
+        "summary after the solve",
+    )
+    p_solve.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help="export the solve's metrics registry to FILE",
+    )
+    p_solve.add_argument(
+        "--metrics-format",
+        choices=["prom", "json"],
+        default="prom",
+        help="metrics export format: Prometheus text or JSON "
+        "(default: prom)",
+    )
     p_solve.set_defaults(func=_cmd_solve)
 
     p_gen = sub.add_parser("generate", help="generate a benchmark instance")
@@ -314,6 +394,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_suite.add_argument("--problems", type=int, default=0)
     p_suite.add_argument("--seed", type=int, default=0)
     p_suite.set_defaults(func=_cmd_suite)
+
+    p_report = sub.add_parser(
+        "trace-report", help="summarise a --trace JSONL file"
+    )
+    p_report.add_argument("path")
+    p_report.set_defaults(func=_cmd_trace_report)
     return parser
 
 

@@ -123,9 +123,12 @@ class Frontend:
         num_reads: int = 1,
         cache_size: int = 64,
         chain_strength: Optional[float] = None,
+        observability=None,
     ):
         if cache_size < 0:
             raise ValueError("cache_size must be non-negative")
+        from repro.observability import DISABLED, declare_solver_metrics
+
         self.formula = formula
         self.hardware = hardware
         self.adjust = adjust
@@ -134,6 +137,12 @@ class Frontend:
         self.chain_strength = chain_strength
         self.cache_hits = 0
         self.cache_misses = 0
+        #: Tracing/metrics bundle: each prepare becomes an ``embed``
+        #: span (with a ``compile`` child on a chain-compiling miss)
+        #: and the cache counters mirror into the metrics registry.
+        self.observability = observability or DISABLED
+        if self.observability.metrics is not None:
+            declare_solver_metrics(self.observability.metrics)
         self._cache: "OrderedDict[CacheKey, Optional[FrontendResult]]" = OrderedDict()
         self._embedder = HyQSatEmbedder(hardware)
 
@@ -165,23 +174,42 @@ class Frontend:
         start = time.perf_counter()
         if not queue:
             return None
-        key: Optional[CacheKey] = None
-        if self.cache_size > 0:
-            key = self._cache_key(queue, assignment)
-            cached = self._cache.get(key, _MISSING)
-            if cached is not _MISSING:
-                self._cache.move_to_end(key)
-                self.cache_hits += 1
-                if cached is None:
-                    return None
-                return replace(cached, elapsed_seconds=time.perf_counter() - start)
-            self.cache_misses += 1
-        result = self._prepare_uncached(queue, assignment, start)
-        if key is not None:
-            self._cache[key] = result
-            if len(self._cache) > self.cache_size:
-                self._cache.popitem(last=False)
-        return result
+        obs = self.observability
+        metrics = obs.metrics
+        with obs.tracer.span("embed", queue_clauses=len(queue)) as span:
+            key: Optional[CacheKey] = None
+            if self.cache_size > 0:
+                key = self._cache_key(queue, assignment)
+                cached = self._cache.get(key, _MISSING)
+                if cached is not _MISSING:
+                    self._cache.move_to_end(key)
+                    self.cache_hits += 1
+                    if metrics is not None:
+                        metrics.counter(
+                            "hyqsat_frontend_cache_hits_total"
+                        ).inc()
+                    span.set(
+                        cache_hit=True,
+                        embedded=0 if cached is None else cached.num_embedded,
+                    )
+                    if cached is None:
+                        return None
+                    return replace(
+                        cached, elapsed_seconds=time.perf_counter() - start
+                    )
+                self.cache_misses += 1
+                if metrics is not None:
+                    metrics.counter("hyqsat_frontend_cache_misses_total").inc()
+            result = self._prepare_uncached(queue, assignment, start)
+            span.set(
+                cache_hit=False,
+                embedded=0 if result is None else result.num_embedded,
+            )
+            if key is not None:
+                self._cache[key] = result
+                if len(self._cache) > self.cache_size:
+                    self._cache.popitem(last=False)
+            return result
 
     def _cache_key(
         self, queue: Sequence[int], assignment: Optional["Assignment"]
@@ -245,13 +273,14 @@ class Frontend:
 
         compiled = None
         if self.chain_strength is not None:
-            compiled = build_embedded_problem(
-                normalized,
-                embed_result.embedding,
-                self.hardware,
-                embed_result.edge_couplers,
-                chain_strength=self.chain_strength,
-            )
+            with self.observability.tracer.span("compile", where="frontend"):
+                compiled = build_embedded_problem(
+                    normalized,
+                    embed_result.embedding,
+                    self.hardware,
+                    embed_result.edge_couplers,
+                    chain_strength=self.chain_strength,
+                )
         request = AnnealRequest(
             objective=normalized,
             embedding=embed_result.embedding,

@@ -35,6 +35,7 @@ from repro.core.clause_queue import ClauseQueueGenerator
 from repro.core.config import HyQSatConfig
 from repro.core.frontend import Frontend
 from repro.core.timing import TimeBreakdown
+from repro.observability import DISABLED, declare_solver_metrics
 from repro.resilience.device import QaUnavailable
 from repro.sat.assignment import Assignment
 from repro.sat.cnf import CNF, Lit
@@ -221,6 +222,7 @@ class HyQSatSolver:
         device: Optional[AnnealerDevice] = None,
         config: Optional[HyQSatConfig] = None,
         solver_config: Optional[SolverConfig] = None,
+        observability=None,
     ):
         if not formula.is_3sat:
             raise ValueError(
@@ -238,6 +240,10 @@ class HyQSatSolver:
             )
         self.device = device
         self.solver_config = solver_config or SolverConfig()
+        #: Tracing/metrics bundle shared with the frontend, the device,
+        #: and the CDCL engine so every layer's spans nest under one
+        #: ``solve`` root (see docs/TELEMETRY.md).
+        self.observability = observability or DISABLED
         self.hybrid_stats = HybridStats()
         self._conflicts_at_enqueue = -1
         # Flipped by a persistent QA failure (open breaker / spent
@@ -257,7 +263,12 @@ class HyQSatSolver:
             num_reads=self.config.num_reads,
             cache_size=self.config.frontend_cache_size,
             chain_strength=getattr(self.device, "chain_strength", None),
+            observability=self.observability,
         )
+        if self.observability.enabled and hasattr(
+            self.device, "set_observability"
+        ):
+            self.device.set_observability(self.observability)
         self._backend = Backend(
             bands=self.config.bands,
             enable_strategy_1=self.config.enable_strategy_1,
@@ -290,6 +301,16 @@ class HyQSatSolver:
         solver._ksat_reduction = reduction
         return solver
 
+    def set_observability(self, observability) -> None:
+        """Attach (or replace) the tracing/metrics bundle after
+        construction, propagating it to the frontend and the device."""
+        self.observability = observability or DISABLED
+        self._frontend.observability = self.observability
+        if self.observability.metrics is not None:
+            declare_solver_metrics(self.observability.metrics)
+        if hasattr(self.device, "set_observability"):
+            self.device.set_observability(self.observability)
+
     def solve(self) -> HyQSatResult:
         """Run the hybrid search to SAT/UNSAT (or a budget limit)."""
         if self.config.warmup_iterations is not None:
@@ -306,11 +327,35 @@ class HyQSatSolver:
         self._conflicts_at_queue = -1
         self._qa_disabled = False
 
-        solver = CdclSolver(self.formula, config=self.solver_config)
-        result = solver.solve(hook=_HybridHook(self))
+        obs = self.observability
+        if obs.metrics is not None:
+            declare_solver_metrics(obs.metrics)
+            obs.metrics.gauge("hyqsat_warmup_iterations").set(warmup)
+        tracer = obs.tracer
+        if tracer.enabled:
+            tracer.set_qpu_clock(self._qpu_now_us)
+
+        solver = CdclSolver(
+            self.formula,
+            config=self.solver_config,
+            observability=obs if obs.enabled else None,
+        )
+        with tracer.span(
+            "solve",
+            num_vars=self.formula.num_vars,
+            num_clauses=self.formula.num_clauses,
+            warmup_iterations=warmup,
+        ) as span:
+            result = solver.solve(hook=_HybridHook(self))
+            span.set(
+                status=result.status.value,
+                iterations=result.stats.iterations,
+                qa_calls=self.hybrid_stats.qa_calls,
+            )
         self.hybrid_stats.frontend_cache_hits = self._frontend.cache_hits
         self.hybrid_stats.frontend_cache_misses = self._frontend.cache_misses
         self._sync_resilience_stats()
+        self._publish_metrics(result)
         model = result.model
         if model is not None and self._ksat_reduction is not None:
             model = self._ksat_reduction.restrict_model(model)
@@ -322,6 +367,33 @@ class HyQSatSolver:
         )
 
     # ------------------------------------------------------------------
+
+    def _qpu_now_us(self) -> float:
+        """The modelled QPU clock (µs): budget spend on a resilient
+        device, cumulative modelled device time on a bare one."""
+        stats = getattr(self.device, "stats", None)
+        if stats is not None and hasattr(stats, "budget_spent_us"):
+            return stats.budget_spent_us
+        return getattr(self.device, "total_modelled_us", 0.0)
+
+    def _publish_metrics(self, result: SolverResult) -> None:
+        """Fold the end-of-solve aggregates into the metrics registry
+        (per-call metrics were already recorded as they happened)."""
+        metrics = self.observability.metrics
+        if metrics is None:
+            return
+        cdcl = result.stats
+        metrics.counter("hyqsat_cdcl_iterations_total").inc(cdcl.iterations)
+        metrics.counter("hyqsat_cdcl_conflicts_total").inc(cdcl.conflicts)
+        metrics.counter("hyqsat_cdcl_propagations_total").inc(cdcl.propagations)
+        metrics.counter("hyqsat_cdcl_decisions_total").inc(cdcl.decisions)
+        metrics.counter("hyqsat_cdcl_restarts_total").inc(cdcl.restarts)
+        metrics.counter("hyqsat_cdcl_learned_clauses_total").inc(
+            cdcl.learned_clauses
+        )
+        metrics.gauge("hyqsat_degraded").set(
+            1.0 if self.hybrid_stats.degraded else 0.0
+        )
 
     def _sync_resilience_stats(self) -> None:
         """Fold the resilience layer's counters into the hybrid stats
@@ -341,10 +413,21 @@ class HyQSatSolver:
             hybrid.breaker_state = breaker.state.value
             hybrid.breaker_transitions = len(breaker.transitions)
 
+    def _observe_phase(self, phase: str, seconds: float) -> None:
+        """Record one phase latency (no-op when metrics are off)."""
+        metrics = self.observability.metrics
+        if metrics is not None:
+            metrics.histogram("hyqsat_phase_seconds").labels(
+                phase=phase
+            ).observe(seconds)
+
     def _qa_step(self, solver: CdclSolver) -> Optional[Assignment]:
         """One QA call: queue -> frontend -> device -> backend -> apply."""
         config = self.config
         stats = self.hybrid_stats
+        obs = self.observability
+        tracer = obs.tracer
+        metrics = obs.metrics
 
         if solver.has_pending_decisions:
             if solver.stats.conflicts == self._conflicts_at_enqueue:
@@ -358,42 +441,59 @@ class HyQSatSolver:
             # residual problem (the paper's cross-iterative loop).
             solver.clear_decision_queue()
         queue_start = time.perf_counter()
-        unsat = solver.unsatisfied_original_clauses()
-        if not unsat:
-            return None
-        conflicts_now = solver.stats.conflicts
-        if (
-            config.reuse_queue_between_conflicts
-            and self._last_queue is not None
-            and conflicts_now == self._conflicts_at_queue
-        ):
-            # Nothing was learned since the last deploy, so the
-            # activity queue is unchanged by construction: re-present
-            # the identical (queue, snapshot) pair — the frontend's
-            # compilation cache makes the prepare free — and let the
-            # device draw fresh samples of the same hard kernel.
-            queue, snapshot = self._last_queue, self._last_snapshot
-        else:
-            if config.use_activity_queue:
-                queue = self._queue_gen.generate(
-                    solver.counters.activity, self._capacity, candidates=unsat
-                )
+        with tracer.span("select") as select_span:
+            unsat = solver.unsatisfied_original_clauses()
+            if not unsat:
+                select_span.set(unsat=0, queue_len=0)
+                return None
+            conflicts_now = solver.stats.conflicts
+            reused = (
+                config.reuse_queue_between_conflicts
+                and self._last_queue is not None
+                and conflicts_now == self._conflicts_at_queue
+            )
+            if reused:
+                # Nothing was learned since the last deploy, so the
+                # activity queue is unchanged by construction:
+                # re-present the identical (queue, snapshot) pair — the
+                # frontend's compilation cache makes the prepare free —
+                # and let the device draw fresh samples of the same
+                # hard kernel.
+                queue, snapshot = self._last_queue, self._last_snapshot
             else:
-                queue = self._queue_gen.generate_random(
-                    self._capacity, candidates=unsat
-                )
-            snapshot = solver.current_assignment()
-            self._last_queue = queue
-            self._last_snapshot = snapshot
-            self._conflicts_at_queue = conflicts_now
+                if config.use_activity_queue:
+                    queue = self._queue_gen.generate(
+                        solver.counters.activity,
+                        self._capacity,
+                        candidates=unsat,
+                    )
+                else:
+                    queue = self._queue_gen.generate_random(
+                        self._capacity, candidates=unsat
+                    )
+                snapshot = solver.current_assignment()
+                self._last_queue = queue
+                self._last_snapshot = snapshot
+                self._conflicts_at_queue = conflicts_now
+            select_span.set(
+                unsat=len(unsat), queue_len=len(queue), reused=reused
+            )
         queue_seconds = time.perf_counter() - queue_start
+        self._observe_phase("select", queue_seconds)
 
         prepared = self._frontend.prepare(queue, snapshot)
         stats.frontend_seconds += queue_seconds
         if prepared is None:
             return None
         stats.frontend_seconds += prepared.elapsed_seconds
+        self._observe_phase("embed", prepared.elapsed_seconds)
 
+        anneal_span = tracer.start_span(
+            "anneal",
+            reads=prepared.request.num_reads,
+            embedded=prepared.num_embedded,
+        )
+        anneal_start = time.perf_counter()
         try:
             anneal = self.device.run(prepared.request)
         except QaUnavailable as unavailable:
@@ -402,42 +502,96 @@ class HyQSatSolver:
             # warm-up continues); a persistent condition (open breaker,
             # spent budget) flips the rest of the run to pure CDCL —
             # the learned clauses stay, only the QA guidance stops.
+            anneal_span.end(outcome="unavailable", reason=unavailable.reason)
+            self._observe_phase("anneal", time.perf_counter() - anneal_start)
             stats.qa_failures += 1
             stats.qa_unavailable += 1
+            if metrics is not None:
+                metrics.counter("hyqsat_qa_failures_total").labels(
+                    reason=unavailable.reason
+                ).inc()
             if unavailable.persistent:
                 self._qa_disabled = True
                 stats.degraded = True
                 stats.degraded_reason = unavailable.reason
+                tracer.event("qa.degraded", reason=unavailable.reason)
+                if metrics is not None:
+                    metrics.gauge("hyqsat_degraded").set(1.0)
             return None
         except DeviceFault as fault:
             # A bare (unwrapped) faulty device: one lost call, treated
             # exactly like Strategy 3 — the QA call contributed
             # nothing and CDCL carries on.
-            stats.qa_failures += 1
             channel = fault_channel(fault)
+            anneal_span.end(outcome="fault", fault=channel)
+            self._observe_phase("anneal", time.perf_counter() - anneal_start)
+            stats.qa_failures += 1
             stats.qa_fault_counts[channel] = (
                 stats.qa_fault_counts.get(channel, 0) + 1
             )
+            if metrics is not None:
+                metrics.counter("hyqsat_qa_failures_total").labels(
+                    reason=channel
+                ).inc()
             return None
+        anneal_span.end(
+            outcome="ok",
+            qpu_time_us=anneal.qpu_time_us,
+            samples=len(anneal.samples),
+            dropped_reads=anneal.dropped_reads,
+            energy=anneal.best.energy,
+        )
+        self._observe_phase("anneal", time.perf_counter() - anneal_start)
         stats.qa_calls += 1
         stats.qa_dropped_reads += anneal.dropped_reads
         stats.qpu_time_us += anneal.qpu_time_us
         stats.embedded_clause_total += prepared.num_embedded
         stats.energies.append(anneal.best.energy)
+        if metrics is not None:
+            metrics.counter("hyqsat_qa_calls_total").inc()
+            metrics.counter("hyqsat_qpu_time_us_total").inc(anneal.qpu_time_us)
+            metrics.counter("hyqsat_embedded_clauses_total").inc(
+                prepared.num_embedded
+            )
+            if anneal.dropped_reads:
+                metrics.counter("hyqsat_qa_dropped_reads_total").inc(
+                    anneal.dropped_reads
+                )
+            metrics.histogram("hyqsat_qa_energy").observe(anneal.best.energy)
+            metrics.histogram("hyqsat_chain_break_fraction").observe(
+                anneal.best.chain_break_fraction
+            )
 
         all_embedded = set(prepared.formula_clauses) >= set(unsat)
-        decision = self._backend.interpret(
-            anneal,
-            prepared.embedded_variables,
-            self.formula.num_vars,
-            all_embedded,
-        )
+        with tracer.span("classify") as classify_span:
+            decision = self._backend.interpret(
+                anneal,
+                prepared.embedded_variables,
+                self.formula.num_vars,
+                all_embedded,
+            )
+            classify_span.set(
+                band=decision.band.value,
+                strategy=decision.strategy.name.lower(),
+                energy=decision.energy,
+            )
+        self._observe_phase("classify", decision.elapsed_seconds)
         backend_start = time.perf_counter()
-        proposal = self._apply(decision, solver)
-        stats.backend_seconds += decision.elapsed_seconds + (
-            time.perf_counter() - backend_start
-        )
+        with tracer.span(
+            "feedback", strategy=decision.strategy.name.lower()
+        ):
+            proposal = self._apply(decision, solver)
+        feedback_seconds = time.perf_counter() - backend_start
+        self._observe_phase("feedback", feedback_seconds)
+        stats.backend_seconds += decision.elapsed_seconds + feedback_seconds
         stats.strategy_counts[decision.strategy] += 1
+        if metrics is not None:
+            metrics.counter("hyqsat_band_total").labels(
+                band=decision.band.value
+            ).inc()
+            metrics.counter("hyqsat_strategy_total").labels(
+                strategy=decision.strategy.name.lower()
+            ).inc()
         return proposal
 
     def _apply(

@@ -1,0 +1,173 @@
+"""Structured observability for the hybrid solve loop.
+
+A lightweight, zero-dependency tracing + metrics subsystem threaded
+through the whole stack (frontend, annealer, resilience proxy, CDCL
+engine, hybrid loop):
+
+- :mod:`repro.observability.tracer` — typed span/event records with
+  wall-clock *and* modelled-QPU-clock durations, written as JSONL;
+- :mod:`repro.observability.metrics` — counters/gauges/histograms with
+  Prometheus-text and JSON exporters;
+- :mod:`repro.observability.schema` — the authoritative span tree and
+  metric catalog (the in-code twin of ``docs/TELEMETRY.md``).
+
+Everything hangs off an :class:`Observability` bundle passed into
+:class:`~repro.core.hyqsat.HyQSatSolver`; the default is the shared
+:data:`DISABLED` bundle whose tracer is a no-op and whose metrics slot
+is ``None``, so uninstrumented runs pay (benchmarked) nothing.
+
+Typical use::
+
+    from repro.observability import Observability
+
+    obs = Observability.tracing("run.jsonl", metrics=True)
+    result = HyQSatSolver(formula, observability=obs).solve()
+    obs.close()                       # flush the JSONL trace
+    print(obs.metrics.to_prometheus())
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.observability.metrics import (
+    Counter,
+    FRACTION_BUCKETS,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS_S,
+    MetricsRegistry,
+)
+from repro.observability.schema import (
+    BREAKER_STATE_CODES,
+    EVENT_PARENTS,
+    METRIC_NAMES,
+    METRICS,
+    PHASES,
+    SPAN_CHILDREN,
+    SPAN_NAMES,
+    declare_solver_metrics,
+    metric_names_in_doc,
+)
+from repro.observability.tracer import (
+    JsonlSink,
+    ListSink,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+    read_trace,
+)
+
+
+class Observability:
+    """Tracer + metrics bundle threaded through the solver stack.
+
+    ``tracer`` is never None (the null tracer stands in when tracing is
+    off); ``metrics`` is None when metrics are disabled so hot paths
+    can skip instrumentation with one identity check.
+    """
+
+    __slots__ = ("tracer", "metrics")
+
+    def __init__(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+
+    @property
+    def enabled(self) -> bool:
+        """True when any instrumentation is active."""
+        return self.tracer.enabled or self.metrics is not None
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """The shared no-op bundle (also module-level :data:`DISABLED`)."""
+        return DISABLED
+
+    @classmethod
+    def tracing(cls, sink=None, metrics: bool = False) -> "Observability":
+        """Tracing bundle; ``sink`` is a path/handle (JSONL) or a sink
+        object, defaulting to in-memory records."""
+        if sink is None or isinstance(sink, (ListSink, JsonlSink)):
+            trace_sink = sink
+        else:
+            trace_sink = JsonlSink(sink)
+        return cls(
+            tracer=Tracer(sink=trace_sink),
+            metrics=MetricsRegistry() if metrics else None,
+        )
+
+    @classmethod
+    def profiling(cls) -> "Observability":
+        """Metrics-only bundle (the CLI's ``--profile`` mode)."""
+        return cls(metrics=MetricsRegistry())
+
+    def close(self) -> None:
+        """Flush/close the tracer's sink (no-op when disabled)."""
+        self.tracer.close()
+
+
+#: The shared disabled bundle used wherever no observability is passed.
+DISABLED = Observability()
+
+
+def profile_rows(registry: MetricsRegistry) -> List[Dict[str, Any]]:
+    """Per-phase aggregate timings from ``hyqsat_phase_seconds``.
+
+    Returns one row per phase (in pipeline order) with ``count``,
+    ``total_s``, and ``mean_ms`` — the ``--profile`` summary the CLI
+    prints.
+    """
+    histogram = registry.get("hyqsat_phase_seconds")
+    rows: List[Dict[str, Any]] = []
+    if histogram is None:
+        return rows
+    by_phase = {dict(key)["phase"]: child for key, child in histogram.children.items()}
+    for phase in PHASES:
+        child = by_phase.get(phase)
+        if child is None or child.count == 0:
+            continue
+        rows.append(
+            {
+                "phase": phase,
+                "count": child.count,
+                "total_s": round(child.sum, 6),
+                "mean_ms": round(1e3 * child.sum / child.count, 4),
+            }
+        )
+    return rows
+
+
+__all__ = [
+    "BREAKER_STATE_CODES",
+    "Counter",
+    "DISABLED",
+    "EVENT_PARENTS",
+    "FRACTION_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "LATENCY_BUCKETS_S",
+    "ListSink",
+    "METRICS",
+    "METRIC_NAMES",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Observability",
+    "PHASES",
+    "SPAN_CHILDREN",
+    "SPAN_NAMES",
+    "Span",
+    "TRACE_SCHEMA_VERSION",
+    "Tracer",
+    "declare_solver_metrics",
+    "metric_names_in_doc",
+    "profile_rows",
+    "read_trace",
+]

@@ -1,0 +1,319 @@
+"""Counters, gauges, and histograms with Prometheus/JSON export.
+
+A zero-dependency metrics vocabulary in the Prometheus style:
+
+- :class:`Counter` — monotonically increasing float (``inc``);
+- :class:`Gauge` — settable float (``set`` / ``inc``);
+- :class:`Histogram` — cumulative fixed-bucket distribution
+  (``observe``) with ``sum`` and ``count``.
+
+Each metric lives in a :class:`MetricsRegistry` keyed by name; metrics
+declared with label names fan out into per-label-value children via
+``.labels(key=value)``.  The registry renders to the Prometheus text
+exposition format (:meth:`MetricsRegistry.to_prometheus`) and to a
+plain dict/JSON form (:meth:`MetricsRegistry.to_json`).
+
+The solver's complete metric catalog lives in
+:mod:`repro.observability.schema` (and is documented in
+``docs/TELEMETRY.md``); :func:`repro.observability.schema.
+declare_solver_metrics` pre-registers every catalog metric so exports
+and the doc-drift test see the full set even on runs where a given
+counter never fires (e.g. fault counters on a fault-free device).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+LabelValues = Tuple[Tuple[str, str], ...]
+
+#: Default histogram buckets for wall-clock phase latencies (seconds).
+LATENCY_BUCKETS_S = (
+    1e-5,
+    1e-4,
+    1e-3,
+    5e-3,
+    1e-2,
+    5e-2,
+    1e-1,
+    5e-1,
+    1.0,
+    5.0,
+)
+
+#: Default buckets for fractions in [0, 1] (e.g. chain-break share).
+FRACTION_BUCKETS = (0.0, 0.01, 0.05, 0.1, 0.2, 0.5, 1.0)
+
+
+def _label_key(labelnames: Sequence[str], labels: Mapping[str, Any]) -> LabelValues:
+    if set(labels) != set(labelnames):
+        raise ValueError(
+            f"expected labels {sorted(labelnames)}, got {sorted(labels)}"
+        )
+    return tuple((name, str(labels[name])) for name in labelnames)
+
+
+class _Metric:
+    """Shared machinery of the three metric types."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._children: Dict[LabelValues, "_Metric"] = {}
+
+    def labels(self, **labels: Any) -> "_Metric":
+        """Child metric for one combination of label values."""
+        if not self.labelnames:
+            raise ValueError(f"metric {self.name} has no labels")
+        key = _label_key(self.labelnames, labels)
+        child = self._children.get(key)
+        if child is None:
+            child = self._make_child()
+            self._children[key] = child
+        return child
+
+    def _make_child(self) -> "_Metric":
+        return type(self)(self.name, self.help)
+
+    def _check_unlabelled(self) -> None:
+        if self.labelnames:
+            raise ValueError(
+                f"metric {self.name} is labelled by {self.labelnames}; "
+                "use .labels(...) first"
+            )
+
+    @property
+    def children(self) -> Dict[LabelValues, "_Metric"]:
+        """Per-label-value children (empty for unlabelled metrics)."""
+        return self._children
+
+
+class Counter(_Metric):
+    """Monotonic counter."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
+        super().__init__(name, help, labelnames)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0)."""
+        self._check_unlabelled()
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        self.value += amount
+
+
+class Gauge(_Metric):
+    """Settable instantaneous value."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
+        super().__init__(name, help, labelnames)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the value."""
+        self._check_unlabelled()
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (may be negative)."""
+        self._check_unlabelled()
+        self.value += amount
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    ``buckets`` are upper bounds; an implicit ``+Inf`` bucket is always
+    present.  ``counts[i]`` is the number of observations <=
+    ``buckets[i]`` (cumulative).
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = LATENCY_BUCKETS_S,
+    ):
+        super().__init__(name, help, labelnames)
+        if list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be sorted ascending")
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * (len(self.buckets) + 1)  # +Inf last
+        self.sum = 0.0
+        self.count = 0
+
+    def _make_child(self) -> "Histogram":
+        return Histogram(self.name, self.help, buckets=self.buckets)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self._check_unlabelled()
+        value = float(value)
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (0.0 when empty)."""
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named collection of metrics with get-or-create accessors.
+
+    Re-requesting an existing name returns the same object; asking for
+    it under a different type or label set raises, so every
+    instrumentation point stays consistent with the declared catalog.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+
+    # -- get-or-create -------------------------------------------------
+
+    def _get_or_create(self, cls, name: str, help: str, labelnames, **kwargs):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls) or existing.kind != cls.kind:
+                raise ValueError(
+                    f"metric {name} already registered as {existing.kind}"
+                )
+            # Call sites may re-request a declared metric without
+            # repeating its label names; an explicit mismatch raises.
+            if labelnames and tuple(labelnames) != existing.labelnames:
+                raise ValueError(
+                    f"metric {name} labels mismatch: "
+                    f"{existing.labelnames} vs {tuple(labelnames)}"
+                )
+            return existing
+        metric = cls(name, help, labelnames, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        """Get or create a counter."""
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        """Get or create a gauge."""
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = LATENCY_BUCKETS_S,
+    ) -> Histogram:
+        """Get or create a histogram."""
+        return self._get_or_create(
+            Histogram, name, help, labelnames, buckets=buckets
+        )
+
+    # -- introspection -------------------------------------------------
+
+    def names(self) -> List[str]:
+        """Sorted registered metric names."""
+        return sorted(self._metrics)
+
+    def get(self, name: str) -> Optional[_Metric]:
+        """The metric registered under ``name`` (None if absent)."""
+        return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    # -- export --------------------------------------------------------
+
+    @staticmethod
+    def _label_str(key: LabelValues) -> str:
+        if not key:
+            return ""
+        inner = ",".join(f'{name}="{value}"' for name, value in key)
+        return "{" + inner + "}"
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition of every registered metric."""
+        lines: List[str] = []
+        for name in self.names():
+            metric = self._metrics[name]
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.kind}")
+            series: List[Tuple[LabelValues, _Metric]]
+            if metric.labelnames:
+                series = sorted(metric.children.items())
+            else:
+                series = [((), metric)]
+            for key, child in series:
+                label_str = self._label_str(key)
+                if isinstance(child, Histogram):
+                    bounds = [*(str(b) for b in child.buckets), "+Inf"]
+                    for bound, count in zip(bounds, child.counts):
+                        bucket_key = key + (("le", bound),)
+                        lines.append(
+                            f"{name}_bucket{self._label_str(bucket_key)} {count}"
+                        )
+                    lines.append(f"{name}_sum{label_str} {child.sum}")
+                    lines.append(f"{name}_count{label_str} {child.count}")
+                else:
+                    lines.append(f"{name}{label_str} {child.value}")
+        return "\n".join(lines) + "\n"
+
+    def to_json(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON-serialisable)."""
+        out: Dict[str, Any] = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            entry: Dict[str, Any] = {
+                "type": metric.kind,
+                "help": metric.help,
+            }
+            if metric.labelnames:
+                entry["labels"] = list(metric.labelnames)
+                entry["series"] = [
+                    {
+                        "labels": dict(key),
+                        **self._series_value(child),
+                    }
+                    for key, child in sorted(metric.children.items())
+                ]
+            else:
+                entry.update(self._series_value(metric))
+            out[name] = entry
+        return out
+
+    @staticmethod
+    def _series_value(metric: _Metric) -> Dict[str, Any]:
+        if isinstance(metric, Histogram):
+            return {
+                "buckets": list(metric.buckets),
+                "counts": list(metric.counts),
+                "sum": metric.sum,
+                "count": metric.count,
+            }
+        return {"value": metric.value}
+
+    def dump_json(self) -> str:
+        """:meth:`to_json` rendered as an indented JSON string."""
+        return json.dumps(self.to_json(), indent=2, sort_keys=True)

@@ -116,7 +116,10 @@ class ResilientDevice:
         self,
         device,
         config: Optional[ResilienceConfig] = None,
+        observability=None,
     ):
+        from repro.observability import DISABLED
+
         self.inner = device
         self.config = config or ResilienceConfig()
         self.stats = ResilienceStats()
@@ -124,6 +127,9 @@ class ResilientDevice:
         self.breaker = CircuitBreaker(
             self.config.breaker, clock=lambda: self.stats.budget_spent_us
         )
+        self.observability = DISABLED
+        if observability is not None:
+            self.set_observability(observability)
 
     # -- delegation ----------------------------------------------------
 
@@ -148,6 +154,18 @@ class ResilientDevice:
     def recalibrate(self) -> None:
         """Recalibrate the wrapped device."""
         self.inner.recalibrate()
+
+    def set_observability(self, observability) -> None:
+        """Attach a tracing/metrics bundle here and on the wrapped
+        device (retry/breaker decisions become ``qa.*`` /
+        ``breaker.transition`` events and service-level metrics)."""
+        from repro.observability import DISABLED, declare_solver_metrics
+
+        self.observability = observability or DISABLED
+        if self.observability.metrics is not None:
+            declare_solver_metrics(self.observability.metrics)
+        if hasattr(self.inner, "set_observability"):
+            self.inner.set_observability(observability)
 
     # -- helpers -------------------------------------------------------
 
@@ -190,13 +208,90 @@ class ResilientDevice:
 
     # -- the call ------------------------------------------------------
 
+    #: retry_trace event names that are refusals or outcomes rather
+    #: than failed device attempts; anything else in the trace marks an
+    #: attempt that hit a fault and becomes a ``qa.retry`` event.
+    _OUTCOME_TRACE_EVENTS = frozenset(
+        {"success", "partial_accepted", "breaker_open", "deadline",
+         "budget_exhausted"}
+    )
+
     def run(self, request: AnnealRequest) -> AnnealResult:
         """One resilient device call.
 
         Raises :class:`QaUnavailable` (only) when the call cannot be
         served; all typed device faults are absorbed by the retry
-        loop.
+        loop.  With observability attached, each retried attempt, each
+        breaker transition, and each refusal is emitted as an event
+        under the enclosing ``anneal`` span.
         """
+        obs = self.observability
+        if not obs.enabled:
+            return self._run_guarded(request)
+        marks = (
+            len(self.stats.retry_trace),
+            len(self.breaker.transitions),
+            self.stats.retries,
+        )
+        try:
+            return self._run_guarded(request)
+        except QaUnavailable as unavailable:
+            obs.tracer.event(
+                "qa.unavailable",
+                reason=unavailable.reason,
+                persistent=unavailable.persistent,
+            )
+            raise
+        finally:
+            self._observe_call(obs, *marks)
+
+    def _observe_call(
+        self, obs, trace_mark: int, transition_mark: int, retries_mark: int
+    ) -> None:
+        """Emit events/metrics for everything this call recorded."""
+        tracer = obs.tracer
+        metrics = obs.metrics
+        if tracer.enabled:
+            for call, attempt, event, backoff_us in self.stats.retry_trace[
+                trace_mark:
+            ]:
+                if event in self._OUTCOME_TRACE_EVENTS:
+                    continue
+                tracer.event(
+                    "qa.retry",
+                    attempt=attempt,
+                    fault=event,
+                    backoff_us=backoff_us,
+                )
+        for clock_us, from_state, to_state in self.breaker.transitions[
+            transition_mark:
+        ]:
+            if tracer.enabled:
+                tracer.event(
+                    "breaker.transition",
+                    from_state=from_state.value,
+                    to_state=to_state.value,
+                    clock_us=clock_us,
+                )
+            if metrics is not None:
+                metrics.counter("hyqsat_breaker_transitions_total").labels(
+                    from_state=from_state.value, to_state=to_state.value
+                ).inc()
+        if metrics is not None:
+            retries = self.stats.retries - retries_mark
+            if retries:
+                metrics.counter("hyqsat_qa_retries_total").inc(retries)
+            from repro.observability import BREAKER_STATE_CODES
+
+            metrics.gauge("hyqsat_breaker_state").set(
+                BREAKER_STATE_CODES[self.breaker.state.value]
+            )
+            metrics.gauge("hyqsat_qa_budget_spent_us").set(
+                self.stats.budget_spent_us
+            )
+
+    def _run_guarded(self, request: AnnealRequest) -> AnnealResult:
+        """The retry/deadline/budget/breaker state machine."""
         stats = self.stats
         stats.calls += 1
         call = stats.calls

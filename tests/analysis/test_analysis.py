@@ -114,10 +114,25 @@ class TestResilienceSummary:
         assert summary["fault_programming_error"] == 2.0
         assert summary["fault_readout_timeout"] == 1.0
 
-    def test_no_calls_means_full_availability(self):
+    def test_no_calls_gives_explicit_empty_summary(self):
+        # Regression: a run that never attempted a QA call must not
+        # fabricate availability=1.0 — the ratio fields are simply
+        # absent, so aggregations cannot mistake an all-classic run
+        # for a perfectly healthy device.
         from repro.analysis.metrics import resilience_summary
         from repro.core.hyqsat import HybridStats
 
         summary = resilience_summary(HybridStats())
-        assert summary["availability"] == 1.0
+        assert summary["qa_attempted"] == 0.0
+        assert summary["qa_calls"] == 0.0
+        assert summary["qa_failures"] == 0.0
+        assert "availability" not in summary
+        assert "retries_per_call" not in summary
+
+    def test_all_failed_calls_have_zero_availability(self):
+        from repro.analysis.metrics import resilience_summary
+        from repro.core.hyqsat import HybridStats
+
+        summary = resilience_summary(HybridStats(qa_failures=3, qa_retries=2))
+        assert summary["availability"] == 0.0
         assert summary["retries_per_call"] == 0.0

@@ -1,0 +1,167 @@
+"""Trace/metrics contract tests.
+
+These pin the *documented* telemetry schema to what the solver really
+emits: a seeded hybrid solve may only produce span edges listed in
+``SPAN_CHILDREN`` and event attachments listed in ``EVENT_PARENTS``,
+and ``docs/TELEMETRY.md`` must name exactly the metric catalog — so
+neither the code nor the doc can drift without a test failing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.benchgen.random_ksat import random_3sat
+from repro.core.hyqsat import HyQSatSolver
+from repro.observability import (
+    EVENT_PARENTS,
+    METRIC_NAMES,
+    METRICS,
+    Observability,
+    SPAN_CHILDREN,
+    declare_solver_metrics,
+    metric_names_in_doc,
+)
+from repro.observability.metrics import MetricsRegistry
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+TELEMETRY_DOC = REPO_ROOT / "docs" / "TELEMETRY.md"
+
+
+@pytest.fixture(scope="module")
+def traced_solve():
+    """One seeded hybrid solve captured with tracing + metrics."""
+    formula = random_3sat(30, 120, np.random.default_rng(7))
+    obs = Observability.tracing(metrics=True)
+    result = HyQSatSolver(formula, observability=obs).solve()
+    obs.close()
+    return obs, result
+
+
+def _spans(records):
+    return [r for r in records if r["type"] == "span"]
+
+
+def _events(records):
+    return [r for r in records if r["type"] == "event"]
+
+
+class TestSpanTree:
+    def test_every_span_edge_is_documented(self, traced_solve):
+        obs, _ = traced_solve
+        records = obs.tracer.records
+        spans = {r["id"]: r for r in _spans(records)}
+        assert spans, "traced solve emitted no spans"
+        for record in spans.values():
+            parent = record["parent"]
+            parent_name = spans[parent]["name"] if parent is not None else None
+            assert parent_name in SPAN_CHILDREN, record
+            assert record["name"] in SPAN_CHILDREN[parent_name], (
+                f"undocumented edge {parent_name} -> {record['name']}"
+            )
+
+    def test_single_solve_root_with_result_attrs(self, traced_solve):
+        obs, result = traced_solve
+        roots = [r for r in _spans(obs.tracer.records) if r["parent"] is None]
+        assert len(roots) == 1
+        root = roots[0]
+        assert root["name"] == "solve"
+        assert root["attrs"]["num_vars"] == 30
+        assert root["attrs"]["num_clauses"] == 120
+        assert root["attrs"]["status"] == result.status.value
+        assert root["attrs"]["iterations"] >= 1
+        assert root["attrs"]["qa_calls"] >= 1
+
+    def test_iteration_spans_are_indexed_and_ordered(self, traced_solve):
+        obs, _ = traced_solve
+        indexes = [
+            r["attrs"]["index"]
+            for r in _spans(obs.tracer.records)
+            if r["name"] == "iteration"
+        ]
+        assert indexes == sorted(indexes)
+        assert len(set(indexes)) == len(indexes)
+
+    def test_qpu_clock_only_advances_across_anneal(self, traced_solve):
+        obs, _ = traced_solve
+        spans = _spans(obs.tracer.records)
+        solve = next(r for r in spans if r["name"] == "solve")
+        anneal_us = sum(
+            r["qpu_dur_us"] for r in spans if r["name"] == "anneal"
+        )
+        assert solve["qpu_dur_us"] == pytest.approx(anneal_us)
+        assert anneal_us > 0
+        for name in ("select", "classify", "feedback"):
+            for record in (r for r in spans if r["name"] == name):
+                assert record["qpu_dur_us"] == 0.0
+
+
+class TestEvents:
+    def test_every_event_parent_is_documented(self, traced_solve):
+        obs, _ = traced_solve
+        records = obs.tracer.records
+        spans = {r["id"]: r for r in _spans(records)}
+        for event in _events(records):
+            assert event["name"] in EVENT_PARENTS, event
+            parent = event["span"]
+            assert parent is not None, event
+            assert spans[parent]["name"] in EVENT_PARENTS[event["name"]], event
+
+    def test_cdcl_events_fire(self, traced_solve):
+        obs, _ = traced_solve
+        names = {e["name"] for e in _events(obs.tracer.records)}
+        assert "cdcl.propagate" in names
+
+
+class TestMetricsContract:
+    def test_catalog_fully_registered_after_solve(self, traced_solve):
+        obs, _ = traced_solve
+        assert set(obs.metrics.names()) >= METRIC_NAMES
+
+    def test_counts_agree_with_trace(self, traced_solve):
+        obs, _ = traced_solve
+        spans = _spans(obs.tracer.records)
+        ok_anneals = sum(
+            1
+            for r in spans
+            if r["name"] == "anneal" and r["attrs"].get("outcome") == "ok"
+        )
+        assert obs.metrics.counter("hyqsat_qa_calls_total").value == ok_anneals
+        qpu_total = obs.metrics.counter("hyqsat_qpu_time_us_total").value
+        solve = next(r for r in spans if r["name"] == "solve")
+        assert qpu_total == pytest.approx(solve["qpu_dur_us"])
+
+    def test_catalog_labels_match_declared(self):
+        registry = declare_solver_metrics(MetricsRegistry())
+        for spec in METRICS:
+            assert registry.get(spec.name).labelnames == spec.labels
+
+
+class TestDocDrift:
+    def test_telemetry_doc_names_exactly_the_catalog(self):
+        documented = metric_names_in_doc(TELEMETRY_DOC.read_text())
+        assert documented == sorted(METRIC_NAMES), (
+            "docs/TELEMETRY.md metric names drifted from "
+            "repro.observability.schema.METRICS"
+        )
+
+    def test_telemetry_doc_names_every_span_and_event(self):
+        text = TELEMETRY_DOC.read_text()
+        for name in SPAN_CHILDREN:
+            if name is not None:
+                assert f"`{name}`" in text, f"span `{name}` missing from doc"
+        for name in EVENT_PARENTS:
+            assert f"`{name}`" in text, f"event `{name}` missing from doc"
+
+
+class TestObservationIsPassive:
+    def test_traced_solve_matches_untraced_solve(self, traced_solve):
+        _, traced_result = traced_solve
+        formula = random_3sat(30, 120, np.random.default_rng(7))
+        plain_result = HyQSatSolver(formula).solve()
+        assert plain_result.status == traced_result.status
+        assert plain_result.stats.conflicts == traced_result.stats.conflicts
+        assert plain_result.hybrid.qa_calls == traced_result.hybrid.qa_calls

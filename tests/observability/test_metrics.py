@@ -1,0 +1,170 @@
+"""Metrics registry unit tests: types, labels, exporters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.observability import (
+    MetricsRegistry,
+    declare_solver_metrics,
+    profile_rows,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        counter = MetricsRegistry().counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError, match="only increase"):
+            counter.inc(-1)
+
+    def test_labelled_children(self):
+        counter = MetricsRegistry().counter("c", labelnames=("reason",))
+        counter.labels(reason="deadline").inc()
+        counter.labels(reason="deadline").inc()
+        counter.labels(reason="breaker_open").inc()
+        assert counter.labels(reason="deadline").value == 2.0
+        assert counter.labels(reason="breaker_open").value == 1.0
+
+    def test_labelled_parent_rejects_direct_inc(self):
+        counter = MetricsRegistry().counter("c", labelnames=("reason",))
+        with pytest.raises(ValueError, match="use .labels"):
+            counter.inc()
+
+    def test_unlabelled_rejects_labels(self):
+        counter = MetricsRegistry().counter("c")
+        with pytest.raises(ValueError, match="no labels"):
+            counter.labels(reason="x")
+
+    def test_wrong_label_names_raise(self):
+        counter = MetricsRegistry().counter("c", labelnames=("reason",))
+        with pytest.raises(ValueError, match="expected labels"):
+            counter.labels(cause="x")
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(5)
+        gauge.inc(-2)
+        assert gauge.value == 3.0
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self):
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0, 2.0, 5.0))
+        for value in (0.5, 1.5, 3.0, 10.0):
+            histogram.observe(value)
+        assert histogram.counts == [1, 2, 3, 4]  # cumulative, +Inf last
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(15.0)
+        assert histogram.mean == pytest.approx(3.75)
+
+    def test_empty_mean_is_zero(self):
+        assert MetricsRegistry().histogram("h").mean == 0.0
+
+    def test_unsorted_buckets_raise(self):
+        with pytest.raises(ValueError, match="sorted"):
+            MetricsRegistry().histogram("h", buckets=(2.0, 1.0))
+
+    def test_labelled_children_share_buckets(self):
+        histogram = MetricsRegistry().histogram(
+            "h", labelnames=("phase",), buckets=(1.0, 2.0)
+        )
+        histogram.labels(phase="embed").observe(0.5)
+        assert histogram.labels(phase="embed").buckets == (1.0, 2.0)
+        assert histogram.labels(phase="embed").count == 1
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_type_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("m")
+
+    def test_relabel_mismatch_raises_but_bare_rerequest_ok(self):
+        registry = MetricsRegistry()
+        registry.counter("c", labelnames=("reason",))
+        # Instrumentation sites re-request by bare name: fine.
+        assert registry.counter("c").labelnames == ("reason",)
+        with pytest.raises(ValueError, match="labels mismatch"):
+            registry.counter("c", labelnames=("cause",))
+
+    def test_names_and_contains(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.gauge("a")
+        assert registry.names() == ["a", "b"]
+        assert "a" in registry and "z" not in registry
+        assert registry.get("z") is None
+
+
+class TestExporters:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("hyqsat_x_total", "things done").inc(3)
+        registry.gauge("hyqsat_g").set(7)
+        registry.counter(
+            "hyqsat_lab_total", labelnames=("kind",)
+        ).labels(kind="a").inc()
+        histogram = registry.histogram("hyqsat_h", buckets=(1.0, 2.0))
+        histogram.observe(0.5)
+        histogram.observe(1.5)
+        return registry
+
+    def test_prometheus_text(self):
+        text = self._registry().to_prometheus()
+        assert "# HELP hyqsat_x_total things done" in text
+        assert "# TYPE hyqsat_x_total counter" in text
+        assert "hyqsat_x_total 3.0" in text
+        assert "hyqsat_g 7.0" in text
+        assert 'hyqsat_lab_total{kind="a"} 1.0' in text
+        assert 'hyqsat_h_bucket{le="1.0"} 1' in text
+        assert 'hyqsat_h_bucket{le="+Inf"} 2' in text
+        assert "hyqsat_h_sum 2.0" in text
+        assert "hyqsat_h_count 2" in text
+
+    def test_json_export_round_trips(self):
+        payload = json.loads(self._registry().dump_json())
+        assert payload["hyqsat_x_total"]["value"] == 3.0
+        assert payload["hyqsat_lab_total"]["series"] == [
+            {"labels": {"kind": "a"}, "value": 1.0}
+        ]
+        assert payload["hyqsat_h"]["counts"] == [1, 2, 2]
+
+
+class TestSolverCatalog:
+    def test_declare_is_idempotent(self):
+        registry = MetricsRegistry()
+        declare_solver_metrics(registry)
+        first = registry.names()
+        declare_solver_metrics(registry)
+        assert registry.names() == first
+        assert "hyqsat_qa_calls_total" in registry
+
+    def test_profile_rows(self):
+        registry = declare_solver_metrics(MetricsRegistry())
+        phase = registry.histogram("hyqsat_phase_seconds")
+        phase.labels(phase="embed").observe(0.2)
+        phase.labels(phase="embed").observe(0.4)
+        phase.labels(phase="anneal").observe(0.1)
+        rows = profile_rows(registry)
+        assert [row["phase"] for row in rows] == ["embed", "anneal"]
+        assert rows[0]["count"] == 2
+        assert rows[0]["total_s"] == pytest.approx(0.6)
+        assert rows[0]["mean_ms"] == pytest.approx(300.0)
+
+    def test_profile_rows_empty_registry(self):
+        assert profile_rows(MetricsRegistry()) == []

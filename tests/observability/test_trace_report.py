@@ -1,0 +1,111 @@
+"""Tests for ``repro.analysis.trace_report``."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.trace_report import (
+    format_report,
+    iteration_rows,
+    load_trace,
+    main,
+    summarize,
+)
+from repro.benchgen.random_ksat import random_3sat
+from repro.core.hyqsat import HyQSatSolver
+from repro.observability import Observability
+
+
+@pytest.fixture(scope="module")
+def trace_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("trace") / "run.jsonl"
+    formula = random_3sat(20, 85, np.random.default_rng(3))
+    obs = Observability.tracing(str(path))
+    HyQSatSolver(formula, observability=obs).solve()
+    obs.close()
+    return path
+
+
+@pytest.fixture(scope="module")
+def records(trace_path):
+    return load_trace(trace_path)
+
+
+class TestSummarize:
+    def test_solve_block(self, records):
+        summary = summarize(records)
+        solve = summary["solve"]
+        assert solve["num_vars"] == 20
+        assert solve["num_clauses"] == 85
+        assert solve["wall_s"] > 0
+        assert solve["qpu_us"] >= 0
+
+    def test_span_aggregates(self, records):
+        spans = summarize(records)["spans"]
+        assert "iteration" in spans
+        row = spans["iteration"]
+        assert row["count"] >= 1
+        assert row["mean_wall_s"] == pytest.approx(row["wall_s"] / row["count"])
+        # Pipeline order: solve first, then iteration, then phases.
+        names = list(spans)
+        assert names.index("solve") < names.index("iteration")
+
+    def test_event_counts(self, records):
+        events = summarize(records)["events"]
+        assert events.get("cdcl.propagate", 0) >= 1
+
+    def test_empty_trace(self):
+        summary = summarize([])
+        assert summary["solve"] is None
+        assert summary["spans"] == {}
+        assert summary["iterations"] == []
+
+
+class TestIterationRows:
+    def test_rows_track_qa_iterations(self, records):
+        rows = iteration_rows(records)
+        assert rows
+        indexes = [row["index"] for row in rows]
+        assert indexes == sorted(indexes)
+        qa_rows = [row for row in rows if "anneal_s" in row]
+        assert qa_rows, "no iteration made a QA call"
+        for row in rows:
+            assert row["wall_s"] >= 0
+        for row in qa_rows:
+            assert "outcome" in row
+            if row["outcome"] == "ok":
+                assert row["qpu_us"] > 0
+
+
+class TestFormatReport:
+    def test_renders_tables(self, records):
+        text = format_report(summarize(records))
+        assert "solve:" in text
+        assert "Span aggregates" in text
+        assert "Events" in text
+        assert "QA iterations" in text
+
+    def test_iteration_cap(self, records):
+        summary = summarize(records)
+        qa_rows = [
+            row for row in summary["iterations"] if row.get("outcome") is not None
+        ]
+        text = format_report(summary, max_iterations=1)
+        assert f"QA iterations (1 of {len(qa_rows)})" in text
+
+
+class TestMain:
+    def test_happy_path(self, trace_path, capsys):
+        assert main([str(trace_path)]) == 0
+        assert "solve:" in capsys.readouterr().out
+
+    def test_usage_error(self, capsys):
+        assert main([]) == 2
+        assert "usage" in capsys.readouterr().out.lower()
+
+    def test_unreadable_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type":"span"}\n')
+        assert main([str(bad)]) == 1
+        assert "error" in capsys.readouterr().err.lower()

@@ -78,3 +78,67 @@ def test_suite_small_slice(capsys):
     out = capsys.readouterr().out
     assert "Iteration reduction" in out
     assert "BP" in out
+
+
+def test_parser_observability_flags():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["solve", "x.cnf", "--trace", "t.jsonl", "--profile",
+         "--metrics", "m.prom", "--metrics-format", "json"]
+    )
+    assert args.trace == "t.jsonl"
+    assert args.profile
+    assert args.metrics == "m.prom"
+    assert args.metrics_format == "json"
+
+
+def test_solve_with_trace_and_profile(cnf_file, tmp_path, capsys):
+    trace_path = tmp_path / "run.jsonl"
+    assert main(["solve", cnf_file, "--trace", str(trace_path), "--profile"]) == 0
+    out = capsys.readouterr().out
+    assert f"c trace={trace_path}" in out
+    assert "c profile phase=select" in out
+
+    from repro.observability import read_trace
+
+    records = read_trace(trace_path)
+    assert records[0]["type"] == "meta"
+    assert any(r.get("name") == "solve" for r in records)
+
+
+def test_solve_metrics_export_prom(cnf_file, tmp_path, capsys):
+    metrics_path = tmp_path / "m.prom"
+    assert main(["solve", cnf_file, "--metrics", str(metrics_path)]) == 0
+    assert "c metrics=" in capsys.readouterr().out
+    text = metrics_path.read_text()
+    assert "# TYPE hyqsat_qa_calls_total counter" in text
+
+
+def test_solve_metrics_export_json(cnf_file, tmp_path):
+    import json
+
+    metrics_path = tmp_path / "m.json"
+    assert (
+        main(
+            ["solve", cnf_file, "--metrics", str(metrics_path),
+             "--metrics-format", "json"]
+        )
+        == 0
+    )
+    payload = json.loads(metrics_path.read_text())
+    assert "hyqsat_qa_calls_total" in payload
+
+
+def test_solve_classic_rejects_observability(cnf_file):
+    with pytest.raises(SystemExit):
+        main(["solve", cnf_file, "--classic", "--trace", "t.jsonl"])
+
+
+def test_trace_report_subcommand(cnf_file, tmp_path, capsys):
+    trace_path = tmp_path / "run.jsonl"
+    assert main(["solve", cnf_file, "--trace", str(trace_path)]) == 0
+    capsys.readouterr()
+    assert main(["trace-report", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "solve:" in out
+    assert "Span aggregates" in out

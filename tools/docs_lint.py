@@ -1,0 +1,147 @@
+"""Docs lint: broken links, phantom flags, undocumented solve flags.
+
+Three checks over the repo's markdown set (README.md, DESIGN.md,
+EXPERIMENTS.md, CONTRIBUTING.md, ROADMAP.md, docs/*.md):
+
+1. **Relative links** — every ``[text](path)`` pointing inside the
+   repo must resolve to an existing file (anchors and external URLs
+   are skipped).
+2. **Flag references** — every ``--flag`` token mentioned in the docs
+   must be a flag some ``hyqsat`` subcommand actually defines (so docs
+   cannot keep advertising a renamed or removed option).
+3. **Solve-flag coverage** — every optional flag of ``hyqsat solve``
+   must appear in README.md's flag table (the other direction of the
+   same drift).
+
+Run with ``make docs-check`` or::
+
+    PYTHONPATH=src python tools/docs_lint.py
+
+Exits non-zero with one line per problem.  Zero third-party
+dependencies; flag extraction introspects the real argparse parser so
+the lint can never disagree with ``--help``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Set
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Markdown files covered by the lint (ISSUE.md is per-PR scratch;
+#: PAPER(S)/SNIPPETS are generated references with external links).
+DOC_FILES = (
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "CONTRIBUTING.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+    "docs/TELEMETRY.md",
+)
+
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FLAG_RE = re.compile(r"(?<![-\w])(--[a-z][a-z0-9-]+)\b")
+
+#: Doc-mentioned flags that are not hyqsat CLI flags (pytest/pip/git
+#: options quoted in command examples, etc.).
+FLAG_ALLOWLIST: Set[str] = {
+    "--benchmark-only",  # pytest-benchmark, quoted in Makefile docs
+    "--quick",           # benchmarks.bench_hotpath / bench_observability
+    "--output",          # benchmark scripts
+    "--baseline",        # benchmarks.bench_observability
+    "--help",
+}
+
+
+def _doc_paths() -> List[Path]:
+    return [REPO_ROOT / name for name in DOC_FILES if (REPO_ROOT / name).exists()]
+
+
+def check_links(problems: List[str]) -> None:
+    for path in _doc_paths():
+        text = path.read_text(encoding="utf-8")
+        for match in _LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                rel = path.relative_to(REPO_ROOT)
+                problems.append(f"{rel}: broken link -> {match.group(1)}")
+
+
+def _cli_flags() -> Set[str]:
+    """Every optional flag any hyqsat subcommand defines."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.cli import build_parser
+
+    flags: Set[str] = set()
+    parsers = [build_parser()]
+    while parsers:
+        parser = parsers.pop()
+        for action in parser._actions:
+            flags.update(s for s in action.option_strings if s.startswith("--"))
+            choices = getattr(action, "choices", None)
+            if isinstance(choices, dict) and all(
+                hasattr(sub, "_actions") for sub in choices.values()
+            ):
+                parsers.extend(choices.values())
+    return flags
+
+
+def _solve_flags() -> Set[str]:
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    for action in parser._actions:
+        choices = getattr(action, "choices", None)
+        if choices and "solve" in choices:
+            return {
+                s
+                for sub_action in choices["solve"]._actions
+                for s in sub_action.option_strings
+                if s.startswith("--") and s != "--help"
+            }
+    raise RuntimeError("no 'solve' subcommand found")
+
+
+def check_flag_references(problems: List[str]) -> None:
+    known = _cli_flags() | FLAG_ALLOWLIST
+    for path in _doc_paths():
+        text = path.read_text(encoding="utf-8")
+        for flag in sorted(set(_FLAG_RE.findall(text))):
+            if flag not in known:
+                rel = path.relative_to(REPO_ROOT)
+                problems.append(f"{rel}: references unknown flag {flag}")
+
+
+def check_solve_flag_coverage(problems: List[str]) -> None:
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    for flag in sorted(_solve_flags()):
+        if flag not in readme:
+            problems.append(f"README.md: solve flag {flag} missing from flag table")
+
+
+def main() -> int:
+    problems: List[str] = []
+    check_links(problems)
+    check_flag_references(problems)
+    check_solve_flag_coverage(problems)
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"docs lint: {len(problems)} problem(s)")
+        return 1
+    print(f"docs lint: {len(_doc_paths())} files OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
