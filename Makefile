@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test ci bench bench-full bench-obs docs-check paper-tables
+.PHONY: test ci bench bench-full bench-obs bench-service docs-check paper-tables
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -24,6 +24,12 @@ bench-full:
 # and fails if the disabled path costs more than 2% over its baseline.
 bench-obs:
 	$(PYTHON) -m benchmarks.bench_observability --quick
+
+# Solver-service throughput; writes BENCH_service.json and fails if
+# modelled throughput at 4 workers is below 2x serial or any service
+# run is not bit-identical to the solo baseline.
+bench-service:
+	$(PYTHON) -m benchmarks.bench_service --quick
 
 # Docs lint: broken relative links, phantom --flags, undocumented
 # solve flags (see tools/docs_lint.py).

@@ -19,6 +19,7 @@ from repro.annealer.faults import (
     FaultModel,
     ProgrammingError,
     ReadoutTimeout,
+    parse_fault_spec,
 )
 from repro.annealer.noise import NoiseModel
 from repro.annealer.postprocess import LogicalDescender, logical_greedy_descent
@@ -49,4 +50,5 @@ __all__ = [
     "build_embedded_problem",
     "logical_greedy_descent",
     "majority_vote_unembed",
+    "parse_fault_spec",
 ]

@@ -177,6 +177,45 @@ class FaultModel:
         )
 
 
+#: ``parse_fault_spec`` channel shorthands (the CLI / job-file keys).
+FAULT_SPEC_KEYS = {
+    "prog": "programming_fail_prob",
+    "timeout": "readout_timeout_prob",
+    "dropout": "read_dropout_prob",
+    "drift": "drift_onset_prob",
+}
+
+
+def parse_fault_spec(text: str) -> FaultModel:
+    """Parse a fault-spec string into a :class:`FaultModel`.
+
+    A bare probability (``"0.2"``) applies to every channel;
+    comma-separated ``key=prob`` pairs set channels individually, with
+    keys ``prog``, ``timeout``, ``dropout``, ``drift`` (see
+    :data:`FAULT_SPEC_KEYS`).  Shared by the ``--qa-faults`` CLI flag
+    and the service job files; raises :class:`ValueError` on malformed
+    input.
+    """
+    try:
+        return FaultModel.uniform(float(text))
+    except ValueError:
+        pass
+    values = {}
+    for part in text.split(","):
+        if "=" not in part:
+            raise ValueError(
+                f"bad fault-spec entry {part!r}; expected key=prob with "
+                f"keys {sorted(FAULT_SPEC_KEYS)}"
+            )
+        key, _, prob = part.partition("=")
+        if key.strip() not in FAULT_SPEC_KEYS:
+            raise ValueError(
+                f"unknown fault channel {key!r}; known: {sorted(FAULT_SPEC_KEYS)}"
+            )
+        values[FAULT_SPEC_KEYS[key.strip()]] = float(prob)
+    return FaultModel(**values)
+
+
 @dataclass(frozen=True)
 class CallFaults:
     """The fault decisions of one device call, drawn up front.

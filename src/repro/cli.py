@@ -7,8 +7,11 @@ Subcommands::
                  [--trace FILE] [--profile] [--metrics FILE]
     hyqsat generate <benchmark> [--index I] [--seed N] [-o out.cnf]
     hyqsat embed <file.cnf> [--scheme hyqsat|minorminer|pr] [--grid N]
-    hyqsat suite [--benchmarks GC1,AI1,...] [--problems N]
+    hyqsat suite [--benchmarks GC1,AI1,...] [--problems N] [--jobs N]
     hyqsat trace-report <trace.jsonl>
+    hyqsat submit <file.cnf> [--queue jobs.jsonl] [--priority P]
+    hyqsat serve <jobs.jsonl|dir|-> [--jobs N] [-o results.jsonl]
+    hyqsat batch <dir> [--jobs N] [-o results.jsonl]
 
 ``solve`` runs HyQSAT (or the classic CDCL baseline) on a DIMACS file;
 ``generate`` materialises a benchmark instance; ``embed`` reports
@@ -16,6 +19,18 @@ embedding statistics; ``suite`` reproduces a small Table I slice;
 ``trace-report`` summarises a ``--trace`` JSONL file.  The solve-time
 observability flags (``--trace``, ``--profile``, ``--metrics``) are
 documented in docs/TELEMETRY.md.
+
+``submit``/``serve``/``batch`` are the solver-service surface
+(docs/SERVICE.md): ``submit`` appends one job line to a job JSONL
+file, ``serve`` runs a job file (or every ``*.jsonl`` in a directory,
+or stdin) through the concurrent service, and ``batch`` is the
+shorthand that turns every ``*.cnf`` in a directory into one job each.
+Per fixed job seed, service results are bit-identical to solo
+``hyqsat solve`` runs regardless of ``--jobs``.
+
+``solve`` and ``suite`` handle Ctrl-C gracefully: open ``--trace`` /
+``--metrics`` files are flushed with whatever was recorded and a
+partial summary is printed instead of a traceback (exit status 130).
 """
 
 from __future__ import annotations
@@ -25,49 +40,89 @@ import sys
 import time
 from typing import List, Optional
 
-import numpy as np
 
-
-def _parse_fault_spec(text: str):
-    """Parse ``--qa-faults``: a bare probability applies to every
-    channel; ``key=value`` pairs (comma-separated) set channels
-    individually — keys: ``prog``, ``timeout``, ``dropout``, ``drift``.
-    """
-    from repro.annealer import FaultModel
+def _fault_model_or_exit(text: str):
+    """Parse ``--qa-faults`` with CLI-friendly errors."""
+    from repro.annealer import parse_fault_spec
 
     try:
-        return FaultModel.uniform(float(text))
-    except ValueError:
-        pass
-    keys = {
-        "prog": "programming_fail_prob",
-        "timeout": "readout_timeout_prob",
-        "dropout": "read_dropout_prob",
-        "drift": "drift_onset_prob",
-    }
-    values = {}
-    for part in text.split(","):
-        if "=" not in part:
-            raise SystemExit(
-                f"bad --qa-faults entry {part!r}; expected key=prob with "
-                f"keys {sorted(keys)}"
+        return parse_fault_spec(text)
+    except ValueError as error:
+        raise SystemExit(f"--qa-faults: {error}")
+
+
+def _jobspec_from_args(
+    args: argparse.Namespace,
+    job_id: str,
+    path: Optional[str] = None,
+    dimacs: Optional[str] = None,
+    seed: Optional[int] = None,
+):
+    """Build the :class:`~repro.service.JobSpec` these CLI options
+    describe — the single construction path shared by ``solve``,
+    ``submit``, and ``batch``, which is what makes service results
+    bit-identical to solo solves."""
+    from repro.service import JobSpec
+
+    if getattr(args, "qa_faults", None):
+        _fault_model_or_exit(args.qa_faults)  # friendlier error first
+    try:
+        return JobSpec(
+            job_id=job_id,
+            path=path,
+            dimacs=dimacs,
+            seed=args.seed if seed is None else seed,
+            priority=getattr(args, "priority", "batch"),
+            deadline_s=getattr(args, "deadline_s", None),
+            classic=getattr(args, "classic", False),
+            noise=getattr(args, "noise", False),
+            lenient=getattr(args, "lenient", False),
+            qa_faults=getattr(args, "qa_faults", None),
+            fault_seed=getattr(args, "fault_seed", None),
+            qa_retries=getattr(args, "qa_retries", 4),
+            qa_deadline_us=getattr(args, "qa_deadline_us", None),
+            qa_budget_us=getattr(args, "qa_budget_us", None),
+            qa_breaker_threshold=getattr(args, "qa_breaker_threshold", 5),
+            no_resilience=getattr(args, "no_resilience", False),
+        )
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+
+def _emit_observability(observability, args: argparse.Namespace) -> None:
+    """Close the bundle and write/print whatever was requested.
+
+    Called on the normal path *and* from the KeyboardInterrupt
+    handlers, so an interrupted run still flushes a valid (partial)
+    trace and metrics export.
+    """
+    if observability is None:
+        return
+    observability.close()
+    if getattr(args, "trace", None):
+        print(f"c trace={args.trace}")
+    if getattr(args, "profile", False):
+        from repro.observability import profile_rows
+
+        for row in profile_rows(observability.metrics):
+            print(
+                f"c profile phase={row['phase']} count={row['count']} "
+                f"total_s={row['total_s']} mean_ms={row['mean_ms']}"
             )
-        key, _, prob = part.partition("=")
-        if key.strip() not in keys:
-            raise SystemExit(
-                f"unknown --qa-faults channel {key!r}; known: {sorted(keys)}"
-            )
-        values[keys[key.strip()]] = float(prob)
-    return FaultModel(**values)
+    if getattr(args, "metrics", None):
+        registry = observability.metrics
+        if args.metrics_format == "json":
+            text = registry.dump_json() + "\n"
+        else:
+            text = registry.to_prometheus()
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"c metrics={args.metrics} format={args.metrics_format}")
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
-    from repro.annealer import AnnealerDevice, NoiseModel
-    from repro.cdcl import minisat_solver
-    from repro.core import HyQSatConfig, HyQSatSolver, ResilienceConfig, RetryPolicy
-    from repro.core.config import BreakerPolicy
-    from repro.resilience import ResilientDevice
     from repro.sat import read_dimacs, to_3sat
+    from repro.service import build_solver
 
     formula = read_dimacs(args.path, strict=not args.lenient)
     if not formula.is_3sat:
@@ -91,39 +146,28 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         else:
             observability = Observability.profiling()
 
+    spec = _jobspec_from_args(args, job_id=args.path, path=args.path)
+    solver = build_solver(spec, formula=formula, observability=observability)
+
     start = time.perf_counter()
-    if args.classic:
-        result = minisat_solver(formula, seed=args.seed).solve()
-        hybrid = None
-    else:
-        noise = NoiseModel.dwave_2000q() if args.noise else NoiseModel.noiseless()
-        faults = _parse_fault_spec(args.qa_faults) if args.qa_faults else None
-        fault_seed = args.seed if args.fault_seed is None else args.fault_seed
-        device = AnnealerDevice(
-            noise=noise, seed=args.seed, faults=faults, fault_seed=fault_seed
-        )
-        if not args.no_resilience:
-            device = ResilientDevice(
-                device,
-                ResilienceConfig(
-                    retry=RetryPolicy(max_attempts=args.qa_retries),
-                    breaker=BreakerPolicy(
-                        failure_threshold=args.qa_breaker_threshold
-                    ),
-                    call_deadline_us=args.qa_deadline_us,
-                    qa_budget_us=args.qa_budget_us,
-                    seed=fault_seed,
-                ),
-            )
-        solver = HyQSatSolver(
-            formula,
-            device=device,
-            config=HyQSatConfig(seed=args.seed),
-            observability=observability,
-        )
+    try:
         result = solver.solve()
-        hybrid = result.hybrid
+    except KeyboardInterrupt:
+        elapsed = time.perf_counter() - start
+        print()  # terminate the ^C line
+        print(f"c interrupted wall_seconds={elapsed:.3f}")
+        partial = getattr(solver, "hybrid_stats", None)
+        if partial is not None:
+            print(
+                f"c partial qa_calls={partial.qa_calls} "
+                f"qpu_time_us={partial.qpu_time_us:.1f} "
+                f"qa_failures={partial.qa_failures} "
+                f"breaker_state={partial.breaker_state}"
+            )
+        _emit_observability(observability, args)
+        return 130
     elapsed = time.perf_counter() - start
+    hybrid = getattr(result, "hybrid", None)
 
     print(f"s {result.status.value.upper()}")
     if result.model is not None:
@@ -156,27 +200,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             print(f"c qa_faults {faults_joined}")
     print(f"c wall_seconds={elapsed:.3f}")
 
-    if observability is not None:
-        observability.close()
-        if args.trace:
-            print(f"c trace={args.trace}")
-        if args.profile:
-            from repro.observability import profile_rows
-
-            for row in profile_rows(observability.metrics):
-                print(
-                    f"c profile phase={row['phase']} count={row['count']} "
-                    f"total_s={row['total_s']} mean_ms={row['mean_ms']}"
-                )
-        if args.metrics:
-            registry = observability.metrics
-            if args.metrics_format == "json":
-                text = registry.dump_json() + "\n"
-            else:
-                text = registry.to_prometheus()
-            with open(args.metrics, "w", encoding="utf-8") as handle:
-                handle.write(text)
-            print(f"c metrics={args.metrics} format={args.metrics_format}")
+    _emit_observability(observability, args)
     return 0 if result.status.value != "unknown" else 1
 
 
@@ -253,41 +277,367 @@ def _cmd_embed(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_suite(args: argparse.Namespace) -> int:
-    from repro.analysis import format_table, reduction_stats
+def _suite_cell(benchmark: str, index: int, seed: int) -> float:
+    """One suite table cell: the classic/HyQSAT iteration ratio.
+
+    Module-level and picklable so ``suite --jobs N --pool process``
+    can ship cells to worker processes; seeding matches the serial
+    path exactly (base seeded by ``--seed``, HyQSAT by the problem
+    index), so parallel and serial tables are identical.
+    """
     from repro.benchgen import BENCHMARKS
     from repro.cdcl import minisat_solver
     from repro.core import HyQSatConfig, HyQSatSolver
 
+    spec = BENCHMARKS[benchmark]
+    formula = spec.generate(index, seed=seed)
+    base = minisat_solver(formula, seed=seed).solve()
+    hyq = HyQSatSolver(formula, config=HyQSatConfig(seed=index)).solve()
+    return max(1, base.stats.iterations) / max(1, hyq.stats.iterations)
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    from repro.analysis import format_table, reduction_stats
+    from repro.benchgen import BENCHMARKS
+    from repro.service import WorkerPool
+
     names = args.benchmarks.split(",") if args.benchmarks else list(BENCHMARKS)
-    rows: List[List[object]] = []
+    cells: List[tuple] = []
+    counts: dict = {}
     for name in names:
         spec = BENCHMARKS[name.strip()]
         count = args.problems or min(3, spec.num_problems)
-        reductions = []
+        counts[name.strip()] = count
         for index in range(count):
-            formula = spec.generate(index, seed=args.seed)
-            base = minisat_solver(formula, seed=args.seed).solve()
-            hyq = HyQSatSolver(formula, config=HyQSatConfig(seed=index)).solve()
-            reductions.append(
-                max(1, base.stats.iterations) / max(1, hyq.stats.iterations)
-            )
+            cells.append((name.strip(), index))
+
+    mode = "inline" if args.jobs <= 1 else args.pool
+    pool = WorkerPool(workers=max(1, args.jobs), mode=mode)
+    completed: dict = {}
+    interrupted = False
+    try:
+        futures = {
+            cell: pool.submit(_suite_cell, cell[0], cell[1], args.seed)
+            for cell in cells
+        }
+        for cell, future in futures.items():
+            completed[cell] = future.result()
+    except KeyboardInterrupt:
+        interrupted = True
+        pool.shutdown(wait=False, cancel_pending=True)
+    else:
+        pool.shutdown(wait=True)
+
+    rows: List[List[object]] = []
+    for name in names:
+        name = name.strip()
+        reductions = [
+            completed[(name, index)]
+            for index in range(counts[name])
+            if (name, index) in completed
+        ]
+        if not reductions:
+            continue
         stats = reduction_stats(reductions)
-        rows.append([spec.name, spec.domain, count] + stats.as_row())
-    print(
-        format_table(
-            ["Benchmark", "Domain", "#Problems", "Avg", "Geomean", "Max", "Min"],
-            rows,
-            title="Iteration reduction (classic CDCL / HyQSAT)",
+        rows.append([name, BENCHMARKS[name].domain, len(reductions)] + stats.as_row())
+    if interrupted:
+        print()
+        print(
+            f"c interrupted after {len(completed)}/{len(cells)} problems; "
+            "partial table follows"
         )
-    )
-    return 0
+    if rows:
+        print(
+            format_table(
+                ["Benchmark", "Domain", "#Problems", "Avg", "Geomean", "Max", "Min"],
+                rows,
+                title="Iteration reduction (classic CDCL / HyQSAT)",
+            )
+        )
+    return 130 if interrupted else 0
 
 
 def _cmd_trace_report(args: argparse.Namespace) -> int:
     from repro.analysis.trace_report import main as report_main
 
     return report_main([args.path])
+
+
+# ---------------------------------------------------------------------------
+# Service commands (docs/SERVICE.md)
+# ---------------------------------------------------------------------------
+
+
+def _service_observability(args: argparse.Namespace):
+    """The service-level tracing/metrics bundle for serve/batch."""
+    if not (getattr(args, "trace", None) or getattr(args, "metrics", None)):
+        return None
+    from repro.observability import Observability
+
+    if args.trace:
+        return Observability.tracing(args.trace, metrics=bool(args.metrics))
+    return Observability.profiling()
+
+
+def _run_service(args: argparse.Namespace, specs) -> int:
+    """Shared serve/batch driver: run ``specs`` through a
+    :class:`~repro.service.SolverService`, streaming result JSONL."""
+    from repro.service import ServiceConfig, SolverService
+
+    observability = _service_observability(args)
+    out = sys.stdout if args.output in (None, "-") else open(
+        args.output, "w", encoding="utf-8"
+    )
+    owns_out = out is not sys.stdout
+
+    def emit(outcome) -> None:
+        out.write(outcome.to_json() + "\n")
+        out.flush()
+
+    service = SolverService(
+        ServiceConfig(
+            workers=max(1, args.jobs),
+            pool_mode=args.pool,
+            max_depth=args.max_depth,
+            qpu_budget_us=args.qpu_budget_us,
+            dedup=not args.no_dedup,
+        ),
+        observability=observability,
+    )
+    interrupted = False
+    outcomes = []
+    try:
+        outcomes = service.run(specs, on_outcome=emit)
+    except KeyboardInterrupt:
+        interrupted = True
+    finally:
+        if owns_out:
+            out.close()
+    stats = service.stats
+    summary = sys.stderr
+    if stats is not None:
+        states = " ".join(
+            f"{state}={count}"
+            for state, count in sorted(stats.jobs_by_state.items())
+        )
+        print(
+            f"c jobs={stats.total_jobs} {states} dedup_hits={stats.dedup_hits}",
+            file=summary,
+        )
+        print(
+            f"c qpu_grants={stats.qpu_grants} "
+            f"qpu_coalesced={stats.qpu_coalesced} "
+            f"qpu_busy_us={stats.qpu_busy_us:.1f} "
+            f"wall_seconds={stats.wall_seconds:.3f}",
+            file=summary,
+        )
+    if interrupted:
+        print("c interrupted; results flushed so far are valid", file=summary)
+    _emit_observability(observability, args)
+    if interrupted:
+        return 130
+    bad_states = {"failed", "rejected", "expired"}
+    bad = sum(
+        1
+        for o in outcomes
+        if o.state in bad_states or o.status == "unknown"
+    )
+    return 1 if bad else 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import os
+
+    stem = os.path.splitext(os.path.basename(args.path))[0]
+    job_id = args.id or f"{stem}-s{args.seed}"
+    spec = _jobspec_from_args(args, job_id=job_id, path=args.path)
+    line = spec.to_json()
+    if args.queue in (None, "-"):
+        print(line)
+    else:
+        with open(args.queue, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+        print(f"c queued {job_id} -> {args.queue}")
+    return 0
+
+
+def _load_job_lines(source: str) -> List[str]:
+    """Job JSONL lines from a file, every ``*.jsonl`` in a directory
+    (sorted), or stdin (``-``)."""
+    import glob
+    import os
+
+    if source == "-":
+        return sys.stdin.read().splitlines()
+    if os.path.isdir(source):
+        lines: List[str] = []
+        for path in sorted(glob.glob(os.path.join(source, "*.jsonl"))):
+            with open(path, "r", encoding="utf-8") as handle:
+                lines.extend(handle.read().splitlines())
+        return lines
+    with open(source, "r", encoding="utf-8") as handle:
+        return handle.read().splitlines()
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.service import JobSpec
+
+    lines = _load_job_lines(args.source)
+    base = (
+        None
+        if args.source == "-"
+        else (
+            args.source
+            if os.path.isdir(args.source)
+            else os.path.dirname(args.source)
+        )
+    )
+    specs = []
+    for number, line in enumerate(lines, start=1):
+        if not line.strip() or line.lstrip().startswith("#"):
+            continue
+        try:
+            spec = JobSpec.from_json(line)
+        except (ValueError, TypeError) as error:
+            raise SystemExit(f"{args.source}:{number}: {error}")
+        if spec.path and base and not os.path.isabs(spec.path):
+            spec.path = os.path.join(base, spec.path)
+        specs.append(spec)
+    if not specs:
+        print("c no jobs", file=sys.stderr)
+        return 0
+    return _run_service(args, specs)
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    import glob
+    import os
+
+    paths = sorted(glob.glob(os.path.join(args.directory, "*.cnf")))
+    if not paths:
+        raise SystemExit(f"no *.cnf files under {args.directory}")
+    specs = []
+    for index, path in enumerate(paths):
+        stem = os.path.splitext(os.path.basename(path))[0]
+        specs.append(
+            _jobspec_from_args(
+                args, job_id=stem, path=path, seed=args.seed + index
+            )
+        )
+    return _run_service(args, specs)
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+def _add_job_option_flags(parser: argparse.ArgumentParser) -> None:
+    """The solve-option flags shared by ``solve``/``submit``/``batch``
+    (one flag set -> one :class:`~repro.service.JobSpec` field each)."""
+    parser.add_argument("--classic", action="store_true", help="plain CDCL baseline")
+    parser.add_argument("--noise", action="store_true", help="noisy 2000Q device model")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--lenient", action="store_true", help="tolerate malformed DIMACS")
+    parser.add_argument(
+        "--qa-faults",
+        default=None,
+        metavar="SPEC",
+        help="inject device faults: a probability for all channels "
+        "(e.g. 0.2) or key=prob pairs over prog,timeout,dropout,drift "
+        "(e.g. prog=0.1,timeout=0.05)",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="fault-injection RNG seed (defaults to --seed)",
+    )
+    parser.add_argument(
+        "--qa-retries", type=int, default=4, help="max attempts per QA call"
+    )
+    parser.add_argument(
+        "--qa-deadline-us",
+        type=float,
+        default=None,
+        help="per-call deadline in modelled device microseconds",
+    )
+    parser.add_argument(
+        "--qa-budget-us",
+        type=float,
+        default=None,
+        help="global QA time budget in modelled device microseconds",
+    )
+    parser.add_argument(
+        "--qa-breaker-threshold",
+        type=int,
+        default=5,
+        help="consecutive failed calls before the circuit breaker opens",
+    )
+    parser.add_argument(
+        "--no-resilience",
+        action="store_true",
+        help="call the (possibly faulty) device bare, without the "
+        "retry/breaker proxy",
+    )
+
+
+def _add_service_flags(parser: argparse.ArgumentParser) -> None:
+    """Service-runtime flags shared by ``serve`` and ``batch``."""
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="concurrent worker slots"
+    )
+    parser.add_argument(
+        "--pool",
+        choices=["thread", "process", "inline"],
+        default="thread",
+        help="worker pool mode (process replays QPU accounting; "
+        "see docs/SERVICE.md)",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="result JSONL destination (default stdout)",
+    )
+    parser.add_argument(
+        "--no-dedup",
+        action="store_true",
+        help="disable canonical-CNF result deduplication",
+    )
+    parser.add_argument(
+        "--max-depth",
+        type=int,
+        default=None,
+        help="queue admission cap (jobs beyond it are rejected)",
+    )
+    parser.add_argument(
+        "--qpu-budget-us",
+        type=float,
+        default=None,
+        help="shared modelled-microsecond budget across every job's QA calls",
+    )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a JSONL trace of the service run (service.* spans)",
+    )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help="export the service metrics registry to FILE",
+    )
+    parser.add_argument(
+        "--metrics-format",
+        choices=["prom", "json"],
+        default="prom",
+        help="metrics export format (default: prom)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -299,51 +649,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_solve = sub.add_parser("solve", help="solve a DIMACS CNF file")
     p_solve.add_argument("path")
-    p_solve.add_argument("--classic", action="store_true", help="plain CDCL baseline")
-    p_solve.add_argument("--noise", action="store_true", help="noisy 2000Q device model")
-    p_solve.add_argument("--seed", type=int, default=0)
-    p_solve.add_argument("--lenient", action="store_true", help="tolerate malformed DIMACS")
-    p_solve.add_argument(
-        "--qa-faults",
-        default=None,
-        metavar="SPEC",
-        help="inject device faults: a probability for all channels "
-        "(e.g. 0.2) or key=prob pairs over prog,timeout,dropout,drift "
-        "(e.g. prog=0.1,timeout=0.05)",
-    )
-    p_solve.add_argument(
-        "--fault-seed",
-        type=int,
-        default=None,
-        help="fault-injection RNG seed (defaults to --seed)",
-    )
-    p_solve.add_argument(
-        "--qa-retries", type=int, default=4, help="max attempts per QA call"
-    )
-    p_solve.add_argument(
-        "--qa-deadline-us",
-        type=float,
-        default=None,
-        help="per-call deadline in modelled device microseconds",
-    )
-    p_solve.add_argument(
-        "--qa-budget-us",
-        type=float,
-        default=None,
-        help="global QA time budget in modelled device microseconds",
-    )
-    p_solve.add_argument(
-        "--qa-breaker-threshold",
-        type=int,
-        default=5,
-        help="consecutive failed calls before the circuit breaker opens",
-    )
-    p_solve.add_argument(
-        "--no-resilience",
-        action="store_true",
-        help="call the (possibly faulty) device bare, without the "
-        "retry/breaker proxy",
-    )
+    _add_job_option_flags(p_solve)
     p_solve.add_argument(
         "--trace",
         default=None,
@@ -393,6 +699,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_suite.add_argument("--benchmarks", default="")
     p_suite.add_argument("--problems", type=int, default=0)
     p_suite.add_argument("--seed", type=int, default=0)
+    p_suite.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="solve suite problems on N service workers (1 = serial)",
+    )
+    p_suite.add_argument(
+        "--pool",
+        choices=["thread", "process", "inline"],
+        default="thread",
+        help="worker pool mode for --jobs > 1",
+    )
     p_suite.set_defaults(func=_cmd_suite)
 
     p_report = sub.add_parser(
@@ -400,6 +718,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_report.add_argument("path")
     p_report.set_defaults(func=_cmd_trace_report)
+
+    p_submit = sub.add_parser(
+        "submit", help="append one job line to a job JSONL file"
+    )
+    p_submit.add_argument("path", help="DIMACS CNF instance")
+    p_submit.add_argument(
+        "--id", default=None, help="job id (default: <stem>-s<seed>)"
+    )
+    p_submit.add_argument(
+        "--queue",
+        default=None,
+        metavar="FILE",
+        help="job JSONL file to append to (default stdout)",
+    )
+    p_submit.add_argument(
+        "--priority",
+        choices=["interactive", "batch", "background"],
+        default="batch",
+        help="priority class (strict between classes, FIFO within)",
+    )
+    p_submit.add_argument(
+        "--deadline-s",
+        type=float,
+        default=None,
+        help="queue deadline in seconds; jobs still queued past it expire",
+    )
+    _add_job_option_flags(p_submit)
+    p_submit.set_defaults(func=_cmd_submit)
+
+    p_serve = sub.add_parser(
+        "serve", help="run job JSONL through the solver service"
+    )
+    p_serve.add_argument(
+        "source", help="job JSONL file, directory of *.jsonl, or - for stdin"
+    )
+    _add_service_flags(p_serve)
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_batch = sub.add_parser(
+        "batch", help="solve every *.cnf in a directory via the service"
+    )
+    p_batch.add_argument("directory")
+    p_batch.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed base: instance i gets seed+i",
+    )
+    p_batch.add_argument("--classic", action="store_true", help="plain CDCL baseline")
+    p_batch.add_argument("--noise", action="store_true", help="noisy 2000Q device model")
+    p_batch.add_argument("--lenient", action="store_true", help="tolerate malformed DIMACS")
+    _add_service_flags(p_batch)
+    p_batch.set_defaults(func=_cmd_batch)
     return parser
 
 

@@ -36,7 +36,14 @@ from repro.observability.metrics import (
 #: Legal span nesting of one hybrid solve.  Key = parent span name
 #: (None = trace root), value = allowed child span names.
 SPAN_CHILDREN: Dict[Optional[str], FrozenSet[str]] = {
-    None: frozenset({"solve"}),
+    None: frozenset({"solve", "service.batch"}),
+    # One service run (a batch or a serve session).  ``service.job``
+    # spans are emitted retrospectively by the service coordinator as
+    # each job finalises (the tracer is single-threaded, so worker
+    # threads never touch it); their wall duration is therefore ~0 and
+    # the job's real timings live in the ``wait_s`` / ``run_s`` attrs.
+    "service.batch": frozenset({"service.job"}),
+    "service.job": frozenset(),
     "solve": frozenset({"iteration"}),
     "iteration": frozenset({"select", "embed", "anneal", "classify", "feedback"}),
     # The frontend-side chain compile (cache miss with a known chain
@@ -68,6 +75,11 @@ EVENT_PARENTS: Dict[str, FrozenSet[str]] = {
     "qa.unavailable": frozenset({"anneal"}),
     "qa.degraded": frozenset({"iteration"}),
     "breaker.transition": frozenset({"anneal"}),
+    "service.admit": frozenset({"service.batch"}),
+    "service.reject": frozenset({"service.batch"}),
+    "service.expire": frozenset({"service.batch"}),
+    "service.dedup": frozenset({"service.batch"}),
+    "service.cancel": frozenset({"service.batch"}),
 }
 
 EVENT_NAMES: FrozenSet[str] = frozenset(EVENT_PARENTS)
@@ -199,6 +211,41 @@ METRICS: Tuple[MetricSpec, ...] = (
     MetricSpec(
         "hyqsat_cdcl_learned_clauses_total", "counter", (), "clauses",
         "Clauses learned",
+    ),
+    # -- solver service --------------------------------------------------
+    MetricSpec(
+        "hyqsat_service_jobs_total", "counter", ("state",), "jobs",
+        "Jobs finalised by the service, by terminal state",
+    ),
+    MetricSpec(
+        "hyqsat_service_dedup_hits_total", "counter", (), "jobs",
+        "Jobs served another job's result via canonical-CNF dedup",
+    ),
+    MetricSpec(
+        "hyqsat_service_queue_depth", "gauge", (), "jobs",
+        "Jobs currently queued (admitted, not yet dispatched)",
+    ),
+    MetricSpec(
+        "hyqsat_service_queue_wait_seconds", "histogram", (), "seconds",
+        "Wall-clock time a dispatched job spent queued",
+        buckets=LATENCY_BUCKETS_S,
+    ),
+    MetricSpec(
+        "hyqsat_service_job_run_seconds", "histogram", (), "seconds",
+        "Wall-clock time a job spent executing on a worker",
+        buckets=LATENCY_BUCKETS_S,
+    ),
+    MetricSpec(
+        "hyqsat_service_qpu_grants_total", "counter", (), "grants",
+        "Exclusive QPU windows granted (a coalesced group counts once)",
+    ),
+    MetricSpec(
+        "hyqsat_service_qpu_coalesced_total", "counter", (), "requests",
+        "Anneal requests served by joining an identical request's window",
+    ),
+    MetricSpec(
+        "hyqsat_service_qpu_busy_us", "gauge", (), "microseconds",
+        "Modelled device time the shared QPU spent occupied",
     ),
 )
 

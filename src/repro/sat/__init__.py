@@ -14,7 +14,7 @@ about propositional satisfiability:
 
 from repro.sat.assignment import Assignment
 from repro.sat.brute import brute_force_count, brute_force_solve
-from repro.sat.cnf import CNF, Clause, Lit
+from repro.sat.cnf import CNF, Clause, Lit, fingerprint
 from repro.sat.dimacs import (
     from_dimacs,
     parse_dimacs,
@@ -36,6 +36,7 @@ __all__ = [
     "brute_force_count",
     "formula_stats",
     "brute_force_solve",
+    "fingerprint",
     "from_dimacs",
     "parse_dimacs",
     "propagate_units",

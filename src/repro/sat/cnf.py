@@ -323,3 +323,35 @@ class CNF:
 def clause(*lits: object) -> Clause:
     """Convenience constructor: ``clause(1, -2, 3)``."""
     return Clause(lits)
+
+
+def fingerprint(formula: CNF) -> str:
+    """Canonical content hash of a formula (hex SHA-256 digest).
+
+    The fingerprint is computed over a *canonical* serialisation:
+    every clause as its sorted literal tuple (:class:`Clause` already
+    normalises literal order and drops duplicate literals), the clause
+    list sorted lexicographically, plus ``num_vars``.  Two formulas
+    therefore fingerprint identically iff they have the same clause
+    *multiset* and variable range — clause order and per-clause literal
+    order do not matter, but variable identity does (no renaming
+    canonicalisation is attempted, so the hash is stable under
+    reordering while x1 and x2 remain distinguishable).
+
+    Used by the service layer's :class:`~repro.service.store.
+    ResultStore` to deduplicate identical instances, and useful
+    standalone as a stable cache/identity key for any CNF.  Note that
+    CDCL search *is* sensitive to clause order, so two formulas with
+    equal fingerprints may produce different models/statistics when
+    solved separately; deduplication trades that for solving each
+    distinct instance once.
+    """
+    import hashlib
+
+    digest = hashlib.sha256()
+    digest.update(f"p cnf {formula.num_vars} {formula.num_clauses}\n".encode())
+    rows = sorted(tuple(lit.value for lit in c) for c in formula.clauses)
+    for row in rows:
+        digest.update(" ".join(str(v) for v in row).encode())
+        digest.update(b"\n")
+    return digest.hexdigest()

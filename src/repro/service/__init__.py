@@ -1,0 +1,65 @@
+"""In-process concurrent solver service.
+
+The service turns the single-shot hybrid solver into a multi-tenant
+system: a priority :class:`~repro.service.queue.JobQueue` with
+deadlines and admission control feeds a
+:class:`~repro.service.pool.WorkerPool`; every worker's anneal
+requests are multiplexed across the one simulated annealer by a
+fair-share :class:`~repro.service.scheduler.QpuScheduler` (with
+identical-request coalescing and a shared device-time budget); and a
+:class:`~repro.service.store.ResultStore` deduplicates jobs whose
+canonical CNF fingerprint and solve options match, solving each
+distinct instance once.
+
+Results are bit-identical to solo ``hyqsat solve`` runs per job seed,
+whatever the worker count or pool mode — see docs/SERVICE.md.
+"""
+
+from repro.service.jobs import (
+    JOB_STATES,
+    PRIORITY_CLASSES,
+    JobOutcome,
+    JobSpec,
+    build_device,
+    build_solver,
+    run_job,
+)
+from repro.service.pool import POOL_MODES, WorkerPool
+from repro.service.queue import AdmissionError, JobQueue, QueueStats
+from repro.service.scheduler import (
+    QpuScheduler,
+    ScheduledDevice,
+    SchedulerStats,
+    simulate_makespan,
+)
+from repro.service.service import (
+    ServiceConfig,
+    ServiceStats,
+    SolverService,
+    run_batch,
+)
+from repro.service.store import ResultStore
+
+__all__ = [
+    "AdmissionError",
+    "JOB_STATES",
+    "JobOutcome",
+    "JobQueue",
+    "JobSpec",
+    "POOL_MODES",
+    "PRIORITY_CLASSES",
+    "QpuScheduler",
+    "QueueStats",
+    "ResultStore",
+    "ScheduledDevice",
+    "SchedulerStats",
+    "ServiceConfig",
+    "ServiceStats",
+    "SolverService",
+    "WorkerPool",
+    "build_device",
+    "build_solver",
+    "run_batch",
+    "run_job",
+    "simulate_makespan",
+]

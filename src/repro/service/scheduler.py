@@ -1,0 +1,315 @@
+"""QPU multiplexing: fair-share scheduling of anneal requests.
+
+The simulator models **one** annealer, but the service runs many jobs
+at once; :class:`QpuScheduler` is the arbiter between them.  Each job's
+device stack is wrapped in a :class:`ScheduledDevice`, so every
+``run(request)`` first acquires the shared QPU:
+
+- **Fair share** — when several jobs are waiting, the grant goes to
+  the job that has consumed the least cumulative modelled QPU time so
+  far (FIFO between ties), so a QA-heavy job cannot starve its
+  siblings.
+- **Coalescing** — waiters whose requests are bit-identical (same
+  device seed, same call index, same problem content) are granted in
+  one shared window.  Each still runs its *own* seeded device — by
+  determinism they produce identical samples, so per-job RNG and
+  call-count bookkeeping stay exactly as in a solo run — but the
+  window is billed to the shared timeline once, which is how duplicate
+  jobs that bypass result-level dedup still share device time.
+- **Shared budget** — an optional pool-wide cap on modelled QPU
+  microseconds; once spent, further grants are refused with
+  :class:`~repro.resilience.QaUnavailable` (``budget_exhausted``),
+  which each job's hybrid loop already knows how to absorb by
+  degrading to pure CDCL.  Per-job budgets/breakers live in each job's
+  own :class:`~repro.resilience.ResilientDevice`, so one job's faults
+  never trip another job's breaker.
+
+All accounting uses the modelled device clock
+(:class:`~repro.annealer.timing.QpuTimingModel`), never wall time.
+:func:`simulate_makespan` replays completed jobs through a
+discrete-event model of *k* worker lanes and one QPU lane — the
+service-clock throughput model ``benchmarks/bench_service.py`` reports.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class SchedulerStats:
+    """Counters of one scheduler lifetime (service metrics source)."""
+
+    #: Exclusive QPU windows granted (a coalesced group counts once).
+    grants: int = 0
+    #: Requests served by joining another request's window.
+    coalesced: int = 0
+    #: Grants refused because the shared pool budget was spent.
+    budget_denied: int = 0
+    #: Total modelled µs the QPU was occupied (coalesced windows once).
+    busy_us: float = 0.0
+    #: Modelled µs billed per job (each member of a coalesced window
+    #: is billed individually here — this drives fair share).
+    spent_by_job: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def requests(self) -> int:
+        """Total requests served (grants + coalesced joiners)."""
+        return self.grants + self.coalesced
+
+
+@dataclass
+class _Waiter:
+    job_id: str
+    key: Tuple
+    seq: int
+    granted: bool = False
+
+
+@dataclass
+class _Grant:
+    key: Tuple
+    pending: int
+    window_us: float = 0.0
+
+
+def request_key(device, request) -> Tuple:
+    """Coalescing identity of a device call.
+
+    Two calls coalesce only when they are *provably* going to produce
+    identical results: same device seed, same per-call index (the
+    device derives each call's RNG from ``(seed, call_count)``), same
+    read count and energy scale, and the same logical objective
+    content.  Anything less would break per-job bit-identity.
+    """
+    objective = request.objective
+    content = (
+        round(objective.offset, 12),
+        tuple(sorted(objective.linear.items())),
+        tuple(sorted(objective.quadratic.items())),
+    )
+    return (
+        getattr(device, "seed", None),
+        getattr(device, "_call_count", 0) + 1,
+        request.num_reads,
+        request.energy_scale,
+        content,
+    )
+
+
+class QpuScheduler:
+    """Arbiter of the single simulated annealer.
+
+    ``budget_us`` caps the *pool's* modelled device time (``None`` =
+    unlimited).  Thread-safe; one instance per service.
+    """
+
+    def __init__(self, budget_us: Optional[float] = None):
+        if budget_us is not None and budget_us <= 0:
+            raise ValueError("budget_us must be positive when set")
+        self.budget_us = budget_us
+        self.stats = SchedulerStats()
+        self._lock = threading.Lock()
+        self._cv = threading.Condition(self._lock)
+        self._waiters: List[_Waiter] = []
+        self._active: Optional[_Grant] = None
+        self._seq = 0
+
+    # -- accounting ----------------------------------------------------
+
+    def budget_remaining_us(self) -> float:
+        """Modelled µs left in the shared pool (inf if unlimited)."""
+        with self._lock:
+            if self.budget_us is None:
+                return float("inf")
+            return max(0.0, self.budget_us - self.stats.busy_us)
+
+    def utilization(self, wall_seconds: float) -> float:
+        """QPU busy fraction over a wall-clock window (modelled µs of
+        device occupancy per elapsed second; can exceed 1.0 only if the
+        window is shorter than the busy time, i.e. never in practice)."""
+        if wall_seconds <= 0:
+            return 0.0
+        with self._lock:
+            return self.stats.busy_us * 1e-6 / wall_seconds
+
+    def replay(self, job_id: str, grants: int, busy_us: float) -> None:
+        """Fold a job's QPU usage into the shared accounting after the
+        fact.  Process-pool jobs run in another address space, so their
+        devices cannot call :meth:`acquire` live; the service replays
+        their outcome counters here so utilisation and fair-share
+        history stay correct across pool modes."""
+        with self._lock:
+            self.stats.grants += grants
+            self.stats.busy_us += busy_us
+            self.stats.spent_by_job[job_id] = (
+                self.stats.spent_by_job.get(job_id, 0.0) + busy_us
+            )
+
+    # -- the lease -----------------------------------------------------
+
+    def acquire(self, job_id: str, key: Tuple, estimate_us: float):
+        """Block until this request holds the QPU (or a shared window).
+
+        Returns an opaque token for :meth:`release`.  Raises
+        :class:`~repro.resilience.QaUnavailable` (reason
+        ``budget_exhausted``, persistent) when the pool budget cannot
+        cover the call.
+        """
+        from repro.resilience import QaUnavailable
+
+        with self._cv:
+            if (
+                self.budget_us is not None
+                and self.stats.busy_us + estimate_us > self.budget_us
+            ):
+                self.stats.budget_denied += 1
+                raise QaUnavailable(
+                    "budget_exhausted",
+                    f"shared QA pool spent ({self.stats.busy_us:.0f}us of "
+                    f"{self.budget_us:.0f}us); request refused",
+                )
+            waiter = _Waiter(job_id=job_id, key=key, seq=self._seq)
+            self._seq += 1
+            self._waiters.append(waiter)
+            if self._active is None:
+                self._promote_locked()
+            while not waiter.granted:
+                self._cv.wait()
+            return waiter
+
+    def release(self, token, cost_us: float) -> None:
+        """Return the QPU after a granted call.
+
+        ``cost_us`` is the call's *actual* modelled device time (reads
+        billed even on faulted calls, as hardware does).  The job is
+        billed individually for fair share; the shared window is billed
+        once per coalesced group, at the widest member's cost.
+        """
+        with self._cv:
+            self.stats.spent_by_job[token.job_id] = (
+                self.stats.spent_by_job.get(token.job_id, 0.0) + cost_us
+            )
+            grant = self._active
+            if grant is None or token.key != grant.key:
+                raise RuntimeError("release without a matching grant")
+            grant.window_us = max(grant.window_us, cost_us)
+            grant.pending -= 1
+            if grant.pending == 0:
+                self.stats.busy_us += grant.window_us
+                self._active = None
+                self._promote_locked()
+
+    def _promote_locked(self) -> None:
+        """Grant the next window: pick the fairest waiter, then pull in
+        every waiter with an identical request.  Caller holds the lock."""
+        if not self._waiters:
+            return
+        leader = min(
+            self._waiters,
+            key=lambda w: (
+                self.stats.spent_by_job.get(w.job_id, 0.0),
+                w.seq,
+            ),
+        )
+        group = [w for w in self._waiters if w.key == leader.key]
+        self._waiters = [w for w in self._waiters if w.key != leader.key]
+        self._active = _Grant(key=leader.key, pending=len(group))
+        self.stats.grants += 1
+        self.stats.coalesced += len(group) - 1
+        for w in group:
+            w.granted = True
+        self._cv.notify_all()
+
+
+class ScheduledDevice:
+    """Device proxy that routes ``run`` through a :class:`QpuScheduler`.
+
+    Wraps a job's *outermost* device (its :class:`~repro.resilience.
+    ResilientDevice`, or a bare :class:`~repro.annealer.device.
+    AnnealerDevice` for ``no_resilience`` jobs); every other attribute
+    — stats, breaker, timing, recalibration — delegates through, so
+    the hybrid loop's bookkeeping is oblivious to the scheduler.
+    """
+
+    def __init__(self, device, scheduler: QpuScheduler, job_id: str):
+        self.inner = device
+        self.scheduler = scheduler
+        self.job_id = job_id
+
+    def __getattr__(self, name: str):
+        return getattr(self.inner, name)
+
+    def run(self, request):
+        key = request_key(self.inner, request)
+        estimate_us = self.inner.timing.total_us(request.num_reads)
+        token = self.scheduler.acquire(self.job_id, key, estimate_us)
+        before_us = self.inner.total_modelled_us
+        try:
+            return self.inner.run(request)
+        finally:
+            self.scheduler.release(
+                token, self.inner.total_modelled_us - before_us
+            )
+
+
+def simulate_makespan(
+    profiles: Sequence[Tuple[float, int, float]], workers: int
+) -> float:
+    """Service-clock makespan of a job set on *k* workers + one QPU.
+
+    Each profile is ``(cpu_seconds, qa_calls, qpu_time_us)`` from a
+    completed job.  A job is modelled as ``qa_calls + 1`` equal CPU
+    segments interleaved with ``qa_calls`` equal QPU segments; a worker
+    lane holds its job start to finish (as the real pool does) and QPU
+    segments serialise on the single device lane.  This is the modelled
+    service clock — measured CPU time overlapped across workers plus
+    modelled device time on one shared QPU — which is the honest
+    throughput model on hosts without real CPU parallelism (the repo's
+    modelled-time convention; docs/SERVICE.md#benchmark).
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    jobs = []
+    for cpu_s, qa_calls, qpu_us in profiles:
+        calls = max(0, int(qa_calls))
+        jobs.append((
+            calls,
+            cpu_s / (calls + 1),
+            (qpu_us * 1e-6 / calls) if calls else 0.0,
+        ))
+    # Events must interleave across lanes in global time order: a QPU
+    # request queues only behind windows already granted *before* it,
+    # not behind every window an earlier-submitted job will ever take.
+    next_job = 0
+    events: List[Tuple[float, int, int, int]] = []
+    seq = 0
+    qpu_free = 0.0
+    makespan = 0.0
+
+    def start_next(now: float) -> None:
+        nonlocal next_job, seq
+        calls, cpu_seg, _ = jobs[next_job]
+        heapq.heappush(events, (now + cpu_seg, seq, next_job, calls))
+        next_job += 1
+        seq += 1
+
+    while next_job < len(jobs) and next_job < workers:
+        start_next(0.0)
+    while events:
+        now, _, index, remaining = heapq.heappop(events)
+        _, cpu_seg, qpu_seg = jobs[index]
+        if remaining:
+            qpu_free = max(now, qpu_free) + qpu_seg
+            heapq.heappush(
+                events, (qpu_free + cpu_seg, seq, index, remaining - 1)
+            )
+            seq += 1
+        else:
+            makespan = max(makespan, now)
+            if next_job < len(jobs):
+                start_next(now)
+    return makespan

@@ -1,0 +1,375 @@
+"""The in-process solver service coordinator.
+
+:class:`SolverService` wires the subsystem together: jobs are admitted
+into a :class:`~repro.service.queue.JobQueue` (priority, deadlines,
+admission control), dispatched onto a :class:`~repro.service.pool.
+WorkerPool` as worker slots free up, deduplicated through a
+:class:`~repro.service.store.ResultStore`, and their anneal requests
+arbitrated by one shared :class:`~repro.service.scheduler.QpuScheduler`.
+
+Threading model: **all** coordination — queue pops, dedup decisions,
+outcome finalisation, and every tracer/metrics touch — happens on the
+single thread that calls :meth:`run`.  Worker threads/processes only
+execute :func:`~repro.service.jobs.run_job` and push a completion
+token onto an internal queue; the tracer's explicit span stack is never
+shared.  That makes the service safe on every pool mode without a
+single lock around the observability layer.
+
+Determinism: a job's solver output depends only on its spec — same
+seed, same device construction as a solo ``hyqsat solve`` — never on
+worker count, dispatch order, or sibling jobs.  The batch bit-identity
+tests pin this property.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.service.jobs import JobOutcome, JobSpec, run_job
+from repro.service.pool import WorkerPool
+from repro.service.queue import AdmissionError, JobQueue
+from repro.service.scheduler import QpuScheduler
+from repro.service.store import ResultStore
+
+
+@dataclass
+class ServiceConfig:
+    """Knobs of one :class:`SolverService`."""
+
+    #: Worker slots (jobs solving concurrently).
+    workers: int = 1
+    #: Pool mode: ``thread`` | ``process`` | ``inline``
+    #: (:data:`~repro.service.pool.POOL_MODES`).
+    pool_mode: str = "thread"
+    #: Queue admission cap (``None`` = unbounded).
+    max_depth: Optional[int] = None
+    #: Shared modelled-µs cap on the QPU pool (``None`` = unlimited).
+    qpu_budget_us: Optional[float] = None
+    #: Canonical-CNF result deduplication.
+    dedup: bool = True
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate counters of one service run (CLI summary source)."""
+
+    jobs_by_state: Dict[str, int] = field(default_factory=dict)
+    dedup_hits: int = 0
+    qpu_grants: int = 0
+    qpu_coalesced: int = 0
+    qpu_busy_us: float = 0.0
+    wall_seconds: float = 0.0
+
+    def count(self, state: str) -> None:
+        self.jobs_by_state[state] = self.jobs_by_state.get(state, 0) + 1
+
+    @property
+    def total_jobs(self) -> int:
+        return sum(self.jobs_by_state.values())
+
+
+class SolverService:
+    """Concurrent solve orchestrator (see module docstring).
+
+    One instance serves one batch/serve session; construct fresh per
+    run.  ``observability`` is an optional
+    :class:`~repro.observability.Observability` bundle used only from
+    the coordinator thread.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        observability=None,
+    ):
+        from repro.observability import DISABLED, declare_solver_metrics
+
+        self.config = config or ServiceConfig()
+        self.queue = JobQueue(max_depth=self.config.max_depth)
+        self.store = ResultStore()
+        self.scheduler = QpuScheduler(budget_us=self.config.qpu_budget_us)
+        self.pool = WorkerPool(
+            workers=self.config.workers, mode=self.config.pool_mode
+        )
+        self.stats = ServiceStats()
+        self.observability = observability or DISABLED
+        if self.observability.metrics is not None:
+            declare_solver_metrics(self.observability.metrics)
+        #: Completion tokens: ``("done", job_id)`` from worker
+        #: callbacks, ``("cancelled", job_id)`` from :meth:`cancel`.
+        self._completions: "queue_module.Queue[Tuple[str, str]]" = (
+            queue_module.Queue()
+        )
+        self._cancelled_ids: set = set()
+        self._cancel_lock = threading.Lock()
+
+    # -- control surface ----------------------------------------------
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a still-queued job (running jobs finish).  Safe from
+        any thread; returns False when the job is unknown, already
+        dispatched, or already finished."""
+        if self.queue.cancel(job_id):
+            with self._cancel_lock:
+                self._cancelled_ids.add(job_id)
+            self._completions.put(("cancelled", job_id))
+            return True
+        return False
+
+    # -- the run loop --------------------------------------------------
+
+    def run(
+        self,
+        specs: Sequence[JobSpec],
+        on_outcome: Optional[Callable[[JobOutcome], None]] = None,
+    ) -> List[JobOutcome]:
+        """Admit, dispatch, and finalise ``specs``; block to completion.
+
+        Returns outcomes in **submission order** regardless of
+        completion order; ``on_outcome`` fires in completion order as
+        each job finalises (the streaming hook ``hyqsat serve`` writes
+        result lines from).
+        """
+        obs = self.observability
+        tracer = obs.tracer
+        started = time.perf_counter()
+        outcomes: Dict[str, JobOutcome] = {}
+        #: dispatched job_id -> (spec, future, waited_s, dedup key)
+        inflight: Dict[str, Tuple[JobSpec, object, float, Optional[str]]] = {}
+        #: dedup key -> parked duplicate (spec, waited_s) pairs
+        followers: Dict[str, List[Tuple[JobSpec, float]]] = {}
+        #: dedup key -> finished primary outcome
+        primaries: Dict[str, JobOutcome] = {}
+        free_slots = self.config.workers
+
+        def finalise(outcome: JobOutcome) -> None:
+            outcomes[outcome.job_id] = outcome
+            self.stats.count(outcome.state)
+            if obs.metrics is not None:
+                obs.metrics.counter("hyqsat_service_jobs_total").labels(
+                    state=outcome.state
+                ).inc()
+                if outcome.state in ("done", "failed"):
+                    obs.metrics.histogram(
+                        "hyqsat_service_queue_wait_seconds"
+                    ).observe(outcome.wait_seconds)
+                    obs.metrics.histogram(
+                        "hyqsat_service_job_run_seconds"
+                    ).observe(outcome.run_seconds)
+                obs.metrics.gauge("hyqsat_service_queue_depth").set(
+                    len(self.queue)
+                )
+            if tracer.enabled:
+                tracer.start_span("service.job", job_id=outcome.job_id).end(
+                    state=outcome.state,
+                    status=outcome.status,
+                    wait_s=round(outcome.wait_seconds, 6),
+                    run_s=round(outcome.run_seconds, 6),
+                    qa_calls=outcome.qa_calls,
+                    dedup_of=outcome.dedup_of,
+                )
+            if on_outcome is not None:
+                on_outcome(outcome)
+
+        def settle_followers(key: str, primary: JobOutcome) -> None:
+            primaries[key] = primary
+            for spec, waited in followers.pop(key, []):
+                twin = JobOutcome(
+                    job_id=spec.job_id, wait_seconds=waited
+                ).as_dedup_of(primary, spec.job_id)
+                finalise(twin)
+
+        batch_span = tracer.start_span(
+            "service.batch",
+            jobs=len(specs),
+            workers=self.config.workers,
+            pool=self.config.pool_mode,
+        )
+        try:
+            # Admission: every spec either enters the queue or is
+            # rejected on the spot.
+            pending = 0
+            for spec in specs:
+                try:
+                    self.queue.push(spec)
+                    pending += 1
+                    tracer.event(
+                        "service.admit",
+                        job_id=spec.job_id,
+                        priority=spec.priority,
+                    )
+                except AdmissionError as error:
+                    tracer.event(
+                        "service.reject", job_id=spec.job_id, reason=str(error)
+                    )
+                    finalise(
+                        JobOutcome(
+                            job_id=spec.job_id,
+                            state="rejected",
+                            error=str(error),
+                            seed=spec.seed,
+                        )
+                    )
+            if obs.metrics is not None:
+                obs.metrics.gauge("hyqsat_service_queue_depth").set(
+                    len(self.queue)
+                )
+
+            while pending > 0 or inflight:
+                # Fill free worker slots from the queue.  Followers and
+                # expired/cancelled jobs consume no slot, so keep
+                # popping until a slot is actually used or the queue is
+                # momentarily empty.
+                while free_slots > 0 and pending > 0:
+                    spec, expired, waited = self.queue.pop(timeout=0)
+                    for dead in expired:
+                        pending -= 1
+                        tracer.event("service.expire", job_id=dead.job_id)
+                        finalise(
+                            JobOutcome(
+                                job_id=dead.job_id,
+                                state="expired",
+                                error="queue deadline exceeded",
+                                seed=dead.seed,
+                            )
+                        )
+                    if spec is None:
+                        break
+                    pending -= 1
+                    key: Optional[str] = None
+                    if self.config.dedup and not spec.classic:
+                        try:
+                            key = spec.solve_key()
+                        except Exception:  # noqa: BLE001 — unreadable
+                            key = None  # let run_job surface the error
+                    if key is not None:
+                        primary_id = self.store.lookup_or_claim(
+                            key, spec.job_id
+                        )
+                        if primary_id is not None:
+                            self.stats.dedup_hits += 1
+                            tracer.event(
+                                "service.dedup",
+                                job_id=spec.job_id,
+                                primary=primary_id,
+                            )
+                            if obs.metrics is not None:
+                                obs.metrics.counter(
+                                    "hyqsat_service_dedup_hits_total"
+                                ).inc()
+                            if key in primaries:
+                                twin = JobOutcome(
+                                    job_id=spec.job_id, wait_seconds=waited
+                                ).as_dedup_of(primaries[key], spec.job_id)
+                                finalise(twin)
+                            else:
+                                followers.setdefault(key, []).append(
+                                    (spec, waited)
+                                )
+                            continue
+                    live = (
+                        self.pool.live_scheduling and not spec.classic
+                    )
+                    future = self.pool.submit(
+                        run_job,
+                        spec,
+                        self.scheduler if live else None,
+                    )
+                    free_slots -= 1
+                    inflight[spec.job_id] = (spec, future, waited, key)
+                    future.add_done_callback(
+                        lambda _f, jid=spec.job_id: self._completions.put(
+                            ("done", jid)
+                        )
+                    )
+
+                if not inflight and pending == 0:
+                    break
+                kind, job_id = self._completions.get()
+                if kind == "cancelled":
+                    pending -= 1
+                    tracer.event("service.cancel", job_id=job_id)
+                    finalise(
+                        JobOutcome(
+                            job_id=job_id,
+                            state="cancelled",
+                            error="cancelled while queued",
+                        )
+                    )
+                    continue
+                spec, future, waited, key = inflight.pop(job_id)
+                free_slots += 1
+                outcome = future.result()  # run_job never raises
+                outcome.wait_seconds = waited
+                if not self.pool.live_scheduling and not spec.classic:
+                    # Process workers solved in another address space;
+                    # fold their device usage into the shared ledger.
+                    self.scheduler.replay(
+                        job_id, outcome.qa_calls, outcome.qpu_time_us
+                    )
+                finalise(outcome)
+                if key is not None:
+                    settle_followers(key, outcome)
+                    self.store.fulfil(key, outcome)
+        except BaseException:
+            # Interrupt/crash: stop feeding workers and return control
+            # immediately; already-running jobs finish in the
+            # background (their streamed results stay valid).
+            self.queue.close()
+            self.pool.shutdown(wait=False, cancel_pending=True)
+            raise
+        else:
+            self.pool.shutdown(wait=True)
+        finally:
+            self.stats.wall_seconds = time.perf_counter() - started
+            self.stats.qpu_grants = self.scheduler.stats.grants
+            self.stats.qpu_coalesced = self.scheduler.stats.coalesced
+            self.stats.qpu_busy_us = self.scheduler.stats.busy_us
+            if obs.metrics is not None:
+                metrics = obs.metrics
+                if self.scheduler.stats.grants:
+                    metrics.counter(
+                        "hyqsat_service_qpu_grants_total"
+                    ).inc(self.scheduler.stats.grants)
+                if self.scheduler.stats.coalesced:
+                    metrics.counter(
+                        "hyqsat_service_qpu_coalesced_total"
+                    ).inc(self.scheduler.stats.coalesced)
+                metrics.gauge("hyqsat_service_qpu_busy_us").set(
+                    self.scheduler.stats.busy_us
+                )
+            batch_span.end(
+                done=self.stats.jobs_by_state.get("done", 0),
+                deduped=self.stats.jobs_by_state.get("deduped", 0),
+                failed=self.stats.jobs_by_state.get("failed", 0),
+            )
+        return [outcomes[spec.job_id] for spec in specs]
+
+
+def run_batch(
+    specs: Sequence[JobSpec],
+    workers: int = 1,
+    pool_mode: str = "thread",
+    observability=None,
+    on_outcome: Optional[Callable[[JobOutcome], None]] = None,
+    max_depth: Optional[int] = None,
+    qpu_budget_us: Optional[float] = None,
+    dedup: bool = True,
+) -> Tuple[List[JobOutcome], "ServiceStats"]:
+    """One-shot convenience: build a service, run ``specs``, return
+    ``(outcomes, stats)`` (outcomes in submission order)."""
+    service = SolverService(
+        ServiceConfig(
+            workers=workers,
+            pool_mode=pool_mode,
+            max_depth=max_depth,
+            qpu_budget_us=qpu_budget_us,
+            dedup=dedup,
+        ),
+        observability=observability,
+    )
+    return service.run(specs, on_outcome=on_outcome), service.stats

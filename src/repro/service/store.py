@@ -1,0 +1,90 @@
+"""Result store with canonical-CNF deduplication.
+
+Jobs are keyed by :meth:`repro.service.jobs.JobSpec.solve_key` — the
+order-invariant formula fingerprint plus every outcome-relevant option.
+The first job to claim a key becomes its *primary* and actually solves;
+any later job with the same key becomes a *follower* and is handed the
+primary's outcome when it lands (state ``deduped``, ``dedup_of`` naming
+the primary).  Claims cover in-flight work, so two duplicates submitted
+together still solve only once.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.service.jobs import JobOutcome
+
+
+class ResultStore:
+    """Thread-safe solve-key → outcome map with in-flight claims."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: key → primary job id (claimed the moment the primary is admitted)
+        self._claims: Dict[str, str] = {}
+        #: key → primary outcome (set when the primary finishes)
+        self._done: Dict[str, JobOutcome] = {}
+        #: key → followers waiting on the primary: (job_id, callback)
+        self._waiters: Dict[str, List[Tuple[str, Callable]]] = {}
+        self.dedup_hits = 0
+
+    def lookup_or_claim(self, key: str, job_id: str) -> Optional[str]:
+        """Claim ``key`` for ``job_id`` or report the existing primary.
+
+        Returns ``None`` when ``job_id`` is now the primary and must
+        solve; otherwise the primary's job id (the caller should attach
+        a waiter or fetch the finished outcome).
+        """
+        with self._lock:
+            primary = self._claims.get(key)
+            if primary is None:
+                self._claims[key] = job_id
+                return None
+            self.dedup_hits += 1
+            return primary
+
+    def finished(self, key: str) -> Optional[JobOutcome]:
+        """The primary's outcome, if it already landed."""
+        with self._lock:
+            return self._done.get(key)
+
+    def add_waiter(
+        self, key: str, job_id: str, callback: Callable[[JobOutcome], None]
+    ) -> bool:
+        """Register a follower callback; fires with the *primary's*
+        outcome.  Returns False (callback NOT registered) when the
+        outcome is already available — the caller should use
+        :meth:`finished` instead, avoiding a register/fire race."""
+        with self._lock:
+            if key in self._done:
+                return False
+            self._waiters.setdefault(key, []).append((job_id, callback))
+            return True
+
+    def fulfil(self, key: str, outcome: JobOutcome) -> List[Tuple[str, Callable]]:
+        """Record the primary's outcome and detach its waiters.
+
+        Returns the waiter list so the caller invokes callbacks outside
+        the store lock.  A failed primary releases the claim instead of
+        caching: followers get the failure, but a *future* identical
+        submission may retry fresh.
+        """
+        with self._lock:
+            waiters = self._waiters.pop(key, [])
+            if outcome.state == "done":
+                self._done[key] = outcome
+            else:
+                self._claims.pop(key, None)
+            return waiters
+
+    def release(self, key: str, job_id: str) -> List[Tuple[str, Callable]]:
+        """Drop ``job_id``'s claim without an outcome (primary was
+        cancelled/expired before running).  Returns orphaned waiters;
+        the caller must re-dispatch or fail them."""
+        with self._lock:
+            if self._claims.get(key) == job_id and key not in self._done:
+                self._claims.pop(key, None)
+                return self._waiters.pop(key, [])
+            return []

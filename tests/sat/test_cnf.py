@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.sat.cnf import CNF, Clause, Lit, clause
+from repro.sat.cnf import CNF, Clause, Lit, clause, fingerprint
 
 
 # ----------------------------------------------------------------------
@@ -223,3 +223,65 @@ class TestCNF:
     def test_str(self):
         assert str(CNF([])) == "⊤"
         assert "∧" in str(CNF([[1], [2]]))
+
+
+class TestFingerprint:
+    def test_is_a_sha256_hex_digest(self):
+        digest = fingerprint(CNF([[1, 2, 3]], num_vars=3))
+        assert len(digest) == 64
+        assert set(digest) <= set("0123456789abcdef")
+
+    def test_equal_formulas_fingerprint_equally(self):
+        a = CNF([[1, 2, 3], [-1, 2, 4]], num_vars=4)
+        b = CNF([[1, 2, 3], [-1, 2, 4]], num_vars=4)
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_clause_order_invariant(self):
+        a = CNF([[1, 2, 3], [-1, 2, 4]], num_vars=4)
+        b = CNF([[-1, 2, 4], [1, 2, 3]], num_vars=4)
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_literal_order_invariant(self):
+        a = CNF([[3, 1, 2]], num_vars=3)
+        b = CNF([[1, 2, 3]], num_vars=3)
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_clause_content_matters(self):
+        a = CNF([[1, 2, 3]], num_vars=3)
+        b = CNF([[1, 2, -3]], num_vars=3)
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_num_vars_matters(self):
+        a = CNF([[1, 2]], num_vars=2)
+        b = CNF([[1, 2]], num_vars=3)
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_clause_multiset_matters(self):
+        once = CNF([[1, 2]], num_vars=2)
+        twice = CNF([[1, 2], [1, 2]], num_vars=2)
+        assert fingerprint(once) != fingerprint(twice)
+
+    def test_variable_identity_not_canonicalised(self):
+        # x1 and x2 stay distinguishable: no renaming canonicalisation.
+        a = CNF([[1]], num_vars=2)
+        b = CNF([[2]], num_vars=2)
+        assert fingerprint(a) != fingerprint(b)
+
+    @given(
+        st.lists(
+            st.lists(
+                st.integers(min_value=-6, max_value=6).filter(bool),
+                min_size=1,
+                max_size=3,
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        st.randoms(),
+    )
+    def test_any_clause_permutation_fingerprints_equally(self, rows, rnd):
+        formula = CNF(rows, num_vars=6)
+        shuffled_rows = list(rows)
+        rnd.shuffle(shuffled_rows)
+        shuffled = CNF(shuffled_rows, num_vars=6)
+        assert fingerprint(formula) == fingerprint(shuffled)

@@ -1,0 +1,70 @@
+"""Shared fixtures for the solver-service tests.
+
+Eight uf20-91 instances (near the SAT/UNSAT threshold, so the set is
+mixed) and the solo ``run_job`` outcomes every bit-identity test
+compares against — computed once per session, since a solo run *is*
+the reference semantics (same construction path as ``hyqsat solve``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.benchgen.random_ksat import random_3sat
+from repro.sat import to_dimacs
+from repro.service import JobSpec, run_job
+
+#: The outcome fields that must be bit-identical between a service run
+#: and a solo solve of the same spec.
+SOLVER_FIELDS = (
+    "status",
+    "model",
+    "iterations",
+    "conflicts",
+    "qa_calls",
+    "qpu_time_us",
+    "qa_retries",
+    "qa_failures",
+    "breaker_state",
+    "qa_budget_spent_us",
+    "degraded",
+)
+
+
+def solver_view(outcome) -> dict:
+    """The bit-identity-relevant slice of a JobOutcome."""
+    return {name: getattr(outcome, name) for name in SOLVER_FIELDS}
+
+
+@pytest.fixture(scope="session")
+def instance_texts():
+    """Eight deterministic uf20-91 instances as DIMACS text."""
+    return [
+        to_dimacs(random_3sat(20, 91, np.random.default_rng(100 + i)))
+        for i in range(8)
+    ]
+
+
+@pytest.fixture(scope="session")
+def mixed_specs(instance_texts):
+    """One job per instance, seeded by index."""
+    return [
+        JobSpec(job_id=f"j{i}", dimacs=text, seed=i)
+        for i, text in enumerate(instance_texts)
+    ]
+
+
+@pytest.fixture(scope="session")
+def solo_outcomes(mixed_specs):
+    """Reference outcomes: each spec run solo, no scheduler."""
+    return {spec.job_id: run_job(spec) for spec in mixed_specs}
+
+
+@pytest.fixture(scope="session")
+def cnf_dir(tmp_path_factory, instance_texts):
+    """The instances as a *.cnf directory (the ``hyqsat batch`` input)."""
+    root = tmp_path_factory.mktemp("instances")
+    for i, text in enumerate(instance_texts):
+        (root / f"inst{i}.cnf").write_text(text)
+    return root

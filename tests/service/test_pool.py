@@ -1,0 +1,62 @@
+"""WorkerPool: the three execution modes behind one submit API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import POOL_MODES, WorkerPool
+
+
+def square(x):
+    return x * x
+
+
+def boom():
+    raise ValueError("boom")
+
+
+class TestModes:
+    @pytest.mark.parametrize("mode", POOL_MODES)
+    def test_submit_returns_result(self, mode):
+        with WorkerPool(workers=2, mode=mode) as pool:
+            futures = [pool.submit(square, i) for i in range(5)]
+            assert [f.result() for f in futures] == [0, 1, 4, 9, 16]
+
+    @pytest.mark.parametrize("mode", ("inline", "thread"))
+    def test_errors_surface_through_result(self, mode):
+        with WorkerPool(workers=1, mode=mode) as pool:
+            future = pool.submit(boom)
+            with pytest.raises(ValueError, match="boom"):
+                future.result()
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            WorkerPool(mode="fibers")
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError):
+            WorkerPool(workers=0)
+
+
+class TestLiveScheduling:
+    def test_thread_and_inline_are_live(self):
+        assert WorkerPool(mode="inline").live_scheduling
+        pool = WorkerPool(mode="thread")
+        assert pool.live_scheduling
+        pool.shutdown()
+
+    def test_process_is_replayed(self):
+        pool = WorkerPool(mode="process")
+        assert not pool.live_scheduling
+        pool.shutdown()
+
+
+class TestInlineFuture:
+    def test_callbacks_fire_immediately(self):
+        pool = WorkerPool(mode="inline")
+        future = pool.submit(square, 3)
+        fired = []
+        future.add_done_callback(fired.append)
+        assert fired == [future]
+        assert future.done()
+        assert future.cancel() is False

@@ -1,0 +1,113 @@
+"""JobQueue: priority order, deadlines, admission control, cancel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import AdmissionError, JobQueue, JobSpec
+
+DIMACS = "p cnf 1 1\n1 0\n"
+
+
+def spec(job_id: str, **kwargs) -> JobSpec:
+    return JobSpec(job_id=job_id, dimacs=DIMACS, **kwargs)
+
+
+def drain_ids(queue: JobQueue) -> list:
+    ids = []
+    while True:
+        popped, _, _ = queue.pop(timeout=0)
+        if popped is None:
+            return ids
+        ids.append(popped.job_id)
+
+
+class TestOrdering:
+    def test_strict_priority_between_classes(self):
+        queue = JobQueue()
+        queue.push(spec("bg", priority="background"))
+        queue.push(spec("b", priority="batch"))
+        queue.push(spec("i", priority="interactive"))
+        assert drain_ids(queue) == ["i", "b", "bg"]
+
+    def test_fifo_within_class(self):
+        queue = JobQueue()
+        for name in ("first", "second", "third"):
+            queue.push(spec(name))
+        assert drain_ids(queue) == ["first", "second", "third"]
+
+
+class TestDeadlines:
+    def test_expired_jobs_reported_not_returned(self):
+        queue = JobQueue()
+        queue.push(spec("dead", deadline_s=1.0), now=0.0)
+        queue.push(spec("alive"), now=0.0)
+        popped, expired, waited = queue.pop(timeout=0, now=5.0)
+        assert popped.job_id == "alive"
+        assert [s.job_id for s in expired] == ["dead"]
+        assert waited == 5.0
+        assert queue.stats.expired == 1
+
+    def test_deadline_not_yet_passed(self):
+        queue = JobQueue()
+        queue.push(spec("ok", deadline_s=10.0), now=0.0)
+        popped, expired, _ = queue.pop(timeout=0, now=5.0)
+        assert popped.job_id == "ok"
+        assert expired == []
+
+
+class TestAdmission:
+    def test_max_depth_rejects(self):
+        queue = JobQueue(max_depth=1)
+        queue.push(spec("a"))
+        with pytest.raises(AdmissionError, match="full"):
+            queue.push(spec("b"))
+        assert queue.stats.rejected == 1
+
+    def test_duplicate_id_rejects(self):
+        queue = JobQueue()
+        queue.push(spec("a"))
+        with pytest.raises(AdmissionError, match="duplicate"):
+            queue.push(spec("a"))
+
+    def test_closed_queue_rejects(self):
+        queue = JobQueue()
+        queue.close()
+        with pytest.raises(AdmissionError, match="closed"):
+            queue.push(spec("a"))
+
+    def test_pop_on_empty_closed_returns_none(self):
+        queue = JobQueue()
+        queue.close()
+        assert queue.pop() == (None, [], 0.0)
+
+    def test_pop_timeout_on_empty(self):
+        queue = JobQueue()
+        assert queue.pop(timeout=0) == (None, [], 0.0)
+
+
+class TestCancel:
+    def test_cancelled_jobs_are_skipped(self):
+        queue = JobQueue()
+        queue.push(spec("a"))
+        queue.push(spec("b"))
+        assert queue.cancel("a") is True
+        assert len(queue) == 1
+        assert drain_ids(queue) == ["b"]
+        assert queue.stats.cancelled == 1
+
+    def test_cancel_unknown_is_false(self):
+        queue = JobQueue()
+        assert queue.cancel("ghost") is False
+
+    def test_cancel_twice_is_false(self):
+        queue = JobQueue()
+        queue.push(spec("a"))
+        assert queue.cancel("a") is True
+        assert queue.cancel("a") is False
+
+    def test_cancel_after_pop_is_false(self):
+        queue = JobQueue()
+        queue.push(spec("a"))
+        queue.pop(timeout=0)
+        assert queue.cancel("a") is False

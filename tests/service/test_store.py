@@ -1,0 +1,72 @@
+"""ResultStore: claims, dedup, fulfilment, failure release."""
+
+from __future__ import annotations
+
+from repro.service import JobOutcome, ResultStore
+
+
+def done(job_id: str) -> JobOutcome:
+    return JobOutcome(job_id=job_id, state="done", status="sat", model=[1])
+
+
+class TestClaims:
+    def test_first_claim_is_primary(self):
+        store = ResultStore()
+        assert store.lookup_or_claim("k", "a") is None
+        assert store.lookup_or_claim("k", "b") == "a"
+        assert store.dedup_hits == 1
+
+    def test_distinct_keys_do_not_collide(self):
+        store = ResultStore()
+        assert store.lookup_or_claim("k1", "a") is None
+        assert store.lookup_or_claim("k2", "b") is None
+        assert store.dedup_hits == 0
+
+
+class TestFulfil:
+    def test_done_outcome_is_cached(self):
+        store = ResultStore()
+        store.lookup_or_claim("k", "a")
+        store.fulfil("k", done("a"))
+        assert store.finished("k").job_id == "a"
+        # later duplicates still resolve to the primary
+        assert store.lookup_or_claim("k", "c") == "a"
+
+    def test_failed_primary_releases_claim(self):
+        store = ResultStore()
+        store.lookup_or_claim("k", "a")
+        store.fulfil("k", JobOutcome(job_id="a", state="failed", error="boom"))
+        assert store.finished("k") is None
+        # a fresh identical submission gets to retry as primary
+        assert store.lookup_or_claim("k", "b") is None
+
+    def test_fulfil_returns_waiters(self):
+        store = ResultStore()
+        store.lookup_or_claim("k", "a")
+        fired = []
+        assert store.add_waiter("k", "b", fired.append) is True
+        waiters = store.fulfil("k", done("a"))
+        assert [job_id for job_id, _ in waiters] == ["b"]
+
+    def test_add_waiter_after_done_declined(self):
+        store = ResultStore()
+        store.lookup_or_claim("k", "a")
+        store.fulfil("k", done("a"))
+        assert store.add_waiter("k", "b", lambda _: None) is False
+
+
+class TestRelease:
+    def test_release_returns_orphans(self):
+        store = ResultStore()
+        store.lookup_or_claim("k", "a")
+        store.add_waiter("k", "b", lambda _: None)
+        orphans = store.release("k", "a")
+        assert [job_id for job_id, _ in orphans] == ["b"]
+        # key is free again
+        assert store.lookup_or_claim("k", "c") is None
+
+    def test_release_wrong_owner_is_noop(self):
+        store = ResultStore()
+        store.lookup_or_claim("k", "a")
+        assert store.release("k", "not-a") == []
+        assert store.lookup_or_claim("k", "b") == "a"

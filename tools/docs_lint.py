@@ -41,6 +41,7 @@ DOC_FILES = (
     "ROADMAP.md",
     "CHANGES.md",
     "docs/TELEMETRY.md",
+    "docs/SERVICE.md",
 )
 
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
