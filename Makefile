@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test ci bench bench-full bench-obs bench-service docs-check paper-tables
+.PHONY: test ci bench bench-full bench-obs bench-service bench-cdcl bench-cdcl-full docs-check paper-tables
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -30,6 +30,15 @@ bench-obs:
 # run is not bit-identical to the solo baseline.
 bench-service:
 	$(PYTHON) -m benchmarks.bench_service --quick
+
+# CDCL engine benchmark; writes BENCH_cdcl.json and fails unless the
+# native kernel is >= 10x the reference propagation rate with
+# bit-identical outcomes (skips cleanly when no C compiler exists).
+bench-cdcl:
+	$(PYTHON) -m benchmarks.bench_cdcl --quick
+
+bench-cdcl-full:
+	$(PYTHON) -m benchmarks.bench_cdcl
 
 # Docs lint: broken relative links, phantom --flags, undocumented
 # solve flags (see tools/docs_lint.py).

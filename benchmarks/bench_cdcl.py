@@ -1,0 +1,232 @@
+"""CDCL engine benchmark: native kernel vs pure-Python reference.
+
+Measures the fast engine (:class:`repro.cdcl.fast.FastCdclSolver`)
+against the reference (:class:`repro.cdcl.solver.CdclSolver`) on random
+3-SAT instances at the paper's clause ratio, and verifies on every
+measured instance that both engines are **bit-identical**: same status,
+same model, same stats (conflicts, propagations, decisions, learned
+clauses), same per-clause counters.
+
+Three legs:
+
+1. **Propagation throughput** — full solves per instance; the headline
+   ``propagation speedup`` is (reference props/s) vs (fast props/s),
+   which is what ISSUE 6 gates at >= 10x.
+2. **Wall-clock solve speedup** — per-instance ratio of ``solve()``
+   times; construction time is reported separately (the incremental
+   API amortises it across re-solves).
+3. **Incremental re-solve** — a warm fast solver re-solving after
+   ``add_clause`` must beat a cold fresh solve of the extended formula.
+
+Run with ``make bench-cdcl`` or::
+
+    PYTHONPATH=src python -m benchmarks.bench_cdcl --quick
+
+Writes ``BENCH_cdcl.json`` (see ``--output``) and exits non-zero when
+any identity check fails or the propagation speedup is below 10x
+(skipped — reported as such — when no C compiler is available).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.benchgen.random_ksat import random_3sat
+from repro.cdcl.fast import FastCdclSolver, fast_engine_supports
+from repro.cdcl.solver import CdclSolver, SolverConfig
+
+#: (num_vars, num_clauses, seed) — ratio ~4.26, the hard region.
+INSTANCES_QUICK = [(100, 426, 0), (100, 426, 1), (125, 532, 0)]
+INSTANCES_FULL = INSTANCES_QUICK + [
+    (150, 639, 0),
+    (150, 639, 3),
+    (175, 745, 1),
+    (200, 852, 2),
+]
+
+
+def _identical(ref: CdclSolver, fast: FastCdclSolver, r1, r2) -> bool:
+    if r1.status != r2.status or r1.stats.as_dict() != r2.stats.as_dict():
+        return False
+    if (r1.model is None) != (r2.model is None):
+        return False
+    if r1.model is not None and r1.model.frozen() != r2.model.frozen():
+        return False
+    return (
+        list(ref.counters.propagation_visits)
+        == [int(x) for x in fast.counters.propagation_visits]
+        and list(ref.counters.conflict_visits)
+        == [int(x) for x in fast.counters.conflict_visits]
+        and list(ref.counters.activity)
+        == [float(x) for x in fast.counters.activity]
+    )
+
+
+def bench_engines(instances, seed: int) -> List[Dict]:
+    rows = []
+    for num_vars, num_clauses, inst_seed in instances:
+        formula = random_3sat(
+            num_vars, num_clauses, np.random.default_rng(inst_seed)
+        )
+        config = SolverConfig(seed=seed)
+        timings = {}
+        solvers = {}
+        results = {}
+        build_timings = {}
+        for name, cls in (("reference", CdclSolver), ("fast", FastCdclSolver)):
+            start = time.perf_counter()
+            solver = cls(formula, config=config)
+            build_timings[name] = time.perf_counter() - start
+            start = time.perf_counter()
+            result = solver.solve()
+            timings[name] = time.perf_counter() - start
+            solvers[name] = solver
+            results[name] = result
+        ref_result = results["reference"]
+        identical = _identical(
+            solvers["reference"], solvers["fast"], ref_result, results["fast"]
+        )
+        props = ref_result.stats.propagations
+        rows.append(
+            {
+                "num_vars": num_vars,
+                "num_clauses": num_clauses,
+                "instance_seed": inst_seed,
+                "status": ref_result.status.value,
+                "conflicts": ref_result.stats.conflicts,
+                "propagations": props,
+                "reference_ms": round(timings["reference"] * 1e3, 2),
+                "fast_ms": round(timings["fast"] * 1e3, 3),
+                "reference_build_ms": round(build_timings["reference"] * 1e3, 3),
+                "fast_build_ms": round(build_timings["fast"] * 1e3, 3),
+                "reference_props_per_s": round(props / timings["reference"]),
+                "fast_props_per_s": round(props / timings["fast"]),
+                "speedup": round(timings["reference"] / timings["fast"], 2),
+                "identical": identical,
+            }
+        )
+    return rows
+
+
+def bench_incremental(seed: int) -> Dict:
+    """Warm incremental re-solve vs cold fresh solve of formula + delta."""
+    base = random_3sat(125, 500, np.random.default_rng(seed))
+    delta = random_3sat(125, 32, np.random.default_rng(seed + 1))
+    config = SolverConfig(seed=seed)
+
+    warm = FastCdclSolver(base, config=config)
+    warm.solve()  # learn on the base formula
+    start = time.perf_counter()
+    for clause in delta:
+        warm.add_clause(clause)
+    warm_result = warm.solve()
+    warm_seconds = time.perf_counter() - start
+
+    from repro.sat.cnf import CNF
+
+    combined = CNF(clauses=list(base) + list(delta), num_vars=125)
+    start = time.perf_counter()
+    cold_result = FastCdclSolver(combined, config=config).solve()
+    cold_seconds = time.perf_counter() - start
+
+    agree = warm_result.status == cold_result.status
+    if agree and warm_result.model is not None:
+        agree = warm_result.model.satisfies(combined)
+    return {
+        "num_vars": 125,
+        "base_clauses": 500,
+        "delta_clauses": 32,
+        "status": cold_result.status.value,
+        "warm_ms": round(warm_seconds * 1e3, 3),
+        "cold_ms": round(cold_seconds * 1e3, 3),
+        "speedup": round(cold_seconds / warm_seconds, 2)
+        if warm_seconds > 0
+        else 0.0,
+        "statuses_agree": bool(agree),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="small instance set, < 30 s"
+    )
+    parser.add_argument("--output", default="BENCH_cdcl.json")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    available, reason = fast_engine_supports(None)
+    if not available:
+        report = {
+            "quick": args.quick,
+            "seed": args.seed,
+            "fast_engine_available": False,
+            "skip_reason": reason,
+            "passed": True,
+        }
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"fast engine unavailable ({reason}); wrote {args.output}")
+        return 0
+
+    instances = INSTANCES_QUICK if args.quick else INSTANCES_FULL
+    rows = bench_engines(instances, args.seed)
+    for row in rows:
+        print(
+            "uf{num_vars} seed={instance_seed}: {status} "
+            "conflicts={conflicts} reference {reference_ms} ms, "
+            "fast {fast_ms} ms, speedup {speedup}x "
+            "identical={identical}".format(**row)
+        )
+
+    incremental_row = bench_incremental(args.seed)
+    print(
+        "incremental +{delta_clauses} clauses: warm {warm_ms} ms vs "
+        "cold {cold_ms} ms ({speedup}x), "
+        "statuses_agree={statuses_agree}".format(**incremental_row)
+    )
+
+    all_identical = all(r["identical"] for r in rows)
+    # Propagation-rate speedup over the whole suite (total props / total
+    # seconds per engine), the gated headline number.
+    total_props = sum(r["propagations"] for r in rows)
+    ref_seconds = sum(r["reference_ms"] for r in rows) / 1e3
+    fast_seconds = sum(r["fast_ms"] for r in rows) / 1e3
+    propagation_speedup = (
+        (total_props / fast_seconds) / (total_props / ref_seconds)
+        if fast_seconds > 0
+        else 0.0
+    )
+    meets_10x = propagation_speedup >= 10.0
+    passed = all_identical and meets_10x and incremental_row["statuses_agree"]
+    report = {
+        "quick": args.quick,
+        "seed": args.seed,
+        "fast_engine_available": True,
+        "instances": rows,
+        "incremental": incremental_row,
+        "all_identical": all_identical,
+        "propagation_speedup": round(propagation_speedup, 2),
+        "meets_10x": meets_10x,
+        "passed": passed,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"wrote {args.output}  passed={passed} "
+        f"propagation_speedup={report['propagation_speedup']}x "
+        f"identical={all_identical}"
+    )
+    return 0 if passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

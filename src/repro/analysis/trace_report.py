@@ -18,6 +18,7 @@ Use from code (:func:`summarize` / :func:`iteration_rows` /
 
 from __future__ import annotations
 
+import json
 import sys
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Sequence
@@ -223,6 +224,33 @@ def format_report(summary: Dict[str, Any], max_iterations: int = 12) -> str:
     return "\n".join(lines)
 
 
+def _load_trace_lenient(path: str) -> List[Dict[str, Any]]:
+    """Like :func:`load_trace`, but tolerant of an interrupted writer.
+
+    A torn *final* line (the writer was killed mid-record) is dropped
+    with a warning instead of failing the whole report; corruption
+    anywhere else still raises ``ValueError``.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = [line for line in handle if line.strip()]
+    if not lines:
+        raise ValueError("trace is empty (no records written)")
+    records: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(lines, start=1):
+        try:
+            records.append(json.loads(line))
+        except ValueError:
+            if lineno == len(lines):
+                print(
+                    "warning: dropping truncated final record "
+                    "(trace writer was interrupted?)",
+                    file=sys.stderr,
+                )
+                break
+            raise ValueError(f"invalid JSON on line {lineno}")
+    return read_trace([json.dumps(r) for r in records])
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """``python -m repro.analysis.trace_report <trace.jsonl>``."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -230,12 +258,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("usage: python -m repro.analysis.trace_report <trace.jsonl>")
         return 2
     try:
-        records = load_trace(argv[0])
+        records = _load_trace_lenient(argv[0])
     except (OSError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    if not _spans(records) and not _events(records):
+        print(
+            "trace has no spans or events to report "
+            "(empty solve, or the trace was cut short before any span "
+            "completed)"
+        )
+        return 0
     try:
-        print(format_report(summarize(records)))
+        report = format_report(summarize(records))
+    except (KeyError, TypeError) as error:
+        print(
+            f"error: malformed trace record (truncated write?): {error!r}",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        print(report)
     except BrokenPipeError:  # report piped into head/less and cut short
         sys.stderr.close()
         return 0

@@ -9,13 +9,22 @@ A complete two-watched-literal CDCL implementation with:
 - learned-clause database reduction,
 - per-clause activity and visit counters (the signals HyQSAT's
   frontend consumes),
-- an iteration hook used by the hybrid solver to steer the search.
+- an iteration hook used by the hybrid solver to steer the search,
+- an incremental interface (``add_clause`` / ``push`` / ``pop`` /
+  repeated ``solve``) with learned-clause retention.
+
+Two interchangeable engines implement the solver contract: the pure
+Python :class:`~repro.cdcl.solver.CdclSolver` reference and the
+native-kernel :class:`~repro.cdcl.fast.FastCdclSolver`, selected via
+:func:`~repro.cdcl.engine.create_solver`; they are gated bit-identical.
 
 Two factory presets mirror the paper's baselines:
 :func:`~repro.cdcl.presets.minisat_solver` (VSIDS) and
 :func:`~repro.cdcl.presets.kissat_solver` (CHB + aggressive restarts).
 """
 
+from repro.cdcl.engine import ENGINES, available_engines, create_solver, resolve_engine
+from repro.cdcl.fast import FastCdclSolver, FastEngineError, fast_engine_supports
 from repro.cdcl.heuristics import ChbHeuristic, DecisionHeuristic, VsidsHeuristic
 from repro.cdcl.luby import luby, luby_sequence
 from repro.cdcl.presets import kissat_solver, minisat_solver
@@ -35,6 +44,9 @@ __all__ = [
     "ClauseCounters",
     "DecisionHeuristic",
     "DratProof",
+    "ENGINES",
+    "FastCdclSolver",
+    "FastEngineError",
     "IterationHook",
     "SolverConfig",
     "SolverResult",
@@ -42,10 +54,14 @@ __all__ = [
     "SolverStatus",
     "ProofCheckResult",
     "VsidsHeuristic",
+    "available_engines",
     "check_proof",
+    "create_solver",
+    "fast_engine_supports",
     "kissat_solver",
     "luby",
     "luby_sequence",
     "minisat_solver",
     "parse_proof",
+    "resolve_engine",
 ]

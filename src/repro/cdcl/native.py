@@ -1,0 +1,253 @@
+"""Build and bind the native CDCL kernel (``kernel.c``).
+
+The kernel is compiled on demand with the system C compiler into a
+shared library cached under ``build/cdcl-kernel/`` at the repository
+root (gitignored; override with ``HYQSAT_KERNEL_CACHE``).  The cache
+key is the SHA-256 of the C source, so editing ``kernel.c``
+transparently rebuilds.  No third-party packaging machinery is
+involved — just ``cc -O2 -shared`` and :mod:`ctypes`.
+
+Float determinism: the kernel must reproduce CPython's IEEE-754
+double arithmetic bit for bit (the fast engine is gated bit-identical
+against the reference).  ``-ffp-contract=off`` keeps the compiler from
+fusing ``a*b+c`` into FMA, and we deliberately avoid ``-ffast-math``
+and ``-march=native``.
+
+:func:`load_kernel` returns the bound library (or ``None`` when no
+compiler is available); :func:`native_available` is the cheap
+feature probe the engine registry uses.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+from pathlib import Path
+from typing import Optional
+
+_SOURCE = Path(__file__).with_name("kernel.c")
+
+#: ``kernel_run`` exit events (keep in sync with kernel.c).
+EV_SAT = 1
+EV_ROOT_CONFLICT = 2
+EV_BUDGET = 3
+EV_RESTART_DUE = 4
+EV_REDUCE_DUE = 5
+EV_NEED_DECISION = 6
+EV_GROW = 7
+
+#: Heuristic kinds (keep in sync with kernel.c).
+HEUR_VSIDS = 0
+HEUR_CHB = 1
+
+_i8p = ctypes.POINTER(ctypes.c_int8)
+_u8p = ctypes.POINTER(ctypes.c_uint8)
+_i32p = ctypes.POINTER(ctypes.c_int32)
+_i64p = ctypes.POINTER(ctypes.c_int64)
+_f64p = ctypes.POINTER(ctypes.c_double)
+
+
+class CSolverStruct(ctypes.Structure):
+    """ctypes mirror of the ``CSolver`` struct in kernel.c.
+
+    Field order must match the C definition exactly; every member is
+    8 bytes wide so the layout is padding-free on both sides.
+    """
+
+    _fields_ = [
+        # assignment state
+        ("n_vars", ctypes.c_int64),
+        ("values", _i8p),
+        ("levels", _i32p),
+        ("reasons", _i32p),
+        ("phases", _u8p),
+        ("trail", _i32p),
+        ("trail_len", ctypes.c_int64),
+        ("trail_lim", _i32p),
+        ("n_levels", ctypes.c_int64),
+        ("prop_head", ctypes.c_int64),
+        ("seen", _u8p),
+        ("mark", _u8p),
+        ("path", _i32p),
+        # clause store
+        ("pool", _i32p),
+        ("pool_len", ctypes.c_int64),
+        ("pool_cap", ctypes.c_int64),
+        ("c_start", _i32p),
+        ("c_size", _i32p),
+        ("c_orig", _i32p),
+        ("c_learned", _u8p),
+        ("c_dead", _u8p),
+        ("c_act", _f64p),
+        ("n_clauses", ctypes.c_int64),
+        ("clause_cap", ctypes.c_int64),
+        ("learned_list", _i32p),
+        ("n_learned", ctypes.c_int64),
+        # watch lists
+        ("w_head", _i32p),
+        ("w_tail", _i32p),
+        ("node_next", _i32p),
+        ("node_clause", _i32p),
+        ("node_len", ctypes.c_int64),
+        ("node_cap", ctypes.c_int64),
+        ("free_head", ctypes.c_int64),
+        # per-original-clause counters
+        ("prop_visits", _i64p),
+        ("conf_visits", _i64p),
+        ("orig_act", _f64p),
+        # stats
+        ("propagations", ctypes.c_int64),
+        ("conflicts", ctypes.c_int64),
+        ("decisions", ctypes.c_int64),
+        ("iterations", ctypes.c_int64),
+        ("restarts", ctypes.c_int64),
+        ("learned_total", ctypes.c_int64),
+        ("deleted_total", ctypes.c_int64),
+        ("max_level", ctypes.c_int64),
+        # clause activity bookkeeping
+        ("clause_bump", ctypes.c_double),
+        ("clause_decay", ctypes.c_double),
+        ("orig_bump", ctypes.c_double),
+        # config
+        ("phase_saving", ctypes.c_int64),
+        # heuristic
+        ("heur_kind", ctypes.c_int64),
+        ("scores", _f64p),
+        ("heap", _i32p),
+        ("heap_pos", _i32p),
+        ("heap_len", ctypes.c_int64),
+        ("vs_bump", ctypes.c_double),
+        ("vs_decay", ctypes.c_double),
+        ("chb_step", ctypes.c_double),
+        ("chb_step_min", ctypes.c_double),
+        ("chb_step_decay", ctypes.c_double),
+        ("chb_conflicts", ctypes.c_int64),
+        ("chb_last", _i64p),
+        # analysis output
+        ("out_learned", _i32p),
+        ("out_learned_len", ctypes.c_int64),
+        ("out_backjump", ctypes.c_int64),
+        # run-loop control
+        ("resume_at_pick", ctypes.c_int64),
+        ("pending_conflict", ctypes.c_int64),
+        ("max_conflicts", ctypes.c_int64),
+        ("max_iterations", ctypes.c_int64),
+        ("restart_limit", ctypes.c_int64),
+        ("conflicts_in_window", ctypes.c_int64),
+        ("max_learned", ctypes.c_double),
+        ("n_assumptions", ctypes.c_int64),
+    ]
+
+
+_SP = ctypes.POINTER(CSolverStruct)
+
+#: (name, restype, extra argtypes after the struct pointer)
+_SIGNATURES = [
+    ("kernel_bump_variable", None, [ctypes.c_int64, ctypes.c_double]),
+    ("kernel_assign_root", None, [ctypes.c_int64]),
+    ("kernel_new_level", None, []),
+    ("kernel_decide", None, [ctypes.c_int64]),
+    ("kernel_backtrack", None, [ctypes.c_int64]),
+    ("kernel_truncate_root", None, [ctypes.c_int64]),
+    ("kernel_attach_clause", None, [ctypes.c_int64]),
+    (
+        "kernel_add_clause",
+        None,
+        [ctypes.c_int64, ctypes.c_int64, ctypes.c_int64, ctypes.c_int64],
+    ),
+    ("kernel_detach_clauses", None, [_u8p]),
+    ("kernel_propagate", ctypes.c_int64, []),
+    ("kernel_analyze", None, [ctypes.c_int64]),
+    ("kernel_learn", ctypes.c_int64, []),
+    ("kernel_pick", ctypes.c_int64, []),
+    ("kernel_run", ctypes.c_int64, []),
+]
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get("HYQSAT_KERNEL_CACHE")
+    if override:
+        return Path(override)
+    # src/repro/cdcl/native.py -> repository root / build / cdcl-kernel
+    return _SOURCE.parents[3] / "build" / "cdcl-kernel"
+
+
+def _compiler() -> Optional[str]:
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def _build_library() -> Optional[Path]:
+    """Compile kernel.c into the cache (no-op when already built)."""
+    source = _SOURCE.read_bytes()
+    key = hashlib.sha256(source).hexdigest()[:16]
+    cache = _cache_dir()
+    lib_path = cache / f"kernel-{key}.so"
+    if lib_path.exists():
+        return lib_path
+    compiler = _compiler()
+    if compiler is None:
+        return None
+    cache.mkdir(parents=True, exist_ok=True)
+    tmp_path = cache / f"kernel-{key}.{os.getpid()}.tmp.so"
+    cmd = [
+        compiler,
+        "-O2",
+        "-std=c99",
+        "-ffp-contract=off",
+        "-fPIC",
+        "-shared",
+        str(_SOURCE),
+        "-o",
+        str(tmp_path),
+    ]
+    try:
+        subprocess.run(
+            cmd, check=True, capture_output=True, text=True, timeout=120
+        )
+    except (subprocess.SubprocessError, OSError):
+        tmp_path.unlink(missing_ok=True)
+        return None
+    os.replace(tmp_path, lib_path)  # atomic under concurrent builds
+    return lib_path
+
+
+_lib: Optional[ctypes.CDLL] = None
+_load_attempted = False
+
+
+def load_kernel() -> Optional[ctypes.CDLL]:
+    """The bound kernel library, building it on first use.
+
+    Returns ``None`` (and remembers the failure) when no C compiler
+    is available or the build fails; callers then fall back to the
+    reference engine.
+    """
+    global _lib, _load_attempted
+    if _lib is not None or _load_attempted:
+        return _lib
+    _load_attempted = True
+    lib_path = _build_library()
+    if lib_path is None:
+        return None
+    try:
+        lib = ctypes.CDLL(str(lib_path))
+    except OSError:
+        return None
+    for name, restype, extra in _SIGNATURES:
+        fn = getattr(lib, name)
+        fn.restype = restype
+        fn.argtypes = [_SP] + extra
+    _lib = lib
+    return _lib
+
+
+def native_available() -> bool:
+    """True when the native kernel can be (or was) built and loaded."""
+    return load_kernel() is not None

@@ -3,15 +3,18 @@
 The paper compares against MiniSAT 2.2 (VSIDS) and Kissat-MAB
 (CHB/VSIDS hybrid chosen by a multi-armed bandit; we model its CHB arm,
 which is what distinguishes it from MiniSAT).  These factories return a
-configured :class:`~repro.cdcl.solver.CdclSolver` for a formula.
+configured solver for a formula; ``engine`` selects the implementation
+(see :mod:`repro.cdcl.engine`) — both engines are bit-identical, so the
+choice only affects speed.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
+from repro.cdcl.engine import create_solver
 from repro.cdcl.heuristics import ChbHeuristic, VsidsHeuristic
-from repro.cdcl.solver import CdclSolver, SolverConfig
+from repro.cdcl.solver import SolverConfig
 from repro.sat.cnf import CNF
 
 
@@ -20,7 +23,8 @@ def minisat_solver(
     seed: int = 0,
     max_conflicts: Optional[int] = None,
     max_iterations: Optional[int] = None,
-) -> CdclSolver:
+    engine: str = "reference",
+):
     """A MiniSAT-2.2-flavoured solver: VSIDS, Luby restarts (base 100),
     phase saving with default-false polarity."""
     config = SolverConfig(
@@ -33,7 +37,7 @@ def minisat_solver(
         max_conflicts=max_conflicts,
         max_iterations=max_iterations,
     )
-    return CdclSolver(formula, config=config)
+    return create_solver(formula, engine=engine, config=config)
 
 
 def kissat_solver(
@@ -41,7 +45,8 @@ def kissat_solver(
     seed: int = 0,
     max_conflicts: Optional[int] = None,
     max_iterations: Optional[int] = None,
-) -> CdclSolver:
+    engine: str = "reference",
+):
     """A Kissat-MAB-flavoured solver: CHB branching with more aggressive
     (shorter base) Luby restarts."""
     config = SolverConfig(
@@ -54,4 +59,4 @@ def kissat_solver(
         max_conflicts=max_conflicts,
         max_iterations=max_iterations,
     )
-    return CdclSolver(formula, config=config)
+    return create_solver(formula, engine=engine, config=config)

@@ -131,16 +131,19 @@ class _IntClause:
 
     The first two literals are the watched ones (MiniSAT convention).
     ``orig_index`` is the index into the input formula for original
-    clauses and -1 for learned clauses.
+    clauses and -1 for learned clauses.  ``group`` is the push depth
+    the clause was created at (see :meth:`CdclSolver.push`); learned
+    clauses are discarded when their group is popped.
     """
 
-    __slots__ = ("lits", "learned", "activity", "orig_index")
+    __slots__ = ("lits", "learned", "activity", "orig_index", "group")
 
     def __init__(self, lits: List[int], learned: bool, orig_index: int):
         self.lits = lits
         self.learned = learned
         self.activity = 0.0
         self.orig_index = orig_index
+        self.group = 0
 
     def __len__(self) -> int:
         return len(self.lits)
@@ -150,8 +153,31 @@ class _IntClause:
         return f"_IntClause({[str(_dec(l)) for l in self.lits]}, {kind})"
 
 
+@dataclass(frozen=True)
+class _PushMark:
+    """Snapshot taken by :meth:`CdclSolver.push`, restored by ``pop``."""
+
+    num_clauses: int
+    num_root_units: int
+    num_counters: int
+    trail_len: int
+    trivially_unsat: bool
+
+
 class CdclSolver:
     """A conflict-driven clause-learning SAT solver.
+
+    ``solve`` may be called repeatedly (the incremental API): learned
+    clauses, variable activities, and saved phases are retained across
+    calls, and ``solve(assumptions=...)`` answers "is the formula SAT
+    under these temporary decisions" without permanently asserting
+    them.  :meth:`push` / :meth:`pop` bracket groups of
+    :meth:`add_clause` additions so a caller can retract clauses
+    (learned clauses derived while a group was active are discarded
+    with it).  Budgets (``max_conflicts`` / ``max_iterations``)
+    compare against *cumulative* stats across all ``solve`` calls.
+    DRAT proofs are only meaningful for a single non-incremental
+    refutation; clauses popped from the database are not logged.
 
     Parameters
     ----------
@@ -209,6 +235,7 @@ class CdclSolver:
         self._forced_decisions: Deque[int] = deque()
         self._trivially_unsat = False
         self._root_units: List[int] = []
+        self._push_stack: List[_PushMark] = []
 
         for index, clause in enumerate(formula):
             if clause.is_tautology:
@@ -291,6 +318,130 @@ class CdclSolver:
         return self.counters.activity[index]
 
     # ------------------------------------------------------------------
+    # Incremental API
+    # ------------------------------------------------------------------
+
+    @property
+    def push_depth(self) -> int:
+        """Number of open clause groups."""
+        return len(self._push_stack)
+
+    def add_clause(self, clause) -> None:
+        """Add an original clause between ``solve`` calls.
+
+        ``clause`` is a :class:`~repro.sat.cnf.Clause` or an iterable
+        of :class:`~repro.sat.cnf.Lit` / DIMACS ints.  The clause
+        joins the innermost open group (:meth:`push`) and is retracted
+        when that group is popped.  The solver backtracks to the root
+        level first; tautologies are dropped, an empty clause makes
+        the current group unsatisfiable.  The two watched slots are
+        the first two literals not false under the root assignment, so
+        clause storage stays deterministic for the engine-identity
+        gate.
+        """
+        if isinstance(clause, Clause):
+            ext_lits = list(clause.lits)
+        else:
+            ext_lits = [
+                lit if isinstance(lit, Lit) else Lit(int(lit))
+                for lit in clause
+            ]
+        self._backtrack(0)
+        ilits = [_enc(lit) for lit in ext_lits]
+        present = set(ilits)
+        if any((ilit ^ 1) in present for ilit in ilits):  # tautology
+            return
+        if not ilits:
+            self._trivially_unsat = True
+            return
+        orig_index = len(self.counters.activity)
+        self.counters.propagation_visits.append(0)
+        self.counters.conflict_visits.append(0)
+        self.counters.activity.append(1.0)
+        record = _IntClause(ilits, learned=False, orig_index=orig_index)
+        record.group = len(self._push_stack)
+        self._clauses.append(record)
+        if len(ilits) == 1:
+            self._root_units.append(ilits[0])
+            return
+        free = [i for i, l in enumerate(ilits) if self._lit_value(l) != 0]
+        if not free:
+            # Conflicts with root-implied assignments: the current
+            # group is unsatisfiable (the flag is group-scoped via
+            # the push markers).
+            self._trivially_unsat = True
+            return
+        if len(free) == 1:
+            # Unit under the root assignment for this clause's whole
+            # lifetime (root assignments at or below its group are
+            # never undone while it exists).
+            self._root_units.append(ilits[free[0]])
+            return
+        i0, i1 = free[0], free[1]
+        record.lits = [ilits[i0], ilits[i1]] + [
+            l for j, l in enumerate(ilits) if j != i0 and j != i1
+        ]
+        self._attach(record)
+
+    def push(self) -> int:
+        """Open a clause group; returns the new depth.
+
+        Clauses added afterwards — and everything learned while the
+        group is open — are retracted by the matching :meth:`pop`.
+        """
+        self._backtrack(0)
+        self._push_stack.append(
+            _PushMark(
+                num_clauses=len(self._clauses),
+                num_root_units=len(self._root_units),
+                num_counters=len(self.counters.activity),
+                trail_len=len(self._trail),
+                trivially_unsat=self._trivially_unsat,
+            )
+        )
+        return len(self._push_stack)
+
+    def pop(self) -> None:
+        """Retract the innermost clause group.
+
+        Removes the group's original clauses, every learned clause
+        derived while it was open, and the root assignments made since
+        the matching :meth:`push` (they may depend on the retracted
+        clauses; surviving implications are re-derived on the next
+        ``solve``).  Variable activities and phases are kept.
+        """
+        if not self._push_stack:
+            raise IndexError("pop() without a matching push()")
+        self._backtrack(0)
+        mark = self._push_stack.pop()
+        depth = len(self._push_stack)
+        doomed = {id(rec) for rec in self._clauses[mark.num_clauses:]}
+        doomed.update(
+            id(rec) for rec in self._learned if rec.group > depth
+        )
+        if doomed:
+            self._learned = [
+                rec for rec in self._learned if id(rec) not in doomed
+            ]
+            for watch_list in self._watches:
+                watch_list[:] = [
+                    rec for rec in watch_list if id(rec) not in doomed
+                ]
+        del self._clauses[mark.num_clauses:]
+        del self._root_units[mark.num_root_units:]
+        del self.counters.propagation_visits[mark.num_counters:]
+        del self.counters.conflict_visits[mark.num_counters:]
+        del self.counters.activity[mark.num_counters:]
+        for ilit in reversed(self._trail[mark.trail_len:]):
+            var = ilit >> 1
+            self._values[var] = _UNASSIGNED
+            self._reasons[var] = None
+            self._heuristic.on_unassign(var)
+        del self._trail[mark.trail_len:]
+        self._propagate_head = min(self._propagate_head, len(self._trail))
+        self._trivially_unsat = mark.trivially_unsat
+
+    # ------------------------------------------------------------------
     # Solving
     # ------------------------------------------------------------------
 
@@ -313,6 +464,11 @@ class CdclSolver:
             self._record_refutation(assumptions)
             return SolverResult(SolverStatus.UNSAT, None, self.stats)
 
+        self._backtrack(0)  # re-entry: drop any previous call's search
+        # Re-scan root watch lists: a prior call may have stopped with a
+        # root-falsified clause behind the propagation head (e.g. after
+        # an UNSAT result), which would otherwise stay invisible.
+        self._propagate_head = 0
         for unit in self._root_units:
             value = self._lit_value(unit)
             if value == 0:
@@ -601,6 +757,7 @@ class CdclSolver:
             self._assign(learned_lits[0], reason=None)
             return
         record = _IntClause(list(learned_lits), learned=True, orig_index=-1)
+        record.group = len(self._push_stack)
         record.activity = self._clause_bump
         self._attach(record)
         self._learned.append(record)

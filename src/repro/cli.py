@@ -84,6 +84,7 @@ def _jobspec_from_args(
             qa_budget_us=getattr(args, "qa_budget_us", None),
             qa_breaker_threshold=getattr(args, "qa_breaker_threshold", 5),
             no_resilience=getattr(args, "no_resilience", False),
+            engine=getattr(args, "engine", "reference"),
         )
     except ValueError as error:
         raise SystemExit(str(error))
@@ -178,6 +179,11 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         print(
             f"c qa_calls={hybrid.qa_calls} qpu_time_us={hybrid.qpu_time_us:.1f} "
             f"avg_embedded={hybrid.avg_embedded_clauses:.1f}"
+        )
+        print(
+            f"c cdcl_propagations_per_s={hybrid.cdcl_propagations_per_s:.0f} "
+            f"cdcl_conflicts_per_s={hybrid.cdcl_conflicts_per_s:.0f} "
+            f"engine={spec.engine}"
         )
         print(
             f"c frontend_cache_hits={hybrid.frontend_cache_hits} "
@@ -542,6 +548,13 @@ def _add_job_option_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--lenient", action="store_true", help="tolerate malformed DIMACS")
     parser.add_argument(
+        "--engine",
+        choices=["reference", "fast"],
+        default="reference",
+        help="CDCL engine: pure-Python reference or the bit-identical "
+        "native kernel (falls back to reference without a C compiler)",
+    )
+    parser.add_argument(
         "--qa-faults",
         default=None,
         metavar="SPEC",
@@ -769,6 +782,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--classic", action="store_true", help="plain CDCL baseline")
     p_batch.add_argument("--noise", action="store_true", help="noisy 2000Q device model")
     p_batch.add_argument("--lenient", action="store_true", help="tolerate malformed DIMACS")
+    p_batch.add_argument(
+        "--engine",
+        choices=["reference", "fast"],
+        default="reference",
+        help="CDCL engine: pure-Python reference or the bit-identical "
+        "native kernel (falls back to reference without a C compiler)",
+    )
     _add_service_flags(p_batch)
     p_batch.set_defaults(func=_cmd_batch)
     return parser

@@ -165,7 +165,22 @@ class HyQSatConfig:
     #: RNG seed for queue-head selection.
     seed: int = 0
 
+    #: CDCL engine backing the hybrid search: ``"reference"`` (pure
+    #: Python) or ``"fast"`` (native kernel).  Both are bit-identical;
+    #: ``fast`` degrades to ``reference`` when no C compiler exists.
+    engine: str = "reference"
+
+    #: Keep one warm CDCL instance across repeated ``solve()`` calls of
+    #: the same :class:`~repro.core.hyqsat.HyQSatSolver` (incremental
+    #: re-solve with learned-clause retention) instead of cold-starting.
+    warm_start: bool = False
+
     def __post_init__(self) -> None:
+        if self.engine not in ("reference", "fast"):
+            raise ValueError(
+                f"unknown CDCL engine {self.engine!r}; "
+                "expected 'reference' or 'fast'"
+            )
         if self.top_k < 1:
             raise ValueError("top_k must be >= 1")
         if self.qa_period < 1:

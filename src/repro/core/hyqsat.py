@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.annealer.device import AnnealerDevice
 from repro.annealer.faults import DeviceFault, fault_channel
+from repro.cdcl.engine import create_solver
 from repro.cdcl.solver import CdclSolver, SolverConfig, SolverResult, SolverStatus
 from repro.core.backend import Backend, BackendDecision, Strategy
 from repro.core.clause_queue import ClauseQueueGenerator
@@ -84,6 +85,12 @@ class HybridStats:
     qa_unavailable: int = 0
     qa_dropped_reads: int = 0
     qa_budget_spent_us: float = 0.0
+    #: Wall-clock seconds spent inside the CDCL search of this solve.
+    cdcl_seconds: float = 0.0
+    #: CDCL propagation / conflict throughput of this solve (wall
+    #: clock; 0.0 when the solve was too fast to time).
+    cdcl_propagations_per_s: float = 0.0
+    cdcl_conflicts_per_s: float = 0.0
     qa_fault_counts: Dict[str, int] = field(default_factory=dict)
     breaker_state: str = "closed"
     breaker_transitions: int = 0
@@ -255,6 +262,9 @@ class HyQSatSolver:
         self._last_queue: Optional[List[int]] = None
         self._last_snapshot: Optional[Assignment] = None
         self._conflicts_at_queue = -1
+        # Warm CDCL instance kept across solve() calls when
+        # config.warm_start is on (learned-clause retention).
+        self._cdcl = None
 
         self._frontend = Frontend(
             formula,
@@ -335,23 +345,42 @@ class HyQSatSolver:
         if tracer.enabled:
             tracer.set_qpu_clock(self._qpu_now_us)
 
-        solver = CdclSolver(
-            self.formula,
-            config=self.solver_config,
-            observability=obs if obs.enabled else None,
-        )
+        if self.config.warm_start and self._cdcl is not None:
+            # Warm re-solve: keep the learned clauses, activities, and
+            # saved phases accumulated by previous calls.
+            solver = self._cdcl
+        else:
+            solver = create_solver(
+                self.formula,
+                engine=self.config.engine,
+                config=self.solver_config,
+                observability=obs if obs.enabled else None,
+            )
+        self._cdcl = solver if self.config.warm_start else None
+        props_before = solver.stats.propagations
+        conflicts_before = solver.stats.conflicts
         with tracer.span(
             "solve",
             num_vars=self.formula.num_vars,
             num_clauses=self.formula.num_clauses,
             warmup_iterations=warmup,
         ) as span:
+            cdcl_start = time.perf_counter()
             result = solver.solve(hook=_HybridHook(self))
+            cdcl_seconds = time.perf_counter() - cdcl_start
             span.set(
                 status=result.status.value,
                 iterations=result.stats.iterations,
                 qa_calls=self.hybrid_stats.qa_calls,
             )
+        self.hybrid_stats.cdcl_seconds = cdcl_seconds
+        if cdcl_seconds > 0.0:
+            self.hybrid_stats.cdcl_propagations_per_s = (
+                result.stats.propagations - props_before
+            ) / cdcl_seconds
+            self.hybrid_stats.cdcl_conflicts_per_s = (
+                result.stats.conflicts - conflicts_before
+            ) / cdcl_seconds
         self.hybrid_stats.frontend_cache_hits = self._frontend.cache_hits
         self.hybrid_stats.frontend_cache_misses = self._frontend.cache_misses
         self._sync_resilience_stats()
@@ -390,6 +419,12 @@ class HyQSatSolver:
         metrics.counter("hyqsat_cdcl_restarts_total").inc(cdcl.restarts)
         metrics.counter("hyqsat_cdcl_learned_clauses_total").inc(
             cdcl.learned_clauses
+        )
+        metrics.gauge("hyqsat_cdcl_propagations_per_s").set(
+            self.hybrid_stats.cdcl_propagations_per_s
+        )
+        metrics.gauge("hyqsat_cdcl_conflicts_per_s").set(
+            self.hybrid_stats.cdcl_conflicts_per_s
         )
         metrics.gauge("hyqsat_degraded").set(
             1.0 if self.hybrid_stats.degraded else 0.0

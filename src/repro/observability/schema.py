@@ -212,6 +212,14 @@ METRICS: Tuple[MetricSpec, ...] = (
         "hyqsat_cdcl_learned_clauses_total", "counter", (), "clauses",
         "Clauses learned",
     ),
+    MetricSpec(
+        "hyqsat_cdcl_propagations_per_s", "gauge", (), "assignments/s",
+        "CDCL propagation throughput of the last solve (wall clock)",
+    ),
+    MetricSpec(
+        "hyqsat_cdcl_conflicts_per_s", "gauge", (), "conflicts/s",
+        "CDCL conflict throughput of the last solve (wall clock)",
+    ),
     # -- solver service --------------------------------------------------
     MetricSpec(
         "hyqsat_service_jobs_total", "counter", ("state",), "jobs",

@@ -63,8 +63,17 @@ class JobSpec:
     qa_budget_us: Optional[float] = None
     qa_breaker_threshold: int = 5
     no_resilience: bool = False
+    #: CDCL engine ("reference" or "fast").  Not part of the dedup key:
+    #: the engines are gated bit-identical, so either may serve the
+    #: other's cached result.
+    engine: str = "reference"
 
     def __post_init__(self) -> None:
+        if self.engine not in ("reference", "fast"):
+            raise ValueError(
+                f"unknown CDCL engine {self.engine!r}; "
+                "expected 'reference' or 'fast'"
+            )
         if (self.path is None) == (self.dimacs is None):
             raise ValueError("exactly one of path/dimacs must be set")
         if self.priority not in PRIORITY_CLASSES:
@@ -252,13 +261,13 @@ def build_solver(
     if formula is None:
         formula = spec.load_formula()
     if spec.classic:
-        return minisat_solver(formula, seed=spec.seed)
+        return minisat_solver(formula, seed=spec.seed, engine=spec.engine)
     if device is None:
         device = build_device(spec)
     return HyQSatSolver(
         formula,
         device=device,
-        config=HyQSatConfig(seed=spec.seed),
+        config=HyQSatConfig(seed=spec.seed, engine=spec.engine),
         observability=observability,
     )
 

@@ -1,0 +1,81 @@
+"""trace-report robustness: empty / truncated / meta-only traces must
+exit with a clean message, never a traceback."""
+
+import json
+
+import pytest
+
+from repro.analysis.trace_report import main
+
+META = json.dumps({"type": "meta", "schema": "hyqsat-trace/1"})
+SPAN = json.dumps(
+    {
+        "type": "span",
+        "name": "solve",
+        "id": 1,
+        "parent": None,
+        "wall_dur_s": 0.25,
+        "qpu_dur_us": 12.0,
+        "attrs": {"status": "sat"},
+    }
+)
+
+
+def run(tmp_path, text, capsys):
+    path = tmp_path / "trace.jsonl"
+    path.write_text(text)
+    code = main([str(path)])
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_empty_file(tmp_path, capsys):
+    code, out, err = run(tmp_path, "", capsys)
+    assert code == 1
+    assert "trace is empty" in err
+
+
+def test_blank_lines_only(tmp_path, capsys):
+    code, out, err = run(tmp_path, "\n\n  \n", capsys)
+    assert code == 1
+    assert "trace is empty" in err
+
+
+def test_meta_only(tmp_path, capsys):
+    code, out, err = run(tmp_path, META + "\n", capsys)
+    assert code == 0
+    assert "no spans or events" in out
+
+
+def test_truncated_final_record(tmp_path, capsys):
+    torn = META + "\n" + SPAN + "\n" + SPAN[: len(SPAN) // 2]
+    code, out, err = run(tmp_path, torn, capsys)
+    assert code == 0
+    assert "truncated final record" in err
+    assert "solve" in out  # the intact prefix is still reported
+
+
+def test_corruption_mid_file_is_an_error(tmp_path, capsys):
+    text = META + "\nnot json\n" + SPAN + "\n"
+    code, out, err = run(tmp_path, text, capsys)
+    assert code == 1
+    assert "invalid JSON on line 2" in err
+
+
+def test_missing_file(tmp_path, capsys):
+    code = main([str(tmp_path / "nope.jsonl")])
+    assert code == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_wrong_schema(tmp_path, capsys):
+    meta = json.dumps({"type": "meta", "schema": "other/9"})
+    code, out, err = run(tmp_path, meta + "\n", capsys)
+    assert code == 1
+    assert "unsupported trace schema" in err
+
+
+def test_intact_trace_still_reports(tmp_path, capsys):
+    code, out, err = run(tmp_path, META + "\n" + SPAN + "\n", capsys)
+    assert code == 0
+    assert "solve" in out

@@ -1,0 +1,111 @@
+"""Tests for the CDCL engine registry (reference / fast selection)."""
+
+import pytest
+
+from repro.cdcl.engine import (
+    ENGINES,
+    available_engines,
+    create_solver,
+    resolve_engine,
+)
+from repro.cdcl.fast import (
+    FastCdclSolver,
+    FastEngineError,
+    fast_engine_supports,
+)
+from repro.cdcl.heuristics import VsidsHeuristic
+from repro.cdcl.native import native_available
+from repro.cdcl.presets import kissat_solver, minisat_solver
+from repro.cdcl.solver import CdclSolver, SolverConfig
+from repro.sat.cnf import CNF
+
+needs_native = pytest.mark.skipif(
+    not native_available(), reason="no C compiler for the native kernel"
+)
+
+FORMULA = CNF([[1, 2], [-1, 2], [1, -2]])
+
+
+class _CustomHeuristic(VsidsHeuristic):
+    """A user heuristic the kernel does not implement (subclass of a
+    supported one — the probe must use exact types, not isinstance)."""
+
+
+class TestRegistry:
+    def test_engines(self):
+        assert set(ENGINES) == {"reference", "fast"}
+        assert ENGINES["reference"] is CdclSolver
+        assert ENGINES["fast"] is FastCdclSolver
+
+    def test_available_always_has_reference(self):
+        assert "reference" in available_engines()
+
+    @needs_native
+    def test_available_has_fast_with_compiler(self):
+        assert "fast" in available_engines()
+
+    def test_unknown_engine_raises(self):
+        with pytest.raises(ValueError, match="unknown CDCL engine"):
+            resolve_engine("turbo")
+
+    def test_reference_resolves_to_itself(self):
+        assert resolve_engine("reference") == "reference"
+
+    @needs_native
+    def test_fast_resolves_with_builtin_heuristics(self):
+        assert resolve_engine("fast", SolverConfig()) == "fast"
+
+    def test_custom_heuristic_falls_back_with_warning(self):
+        config = SolverConfig(heuristic_factory=_CustomHeuristic)
+        with pytest.warns(RuntimeWarning, match="falling back"):
+            assert resolve_engine("fast", config) == "reference"
+
+    def test_fast_engine_supports_rejects_custom_heuristic(self):
+        ok, reason = fast_engine_supports(
+            SolverConfig(heuristic_factory=_CustomHeuristic)
+        )
+        assert not ok
+        assert "_CustomHeuristic" in reason
+
+
+class TestCreateSolver:
+    def test_reference(self):
+        solver = create_solver(FORMULA, engine="reference")
+        assert isinstance(solver, CdclSolver)
+        assert solver.solve().is_sat
+
+    @needs_native
+    def test_fast(self):
+        solver = create_solver(FORMULA, engine="fast")
+        assert isinstance(solver, FastCdclSolver)
+        assert solver.solve().is_sat
+
+    def test_fallback_returns_working_solver(self):
+        config = SolverConfig(heuristic_factory=_CustomHeuristic)
+        with pytest.warns(RuntimeWarning):
+            solver = create_solver(FORMULA, engine="fast", config=config)
+        assert isinstance(solver, CdclSolver)
+        assert solver.solve().is_sat
+
+    @needs_native
+    def test_direct_fast_with_custom_heuristic_raises(self):
+        config = SolverConfig(heuristic_factory=_CustomHeuristic)
+        with pytest.raises(FastEngineError):
+            FastCdclSolver(FORMULA, config=config)
+
+
+@needs_native
+class TestPresetEngines:
+    def test_minisat_fast(self):
+        solver = minisat_solver(FORMULA, engine="fast")
+        assert isinstance(solver, FastCdclSolver)
+        assert solver.solve().is_sat
+
+    def test_kissat_fast(self):
+        solver = kissat_solver(FORMULA, engine="fast")
+        assert isinstance(solver, FastCdclSolver)
+        assert solver.solve().is_sat
+
+    def test_default_is_reference(self):
+        assert isinstance(minisat_solver(FORMULA), CdclSolver)
+        assert isinstance(kissat_solver(FORMULA), CdclSolver)

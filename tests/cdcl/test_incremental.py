@@ -1,0 +1,200 @@
+"""Tests for the incremental API: add_clause / push / pop / re-solve.
+
+Both engines are exercised through the same cases; the key property is
+equivalence with a fresh solver on the equivalent flat formula (status
+always; model validity when SAT).
+"""
+
+import numpy as np
+import pytest
+
+from repro.benchgen.random_ksat import random_3sat
+from repro.cdcl.fast import FastCdclSolver
+from repro.cdcl.native import native_available
+from repro.cdcl.solver import CdclSolver, SolverConfig, SolverStatus
+from repro.sat.cnf import CNF, Clause, Lit
+
+ENGINE_CLASSES = [
+    pytest.param(CdclSolver, id="reference"),
+    pytest.param(
+        FastCdclSolver,
+        id="fast",
+        marks=pytest.mark.skipif(
+            not native_available(), reason="no C compiler"
+        ),
+    ),
+]
+
+
+def fresh_status(formula, seed=0):
+    return CdclSolver(formula, config=SolverConfig(seed=seed)).solve().status
+
+
+@pytest.mark.parametrize("cls", ENGINE_CLASSES)
+class TestReSolve:
+    def test_resolve_same_instance(self, cls):
+        formula = random_3sat(20, 85, np.random.default_rng(0))
+        solver = cls(formula, config=SolverConfig())
+        first = solver.solve()
+        second = solver.solve()
+        assert first.status == second.status
+        if first.is_sat:
+            assert second.model.satisfies(formula)
+
+    def test_resolve_after_unsat_stays_unsat(self, cls):
+        """Regression: a root refutation must survive re-solve (the
+        falsified clause used to hide behind the propagation head)."""
+        formula = random_3sat(20, 140, np.random.default_rng(3))
+        solver = cls(formula, config=SolverConfig())
+        if solver.solve().status is not SolverStatus.UNSAT:
+            pytest.skip("instance unexpectedly satisfiable")
+        assert solver.solve().status is SolverStatus.UNSAT
+        assert solver.solve().status is SolverStatus.UNSAT
+
+    def test_stats_accumulate_across_calls(self, cls):
+        formula = random_3sat(20, 85, np.random.default_rng(1))
+        solver = cls(formula, config=SolverConfig())
+        first = solver.solve().stats.iterations
+        second = solver.solve().stats.iterations
+        assert second >= first
+
+    def test_assumptions_then_free_solve(self, cls):
+        formula = CNF([[1, 2], [-1, 2], [-2, 3]])
+        solver = cls(formula, config=SolverConfig())
+        under = solver.solve(assumptions=[Lit(-2)])
+        assert under.status is SolverStatus.UNSAT
+        free = solver.solve()
+        assert free.status is SolverStatus.SAT
+        assert free.model.satisfies(formula)
+
+
+@pytest.mark.parametrize("cls", ENGINE_CLASSES)
+class TestAddClause:
+    def test_added_clause_constrains(self, cls):
+        solver = cls(CNF([[1, 2]], num_vars=2), config=SolverConfig())
+        assert solver.solve().is_sat
+        solver.add_clause([-1])
+        solver.add_clause([-2])
+        assert solver.solve().status is SolverStatus.UNSAT
+
+    def test_tautology_ignored(self, cls):
+        solver = cls(CNF([[1]], num_vars=2), config=SolverConfig())
+        solver.add_clause([2, -2])
+        result = solver.solve()
+        assert result.is_sat
+
+    def test_empty_clause_unsat(self, cls):
+        solver = cls(CNF([[1]], num_vars=1), config=SolverConfig())
+        solver.add_clause([])
+        assert solver.solve().status is SolverStatus.UNSAT
+
+    def test_accepts_clause_objects_and_ints(self, cls):
+        solver = cls(CNF([[1, 2]], num_vars=3), config=SolverConfig())
+        solver.add_clause(Clause([Lit(3)]))
+        solver.add_clause([-1, 3])
+        result = solver.solve()
+        assert result.is_sat
+        assert result.model.value_of(Lit(3)) is True
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_fresh_solver(self, cls, seed):
+        base = random_3sat(18, 70, np.random.default_rng(300 + seed))
+        delta = random_3sat(18, 18, np.random.default_rng(400 + seed))
+        solver = cls(base, config=SolverConfig(seed=seed))
+        solver.solve()
+        for clause in delta:
+            solver.add_clause(clause)
+        incremental = solver.solve()
+        combined = CNF(list(base) + list(delta), num_vars=18)
+        assert incremental.status == fresh_status(combined, seed)
+        if incremental.is_sat:
+            assert incremental.model.satisfies(combined)
+
+
+@pytest.mark.parametrize("cls", ENGINE_CLASSES)
+class TestPushPop:
+    def test_pop_without_push_raises(self, cls):
+        solver = cls(CNF([[1]], num_vars=1), config=SolverConfig())
+        with pytest.raises(IndexError):
+            solver.pop()
+
+    def test_push_depth(self, cls):
+        solver = cls(CNF([[1]], num_vars=1), config=SolverConfig())
+        assert solver.push_depth == 0
+        assert solver.push() == 1
+        assert solver.push() == 2
+        solver.pop()
+        assert solver.push_depth == 1
+
+    def test_pop_restores_sat(self, cls):
+        formula = CNF([[1, 2]], num_vars=2)
+        solver = cls(formula, config=SolverConfig())
+        assert solver.solve().is_sat
+        solver.push()
+        solver.add_clause([-1])
+        solver.add_clause([-2])
+        assert solver.solve().status is SolverStatus.UNSAT
+        solver.pop()
+        result = solver.solve()
+        assert result.is_sat
+        assert result.model.satisfies(formula)
+
+    def test_pop_restores_group_scoped_empty_clause(self, cls):
+        solver = cls(CNF([[1]], num_vars=1), config=SolverConfig())
+        solver.push()
+        solver.add_clause([])
+        assert solver.solve().status is SolverStatus.UNSAT
+        solver.pop()
+        assert solver.solve().is_sat
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_nested_groups_match_fresh(self, cls, seed):
+        """push/add/push/add/pop/pop: every level must agree with a
+        fresh solver on the same flat formula."""
+        base = random_3sat(16, 60, np.random.default_rng(500 + seed))
+        delta1 = random_3sat(16, 14, np.random.default_rng(600 + seed))
+        delta2 = random_3sat(16, 16, np.random.default_rng(700 + seed))
+        solver = cls(base, config=SolverConfig(seed=seed))
+
+        def check(reference_clauses):
+            result = solver.solve()
+            combined = CNF(reference_clauses, num_vars=16)
+            assert result.status == fresh_status(combined, seed)
+            if result.is_sat:
+                assert result.model.satisfies(combined)
+
+        check(list(base))
+        solver.push()
+        for clause in delta1:
+            solver.add_clause(clause)
+        check(list(base) + list(delta1))
+        solver.push()
+        for clause in delta2:
+            solver.add_clause(clause)
+        check(list(base) + list(delta1) + list(delta2))
+        solver.pop()
+        check(list(base) + list(delta1))
+        solver.pop()
+        check(list(base))
+
+
+@pytest.mark.skipif(not native_available(), reason="no C compiler")
+class TestEnginesAgreeIncrementally:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_same_status_trace(self, seed):
+        """Both engines walk the same push/pop script to the same
+        sequence of statuses."""
+        base = random_3sat(18, 72, np.random.default_rng(800 + seed))
+        delta = random_3sat(18, 20, np.random.default_rng(900 + seed))
+        traces = []
+        for cls in (CdclSolver, FastCdclSolver):
+            solver = cls(base, config=SolverConfig(seed=seed))
+            trace = [solver.solve().status]
+            solver.push()
+            for clause in delta:
+                solver.add_clause(clause)
+            trace.append(solver.solve().status)
+            solver.pop()
+            trace.append(solver.solve().status)
+            traces.append(trace)
+        assert traces[0] == traces[1]

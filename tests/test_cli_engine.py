@@ -1,0 +1,60 @@
+"""CLI --engine flag and the CDCL-rate summary line."""
+
+import pytest
+
+from repro.cdcl.native import native_available
+from repro.cli import build_parser, main
+
+needs_native = pytest.mark.skipif(
+    not native_available(), reason="no C compiler for the native kernel"
+)
+
+
+@pytest.fixture
+def cnf_file(tmp_path):
+    path = tmp_path / "f.cnf"
+    path.write_text("p cnf 3 3\n1 2 3 0\n-1 2 0\n-2 3 0\n")
+    return str(path)
+
+
+def test_engine_flag_parses():
+    args = build_parser().parse_args(["solve", "x.cnf", "--engine", "fast"])
+    assert args.engine == "fast"
+
+
+def test_engine_default_reference():
+    args = build_parser().parse_args(["solve", "x.cnf"])
+    assert args.engine == "reference"
+
+
+@pytest.mark.parametrize("command", ["solve", "submit", "batch"])
+def test_engine_flag_on_every_job_command(command):
+    args = build_parser().parse_args([command, "target", "--engine", "fast"])
+    assert args.engine == "fast"
+
+
+def test_engine_rejects_unknown():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["solve", "x.cnf", "--engine", "turbo"])
+
+
+def test_solve_summary_has_rates(cnf_file, capsys):
+    assert main(["solve", cnf_file]) == 0
+    out = capsys.readouterr().out
+    assert "c cdcl_propagations_per_s=" in out
+    assert "cdcl_conflicts_per_s=" in out
+    assert "engine=reference" in out
+
+
+@needs_native
+def test_solve_fast_engine(cnf_file, capsys):
+    assert main(["solve", cnf_file, "--engine", "fast"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("s SAT")
+    assert "engine=fast" in out
+
+
+@needs_native
+def test_classic_fast_engine(cnf_file, capsys):
+    assert main(["solve", cnf_file, "--classic", "--engine", "fast"]) == 0
+    assert capsys.readouterr().out.startswith("s SAT")

@@ -55,6 +55,7 @@ FLAG_ALLOWLIST: Set[str] = {
     "--output",          # benchmark scripts
     "--baseline",        # benchmarks.bench_observability
     "--help",
+    "--dispatch",        # planned flag (ROADMAP open item 3), not shipped yet
 }
 
 
