@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test ci bench bench-full bench-obs bench-service bench-cdcl bench-cdcl-full docs-check paper-tables
+.PHONY: test ci bench bench-full bench-obs bench-service bench-cdcl bench-cdcl-full bench-recovery chaos docs-check paper-tables
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -39,6 +39,20 @@ bench-cdcl:
 
 bench-cdcl-full:
 	$(PYTHON) -m benchmarks.bench_cdcl
+
+# Durability overhead; writes BENCH_recovery.json and fails if the
+# write-ahead journal costs more than 5% on the batch path or any
+# journaled outcome diverges from the bare run.
+bench-recovery:
+	$(PYTHON) -m benchmarks.bench_recovery --quick
+
+# Chaos harness (tools/chaos.py): kill -9 a real batch subprocess,
+# tear the journal at random offsets, storm a device fleet — fails on
+# the first violated recovery invariant.
+chaos:
+	$(PYTHON) tools/chaos.py torn-tail --trials 10
+	$(PYTHON) tools/chaos.py fault-storm --trials 2
+	$(PYTHON) tools/chaos.py crash-batch --trials 1 --jobs 2 --count 3
 
 # Docs lint: broken relative links, phantom --flags, undocumented
 # solve flags (see tools/docs_lint.py).

@@ -182,6 +182,11 @@ class FastCdclSolver:
         self._trivially_unsat = False
         self._root_units: List[int] = []
         self._push_stack: List[_FastPushMark] = []
+        #: Step-loop locals mirrored for checkpointing (written just
+        #: before each hook call) and the resume flag that makes the
+        #: next ``solve`` continue instead of restarting.
+        self._loop_state: Optional[Tuple] = None
+        self._resume_pending = False
 
         # Parse the formula exactly like the reference constructor.
         clause_lits: List[List[int]] = []
@@ -560,6 +565,83 @@ class FastCdclSolver:
         self._trivially_unsat = mark.trivially_unsat
 
     # ------------------------------------------------------------------
+    # Checkpoint / resume (repro.service.checkpoint)
+    # ------------------------------------------------------------------
+
+    def capture_search_state(self) -> dict:
+        """Snapshot the complete search state as a JSON-able dict.
+
+        Must be called from inside an :class:`IterationHook` in step
+        mode (the only point where the step loop's restart counters are
+        mirrored).  The snapshot covers every kernel buffer and struct
+        scalar plus the Python-side state, taken *as of the top of the
+        current iteration* — a solver restored from it re-executes that
+        iteration and continues bit-identically.  Open :meth:`push`
+        groups cannot be checkpointed.
+        """
+        if self._loop_state is None:
+            raise RuntimeError(
+                "capture_search_state must be called from an iteration hook"
+            )
+        if self._push_stack:
+            raise RuntimeError("cannot checkpoint with open clause groups")
+        scalars = {
+            name: getattr(self._s, name)
+            for name, _ctype in native.CSolverStruct._fields_
+            if name not in _ARRAY_DTYPES
+        }
+        # Stored as iterations-1: the resumed loop re-increments and
+        # re-enters the hook for the iteration being captured.
+        scalars["iterations"] -= 1
+        restart_num, interval = self._loop_state
+        return {
+            "engine": "fast",
+            "num_vars": self._num_vars,
+            "arrays": {
+                field: self._arr[field].tolist() for field in _ARRAY_DTYPES
+            },
+            "scalars": scalars,
+            "rng": self._rng.bit_generator.state,
+            "forced_decisions": list(self._forced_decisions),
+            "root_units": list(self._root_units),
+            "orig_cis": list(self._orig_cis),
+            "counters_len": self._counters_len,
+            "loop": [restart_num, interval],
+        }
+
+    def restore_search_state(self, state: dict) -> None:
+        """Rebuild the search state captured by
+        :meth:`capture_search_state`; the next :meth:`solve` call (no
+        assumptions) resumes mid-search instead of restarting."""
+        if state.get("engine") != "fast":
+            raise ValueError(
+                f"checkpoint engine {state.get('engine')!r} is not 'fast'"
+            )
+        if state.get("num_vars") != self._num_vars:
+            raise ValueError("checkpoint does not match this formula")
+        if self._push_stack:
+            raise RuntimeError("cannot restore over open clause groups")
+        scalars = state["scalars"]
+        if scalars["heur_kind"] != int(self._s.heur_kind):
+            raise ValueError("checkpoint heuristic mismatch")
+        for field in _ARRAY_DTYPES:
+            arr = np.array(state["arrays"][field], dtype=_ARRAY_DTYPES[field])
+            self._bind(field, arr)
+        for name, value in scalars.items():
+            setattr(self._s, name, value)
+        self._counters_len = state["counters_len"]
+        self._refresh_counter_views()
+        self._rng = np.random.default_rng()
+        self._rng.bit_generator.state = state["rng"]
+        self._forced_decisions = deque(state["forced_decisions"])
+        self._root_units = list(state["root_units"])
+        self._orig_cis = list(state["orig_cis"])
+        loop = state["loop"]
+        self._loop_state = (loop[0], loop[1])
+        self._resume_pending = True
+        self._sync_stats()
+
+    # ------------------------------------------------------------------
     # Solving
     # ------------------------------------------------------------------
 
@@ -571,31 +653,39 @@ class FastCdclSolver:
         """Run the CDCL search (same contract as the reference)."""
         s = self._s
         lib = self._lib
+        resuming = self._resume_pending
+        self._resume_pending = False
+        if resuming and assumptions:
+            raise ValueError(
+                "cannot resume a checkpointed solve with assumptions"
+            )
         if self._trivially_unsat:
             self._record_refutation(assumptions)
             self._sync_stats()
             return SolverResult(SolverStatus.UNSAT, None, self.stats)
 
-        lib.kernel_backtrack(self._sp, 0)  # re-entry
-        s.prop_head = 0  # re-scan root watches (mirror of the reference)
-        for unit in self._root_units:
-            value = self._lit_value(unit)
-            if value == 0:
-                self._record_refutation(assumptions)
-                self._sync_stats()
-                return SolverResult(SolverStatus.UNSAT, None, self.stats)
-            if value == _UNASSIGNED:
-                lib.kernel_assign_root(self._sp, unit)
+        if not resuming:
+            lib.kernel_backtrack(self._sp, 0)  # re-entry
+            s.prop_head = 0  # re-scan root watches (mirror of the reference)
+            for unit in self._root_units:
+                value = self._lit_value(unit)
+                if value == 0:
+                    self._record_refutation(assumptions)
+                    self._sync_stats()
+                    return SolverResult(SolverStatus.UNSAT, None, self.stats)
+                if value == _UNASSIGNED:
+                    lib.kernel_assign_root(self._sp, unit)
 
         assumption_lits = [_enc(a) for a in assumptions]
         need_lim = self._num_vars + len(assumption_lits) + 4
         if len(self._arr["trail_lim"]) < need_lim:
             self._grow_array("trail_lim", need_lim)
 
-        s.max_learned = max(
-            100.0,
-            self.config.learntsize_factor * max(1, len(self._orig_cis)),
-        )
+        if not resuming:
+            s.max_learned = max(
+                100.0,
+                self.config.learntsize_factor * max(1, len(self._orig_cis)),
+            )
         s.max_conflicts = (
             -1 if self.config.max_conflicts is None
             else self.config.max_conflicts
@@ -605,12 +695,14 @@ class FastCdclSolver:
             else self.config.max_iterations
         )
         s.n_assumptions = len(assumption_lits)
-        s.conflicts_in_window = 0
-        s.resume_at_pick = 0
-        s.pending_conflict = -1
+        if not resuming:
+            s.conflicts_in_window = 0
+            s.resume_at_pick = 0
+            s.pending_conflict = -1
 
         run_mode = (
-            hook is None
+            not resuming
+            and hook is None
             and self._tracer is None
             and self.proof is None
             and self.config.random_decision_freq == 0.0
@@ -618,7 +710,7 @@ class FastCdclSolver:
         )
         if run_mode:
             return self._solve_run(assumption_lits, assumptions)
-        return self._solve_step(assumption_lits, assumptions, hook)
+        return self._solve_step(assumption_lits, assumptions, hook, resuming)
 
     def _solve_run(self, assumption_lits, assumptions) -> SolverResult:
         """Drive ``kernel_run``, servicing its exit events."""
@@ -664,14 +756,19 @@ class FastCdclSolver:
                 return SolverResult(SolverStatus.UNSAT, None, self.stats)
             return SolverResult(SolverStatus.UNKNOWN, None, self.stats)
 
-    def _solve_step(self, assumption_lits, assumptions, hook) -> SolverResult:
+    def _solve_step(
+        self, assumption_lits, assumptions, hook, resuming=False
+    ) -> SolverResult:
         """Mirror the reference solve loop, one iteration per pass."""
         s = self._s
         lib = self._lib
         config = self.config
         tracer = self._tracer
-        restart_num = 0
-        interval = self._next_restart_interval(0)
+        if resuming:
+            restart_num, interval = self._loop_state
+        else:
+            restart_num = 0
+            interval = self._next_restart_interval(0)
         while True:
             if (
                 config.max_conflicts is not None
@@ -692,6 +789,9 @@ class FastCdclSolver:
             try:
                 if hook is not None:
                     self._sync_stats()
+                    # Mirror the loop-locals so a hook can checkpoint
+                    # this exact iteration (capture_search_state).
+                    self._loop_state = (restart_num, interval)
                     proposed = hook.on_iteration(self)
                     if proposed is not None and proposed.satisfies(self.formula):
                         return SolverResult(

@@ -33,7 +33,7 @@ from typing import Callable, Deque, Dict, List, Optional, Protocol, Sequence, Tu
 
 import numpy as np
 
-from repro.cdcl.heuristics import DecisionHeuristic, VsidsHeuristic
+from repro.cdcl.heuristics import ChbHeuristic, DecisionHeuristic, VsidsHeuristic
 from repro.cdcl.luby import luby
 from repro.cdcl.stats import ClauseCounters, SolverStats
 from repro.sat.assignment import Assignment
@@ -236,6 +236,11 @@ class CdclSolver:
         self._trivially_unsat = False
         self._root_units: List[int] = []
         self._push_stack: List[_PushMark] = []
+        #: Loop-local restart/reduce counters mirrored for checkpointing
+        #: (written just before each hook call) and the resume flag that
+        #: makes the next ``solve`` continue instead of restarting.
+        self._loop_state: Optional[Tuple] = None
+        self._resume_pending = False
 
         for index, clause in enumerate(formula):
             if clause.is_tautology:
@@ -442,6 +447,185 @@ class CdclSolver:
         self._trivially_unsat = mark.trivially_unsat
 
     # ------------------------------------------------------------------
+    # Checkpoint / resume (repro.service.checkpoint)
+    # ------------------------------------------------------------------
+
+    def capture_search_state(self) -> dict:
+        """Snapshot the complete search state as a JSON-able dict.
+
+        Must be called from inside an :class:`IterationHook` (the only
+        point where the solve loop's restart/reduce counters are
+        mirrored); the snapshot is taken *as of the top of the current
+        iteration*, so a solver restored from it re-executes that
+        iteration and continues bit-identically to an uninterrupted
+        run.  Open :meth:`push` groups cannot be checkpointed.
+        """
+        if self._loop_state is None:
+            raise RuntimeError(
+                "capture_search_state must be called from an iteration hook"
+            )
+        if self._push_stack:
+            raise RuntimeError("cannot checkpoint with open clause groups")
+        clause_ref: Dict[int, List] = {
+            id(rec): ["o", i] for i, rec in enumerate(self._clauses)
+        }
+        clause_ref.update(
+            {id(rec): ["l", i] for i, rec in enumerate(self._learned)}
+        )
+
+        def ref(rec: Optional[_IntClause]):
+            return None if rec is None else clause_ref[id(rec)]
+
+        stats = self.stats.as_dict()
+        # Stored as iterations-1: the resumed loop re-increments and
+        # re-enters the hook for the iteration being captured.
+        stats["iterations"] -= 1
+        loop = self._loop_state
+        return {
+            "engine": "reference",
+            "num_vars": self._num_vars,
+            "values": list(self._values),
+            "levels": list(self._levels),
+            "reasons": [ref(rec) for rec in self._reasons],
+            "saved_phase": [bool(p) for p in self._saved_phase],
+            "trail": list(self._trail),
+            "trail_lim": list(self._trail_lim),
+            "propagate_head": self._propagate_head,
+            "clauses": [
+                {"lits": list(rec.lits), "orig_index": rec.orig_index}
+                for rec in self._clauses
+            ],
+            "learned": [
+                {"lits": list(rec.lits), "activity": rec.activity}
+                for rec in self._learned
+            ],
+            "watches": [
+                [clause_ref[id(rec)] for rec in watch_list]
+                for watch_list in self._watches
+            ],
+            "clause_bump": self._clause_bump,
+            "heuristic": self._capture_heuristic(),
+            "rng": self._rng.bit_generator.state,
+            "forced_decisions": list(self._forced_decisions),
+            "counters": {
+                "propagation_visits": list(self.counters.propagation_visits),
+                "conflict_visits": list(self.counters.conflict_visits),
+                "activity": list(self.counters.activity),
+            },
+            "root_units": list(self._root_units),
+            "stats": stats,
+            "loop": [loop[0], loop[1], loop[2], loop[3]],
+        }
+
+    def restore_search_state(self, state: dict) -> None:
+        """Rebuild the search state captured by
+        :meth:`capture_search_state`; the next :meth:`solve` call (no
+        assumptions) resumes mid-search instead of restarting."""
+        if state.get("engine") != "reference":
+            raise ValueError(
+                f"checkpoint engine {state.get('engine')!r} is not 'reference'"
+            )
+        if state.get("num_vars") != self._num_vars:
+            raise ValueError("checkpoint does not match this formula")
+        if self._push_stack:
+            raise RuntimeError("cannot restore over open clause groups")
+        self._clauses = [
+            _IntClause(
+                list(entry["lits"]), learned=False,
+                orig_index=entry["orig_index"],
+            )
+            for entry in state["clauses"]
+        ]
+        self._learned = []
+        for entry in state["learned"]:
+            record = _IntClause(list(entry["lits"]), learned=True, orig_index=-1)
+            record.activity = entry["activity"]
+            self._learned.append(record)
+
+        def deref(ref) -> Optional[_IntClause]:
+            if ref is None:
+                return None
+            kind, index = ref
+            return self._clauses[index] if kind == "o" else self._learned[index]
+
+        self._watches = [
+            [deref(ref) for ref in watch_list]
+            for watch_list in state["watches"]
+        ]
+        self._values = list(state["values"])
+        self._levels = list(state["levels"])
+        self._reasons = [deref(ref) for ref in state["reasons"]]
+        self._saved_phase = [bool(p) for p in state["saved_phase"]]
+        self._trail = list(state["trail"])
+        self._trail_lim = list(state["trail_lim"])
+        self._propagate_head = state["propagate_head"]
+        self._clause_bump = state["clause_bump"]
+        self._seen = [False] * self._num_vars
+        self._restore_heuristic(state["heuristic"])
+        self._rng = np.random.default_rng()
+        self._rng.bit_generator.state = state["rng"]
+        self._forced_decisions = deque(state["forced_decisions"])
+        counters = state["counters"]
+        self.counters = ClauseCounters(
+            propagation_visits=list(counters["propagation_visits"]),
+            conflict_visits=list(counters["conflict_visits"]),
+            activity=list(counters["activity"]),
+        )
+        self._root_units = list(state["root_units"])
+        for name, value in state["stats"].items():
+            setattr(self.stats, name, value)
+        loop = state["loop"]
+        self._loop_state = (loop[0], loop[1], loop[2], loop[3])
+        self._resume_pending = True
+
+    def _capture_heuristic(self) -> dict:
+        heuristic = self._heuristic
+        if isinstance(heuristic, VsidsHeuristic):
+            return {
+                "kind": "vsids",
+                "scores": list(heuristic._scores),
+                "bump": heuristic._bump,
+                "heap": list(heuristic._heap._heap),
+                "pos": list(heuristic._heap._pos),
+            }
+        if isinstance(heuristic, ChbHeuristic):
+            return {
+                "kind": "chb",
+                "scores": list(heuristic._scores),
+                "last_conflict": list(heuristic._last_conflict),
+                "step": heuristic._step,
+                "conflicts": heuristic._conflicts,
+                "heap": list(heuristic._heap._heap),
+                "pos": list(heuristic._heap._pos),
+            }
+        raise RuntimeError(
+            "checkpointing supports the built-in VSIDS/CHB heuristics only"
+        )
+
+    def _restore_heuristic(self, data: dict) -> None:
+        heuristic = self._heuristic
+        kind = data.get("kind")
+        if kind == "vsids":
+            if not isinstance(heuristic, VsidsHeuristic):
+                raise ValueError("checkpoint heuristic mismatch (vsids)")
+            # In-place updates keep the score list shared with the heap.
+            heuristic._scores[:] = data["scores"]
+            heuristic._bump = data["bump"]
+            heuristic._heap._heap[:] = data["heap"]
+            heuristic._heap._pos[:] = data["pos"]
+        elif kind == "chb":
+            if not isinstance(heuristic, ChbHeuristic):
+                raise ValueError("checkpoint heuristic mismatch (chb)")
+            heuristic._scores[:] = data["scores"]
+            heuristic._last_conflict[:] = data["last_conflict"]
+            heuristic._step = data["step"]
+            heuristic._conflicts = data["conflicts"]
+            heuristic._heap._heap[:] = data["heap"]
+            heuristic._heap._pos[:] = data["pos"]
+        else:
+            raise ValueError(f"unknown checkpoint heuristic {kind!r}")
+
+    # ------------------------------------------------------------------
     # Solving
     # ------------------------------------------------------------------
 
@@ -464,26 +648,44 @@ class CdclSolver:
             self._record_refutation(assumptions)
             return SolverResult(SolverStatus.UNSAT, None, self.stats)
 
-        self._backtrack(0)  # re-entry: drop any previous call's search
-        # Re-scan root watch lists: a prior call may have stopped with a
-        # root-falsified clause behind the propagation head (e.g. after
-        # an UNSAT result), which would otherwise stay invisible.
-        self._propagate_head = 0
-        for unit in self._root_units:
-            value = self._lit_value(unit)
-            if value == 0:
-                self._record_refutation(assumptions)
-                return SolverResult(SolverStatus.UNSAT, None, self.stats)
-            if value == _UNASSIGNED:
-                self._assign(unit, reason=None)
+        resuming = self._resume_pending
+        self._resume_pending = False
+        if resuming:
+            if assumptions:
+                raise ValueError(
+                    "cannot resume a checkpointed solve with assumptions"
+                )
+            # The restored snapshot is an exact mid-search state: skip
+            # the re-entry reset and pick the restart/reduce window up
+            # where the checkpoint left it.
+            assumption_lits: List[int] = []
+            (
+                max_learned,
+                restart_num,
+                conflicts_until_restart,
+                conflicts_in_window,
+            ) = self._loop_state
+        else:
+            self._backtrack(0)  # re-entry: drop any previous call's search
+            # Re-scan root watch lists: a prior call may have stopped with a
+            # root-falsified clause behind the propagation head (e.g. after
+            # an UNSAT result), which would otherwise stay invisible.
+            self._propagate_head = 0
+            for unit in self._root_units:
+                value = self._lit_value(unit)
+                if value == 0:
+                    self._record_refutation(assumptions)
+                    return SolverResult(SolverStatus.UNSAT, None, self.stats)
+                if value == _UNASSIGNED:
+                    self._assign(unit, reason=None)
 
-        assumption_lits = [_enc(a) for a in assumptions]
-        max_learned = max(
-            100.0, self.config.learntsize_factor * max(1, len(self._clauses))
-        )
-        restart_num = 0
-        conflicts_until_restart = self._next_restart_interval(restart_num)
-        conflicts_in_window = 0
+            assumption_lits = [_enc(a) for a in assumptions]
+            max_learned = max(
+                100.0, self.config.learntsize_factor * max(1, len(self._clauses))
+            )
+            restart_num = 0
+            conflicts_until_restart = self._next_restart_interval(restart_num)
+            conflicts_in_window = 0
 
         tracer = self._tracer
         while True:
@@ -504,6 +706,14 @@ class CdclSolver:
             )
             try:
                 if hook is not None:
+                    # Mirror the loop-locals so a hook can checkpoint
+                    # this exact iteration (capture_search_state).
+                    self._loop_state = (
+                        max_learned,
+                        restart_num,
+                        conflicts_until_restart,
+                        conflicts_in_window,
+                    )
                     proposed = hook.on_iteration(self)
                     if proposed is not None and proposed.satisfies(self.formula):
                         return SolverResult(SolverStatus.SAT, proposed, self.stats)

@@ -85,6 +85,9 @@ def _jobspec_from_args(
             qa_breaker_threshold=getattr(args, "qa_breaker_threshold", 5),
             no_resilience=getattr(args, "no_resilience", False),
             engine=getattr(args, "engine", "reference"),
+            fleet=getattr(args, "qa_fleet", 0),
+            fleet_hedge_us=getattr(args, "qa_hedge_us", None),
+            checkpoint_every=getattr(args, "checkpoint_every", 0),
         )
     except ValueError as error:
         raise SystemExit(str(error))
@@ -148,7 +151,14 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             observability = Observability.profiling()
 
     spec = _jobspec_from_args(args, job_id=args.path, path=args.path)
-    solver = build_solver(spec, formula=formula, observability=observability)
+    if args.checkpoint_every and not args.checkpoint_path:
+        raise SystemExit("--checkpoint-every requires --checkpoint-path")
+    solver = build_solver(
+        spec,
+        formula=formula,
+        observability=observability,
+        checkpoint_path=args.checkpoint_path,
+    )
 
     start = time.perf_counter()
     try:
@@ -407,6 +417,9 @@ def _run_service(args: argparse.Namespace, specs) -> int:
             max_depth=args.max_depth,
             qpu_budget_us=args.qpu_budget_us,
             dedup=not args.no_dedup,
+            journal_path=args.journal,
+            checkpoint_dir=args.checkpoint_dir,
+            store_max_entries=args.store_cap,
         ),
         observability=observability,
     )
@@ -595,6 +608,35 @@ def _add_job_option_flags(parser: argparse.ArgumentParser) -> None:
         help="call the (possibly faulty) device bare, without the "
         "retry/breaker proxy",
     )
+    _add_durability_flags(parser)
+
+
+def _add_durability_flags(parser: argparse.ArgumentParser) -> None:
+    """Failover/checkpoint job flags (docs/SERVICE.md, durability)."""
+    parser.add_argument(
+        "--qa-fleet",
+        type=int,
+        default=0,
+        metavar="N",
+        help="anneal on a fleet of N health-tracked devices with "
+        "failover and quarantine instead of a single device (0 = off)",
+    )
+    parser.add_argument(
+        "--qa-hedge-us",
+        type=float,
+        default=None,
+        metavar="US",
+        help="hedge fleet calls slower than this many modelled "
+        "microseconds onto a backup device (requires --qa-fleet >= 2)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="N",
+        help="checkpoint the search every N conflicts after warm-up so "
+        "a killed solve resumes mid-search (0 = off)",
+    )
 
 
 def _add_service_flags(parser: argparse.ArgumentParser) -> None:
@@ -634,6 +676,27 @@ def _add_service_flags(parser: argparse.ArgumentParser) -> None:
         help="shared modelled-microsecond budget across every job's QA calls",
     )
     parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="FILE",
+        help="crash-safe write-ahead job journal; re-running the same "
+        "command replays acked results instead of re-solving them",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for per-job mid-search checkpoints (jobs with "
+        "--checkpoint-every > 0 resume from here after a crash)",
+    )
+    parser.add_argument(
+        "--store-cap",
+        type=int,
+        default=None,
+        metavar="N",
+        help="LRU cap on cached dedup results (default unbounded)",
+    )
+    parser.add_argument(
         "--trace",
         default=None,
         metavar="FILE",
@@ -663,6 +726,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_solve = sub.add_parser("solve", help="solve a DIMACS CNF file")
     p_solve.add_argument("path")
     _add_job_option_flags(p_solve)
+    p_solve.add_argument(
+        "--checkpoint-path",
+        default=None,
+        metavar="FILE",
+        help="checkpoint file for --checkpoint-every; a valid "
+        "checkpoint there resumes the solve mid-search",
+    )
     p_solve.add_argument(
         "--trace",
         default=None,
@@ -789,6 +859,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="CDCL engine: pure-Python reference or the bit-identical "
         "native kernel (falls back to reference without a C compiler)",
     )
+    _add_durability_flags(p_batch)
     _add_service_flags(p_batch)
     p_batch.set_defaults(func=_cmd_batch)
     return parser

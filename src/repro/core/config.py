@@ -175,6 +175,16 @@ class HyQSatConfig:
     #: re-solve with learned-clause retention) instead of cold-starting.
     warm_start: bool = False
 
+    #: Checkpoint the search to ``checkpoint_path`` every this many
+    #: conflicts once the √K warm-up has completed (0 disables
+    #: checkpointing).  A later ``solve()`` finding a valid checkpoint
+    #: for the same formula resumes mid-search, bit-identical to an
+    #: uninterrupted run (see :mod:`repro.service.checkpoint`).
+    checkpoint_every: int = 0
+
+    #: Checkpoint file location; required when ``checkpoint_every`` > 0.
+    checkpoint_path: Optional[str] = None
+
     def __post_init__(self) -> None:
         if self.engine not in ("reference", "fast"):
             raise ValueError(
@@ -195,3 +205,9 @@ class HyQSatConfig:
             raise ValueError("strategy_4_decisions must be >= 0")
         if self.frontend_cache_size < 0:
             raise ValueError("frontend_cache_size must be >= 0")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        if self.checkpoint_every > 0 and self.checkpoint_path is None:
+            raise ValueError(
+                "checkpoint_path is required when checkpoint_every > 0"
+            )

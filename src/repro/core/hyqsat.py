@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields as dataclass_fields
 from typing import Dict, List, Optional, Tuple
 
 from repro.annealer.device import AnnealerDevice
@@ -39,7 +39,7 @@ from repro.core.timing import TimeBreakdown
 from repro.observability import DISABLED, declare_solver_metrics
 from repro.resilience.device import QaUnavailable
 from repro.sat.assignment import Assignment
-from repro.sat.cnf import CNF, Lit
+from repro.sat.cnf import CNF, Lit, fingerprint
 
 
 def estimate_iterations(num_vars: int, num_clauses: int) -> int:
@@ -100,6 +100,31 @@ class HybridStats:
         default_factory=lambda: {s: 0 for s in Strategy}
     )
     energies: List[float] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        """JSON-able view (``strategy_counts`` keyed by strategy name);
+        the inverse of :meth:`from_dict`, used by checkpoints."""
+        out = {}
+        for spec in dataclass_fields(self):
+            value = getattr(self, spec.name)
+            if spec.name == "strategy_counts":
+                value = {s.name: count for s, count in value.items()}
+            elif spec.name == "qa_fault_counts":
+                value = dict(value)
+            elif spec.name == "energies":
+                value = list(value)
+            out[spec.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HybridStats":
+        """Rebuild stats serialised by :meth:`as_dict`."""
+        kwargs = dict(data)
+        kwargs["strategy_counts"] = {
+            Strategy[name]: count
+            for name, count in data["strategy_counts"].items()
+        }
+        return cls(**kwargs)
 
     @property
     def avg_embedded_clauses(self) -> float:
@@ -198,6 +223,7 @@ class _HybridHook:
     def on_iteration(self, solver: CdclSolver) -> Optional[Assignment]:
         owner = self._owner
         config = owner.config
+        owner._maybe_checkpoint(solver)
         if owner._qa_disabled:
             return None  # degraded to pure CDCL; stay out of the way
         if solver.stats.iterations > owner.hybrid_stats.warmup_iterations:
@@ -257,6 +283,12 @@ class HyQSatSolver:
         # budget): the rest of the run is pure CDCL, keeping every
         # learned clause.
         self._qa_disabled = False
+        # Checkpoint bookkeeping: conflict count at the last snapshot,
+        # and whether the current solve resumed from one (resumed runs
+        # keep the restored resilience counters — the fresh device has
+        # made no calls).
+        self._conflicts_at_checkpoint = 0
+        self._resumed_from_checkpoint = False
         # Last deployed queue + trail snapshot, reused while no new
         # conflict has been learned (see HyQSatConfig.reuse_queue_between_conflicts).
         self._last_queue: Optional[List[int]] = None
@@ -336,6 +368,15 @@ class HyQSatSolver:
         self._last_snapshot = None
         self._conflicts_at_queue = -1
         self._qa_disabled = False
+        self._conflicts_at_checkpoint = 0
+        self._resumed_from_checkpoint = False
+        resume_state = self._load_resume_state()
+        if resume_state is not None:
+            self.hybrid_stats = HybridStats.from_dict(resume_state["hybrid"])
+            warmup = self.hybrid_stats.warmup_iterations
+            self._qa_disabled = resume_state["qa_disabled"]
+            self._conflicts_at_checkpoint = resume_state["conflicts"]
+            self._resumed_from_checkpoint = True
 
         obs = self.observability
         if obs.metrics is not None:
@@ -357,6 +398,26 @@ class HyQSatSolver:
                 observability=obs if obs.enabled else None,
             )
         self._cdcl = solver if self.config.warm_start else None
+        if resume_state is not None:
+            try:
+                solver.restore_search_state(resume_state["search"])
+            except (KeyError, ValueError, RuntimeError):
+                # Unusable snapshot (engine fell back, schema drift,
+                # heuristic mismatch): start from scratch — same
+                # answer, more work.  The solver may have been partly
+                # mutated by the failed restore, so rebuild it.
+                resume_state = None
+                self.hybrid_stats = HybridStats(warmup_iterations=warmup)
+                self._qa_disabled = False
+                self._conflicts_at_checkpoint = 0
+                self._resumed_from_checkpoint = False
+                solver = create_solver(
+                    self.formula,
+                    engine=self.config.engine,
+                    config=self.solver_config,
+                    observability=obs if obs.enabled else None,
+                )
+                self._cdcl = solver if self.config.warm_start else None
         props_before = solver.stats.propagations
         conflicts_before = solver.stats.conflicts
         with tracer.span(
@@ -381,10 +442,27 @@ class HyQSatSolver:
             self.hybrid_stats.cdcl_conflicts_per_s = (
                 result.stats.conflicts - conflicts_before
             ) / cdcl_seconds
-        self.hybrid_stats.frontend_cache_hits = self._frontend.cache_hits
-        self.hybrid_stats.frontend_cache_misses = self._frontend.cache_misses
+        if self._resumed_from_checkpoint:
+            # The restored stats already hold the pre-crash cache
+            # counters; add only this run's (post-warmup: zero) lookups.
+            self.hybrid_stats.frontend_cache_hits += self._frontend.cache_hits
+            self.hybrid_stats.frontend_cache_misses += (
+                self._frontend.cache_misses
+            )
+        else:
+            self.hybrid_stats.frontend_cache_hits = self._frontend.cache_hits
+            self.hybrid_stats.frontend_cache_misses = (
+                self._frontend.cache_misses
+            )
         self._sync_resilience_stats()
         self._publish_metrics(result)
+        if (
+            self.config.checkpoint_path is not None
+            and result.status is not SolverStatus.UNKNOWN
+        ):
+            from repro.service.checkpoint import discard_checkpoint
+
+            discard_checkpoint(self.config.checkpoint_path)
         model = result.model
         if model is not None and self._ksat_reduction is not None:
             model = self._ksat_reduction.restrict_model(model)
@@ -433,6 +511,10 @@ class HyQSatSolver:
     def _sync_resilience_stats(self) -> None:
         """Fold the resilience layer's counters into the hybrid stats
         (no-op for a bare device)."""
+        if self._resumed_from_checkpoint:
+            # Post-warmup resume: the fresh device made no calls; the
+            # restored counters are the run's true totals.
+            return
         stats = getattr(self.device, "stats", None)
         if stats is None or not hasattr(stats, "retry_trace"):
             return
@@ -447,6 +529,83 @@ class HyQSatSolver:
         if breaker is not None:
             hybrid.breaker_state = breaker.state.value
             hybrid.breaker_transitions = len(breaker.transitions)
+
+    def _maybe_checkpoint(self, solver: CdclSolver) -> None:
+        """Snapshot the solve every ``checkpoint_every`` conflicts.
+
+        Only fires once the warm-up has completed: after that the run
+        is pure CDCL, so the engine state plus :class:`HybridStats` is
+        the *complete* solve state — no device or frontend state needs
+        capturing, and a resumed run is bit-identical.
+        """
+        config = self.config
+        if config.checkpoint_every <= 0 or config.checkpoint_path is None:
+            return
+        if solver.stats.iterations <= self.hybrid_stats.warmup_iterations:
+            return
+        conflicts = solver.stats.conflicts
+        if conflicts - self._conflicts_at_checkpoint < config.checkpoint_every:
+            return
+        from repro.service.checkpoint import save_checkpoint
+
+        self._conflicts_at_checkpoint = conflicts
+        hybrid = self.hybrid_stats.as_dict()
+        # The frontend's live cache counters are folded into the stats
+        # only at end-of-solve; the snapshot must carry them itself.
+        hybrid["frontend_cache_hits"] += self._frontend.cache_hits
+        hybrid["frontend_cache_misses"] += self._frontend.cache_misses
+        # Likewise the resilience layer's counters (retries, budget
+        # spend, breaker state): end-of-solve sync hasn't happened yet,
+        # so the snapshot must read the device's live totals.  A
+        # resumed run skips this — its restored stats already *are* the
+        # totals and the fresh device has made no calls.
+        device_stats = getattr(self.device, "stats", None)
+        if not self._resumed_from_checkpoint and device_stats is not None and (
+            hasattr(device_stats, "retry_trace")
+        ):
+            hybrid["qa_retries"] = device_stats.retries
+            hybrid["qa_budget_spent_us"] = device_stats.budget_spent_us
+            fault_counts = dict(hybrid["qa_fault_counts"])
+            for name, count in device_stats.fault_counts.items():
+                fault_counts[name] = fault_counts.get(name, 0) + count
+            hybrid["qa_fault_counts"] = fault_counts
+            breaker = getattr(self.device, "breaker", None)
+            if breaker is not None:
+                hybrid["breaker_state"] = breaker.state.value
+                hybrid["breaker_transitions"] = len(breaker.transitions)
+        save_checkpoint(
+            config.checkpoint_path,
+            {
+                "fingerprint": fingerprint(self.formula),
+                "solver_seed": self.solver_config.seed,
+                "hybrid_seed": config.seed,
+                "conflicts": conflicts,
+                "qa_disabled": self._qa_disabled,
+                "hybrid": hybrid,
+                "search": solver.capture_search_state(),
+            },
+        )
+        tracer = self.observability.tracer
+        if tracer.enabled:
+            tracer.event("checkpoint.saved", conflicts=conflicts)
+
+    def _load_resume_state(self) -> Optional[dict]:
+        """A valid checkpoint for *this* formula and solver seed, or
+        ``None`` (missing, corrupt, or mismatched — all start fresh)."""
+        if self.config.checkpoint_path is None:
+            return None
+        from repro.service.checkpoint import load_checkpoint
+
+        state = load_checkpoint(self.config.checkpoint_path)
+        if state is None:
+            return None
+        if state.get("fingerprint") != fingerprint(self.formula):
+            return None
+        if state.get("solver_seed") != self.solver_config.seed:
+            return None
+        if state.get("hybrid_seed") != self.config.seed:
+            return None
+        return state
 
     def _observe_phase(self, phase: str, seconds: float) -> None:
         """Record one phase latency (no-op when metrics are off)."""

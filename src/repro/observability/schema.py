@@ -74,12 +74,17 @@ EVENT_PARENTS: Dict[str, FrozenSet[str]] = {
     "qa.retry": frozenset({"anneal"}),
     "qa.unavailable": frozenset({"anneal"}),
     "qa.degraded": frozenset({"iteration"}),
+    "checkpoint.saved": frozenset({"iteration"}),
     "breaker.transition": frozenset({"anneal"}),
     "service.admit": frozenset({"service.batch"}),
     "service.reject": frozenset({"service.batch"}),
     "service.expire": frozenset({"service.batch"}),
     "service.dedup": frozenset({"service.batch"}),
     "service.cancel": frozenset({"service.batch"}),
+    "service.recover": frozenset({"service.batch"}),
+    "service.retry": frozenset({"service.batch"}),
+    "device.quarantine": frozenset({"anneal"}),
+    "device.failover": frozenset({"anneal"}),
 }
 
 EVENT_NAMES: FrozenSet[str] = frozenset(EVENT_PARENTS)
@@ -254,6 +259,43 @@ METRICS: Tuple[MetricSpec, ...] = (
     MetricSpec(
         "hyqsat_service_qpu_busy_us", "gauge", (), "microseconds",
         "Modelled device time the shared QPU spent occupied",
+    ),
+    # -- durability tier --------------------------------------------------
+    MetricSpec(
+        "hyqsat_service_recoveries_total", "counter", (), "jobs",
+        "Acked jobs re-emitted from the journal instead of re-solving",
+    ),
+    MetricSpec(
+        "hyqsat_service_store_evictions_total", "counter", (), "entries",
+        "Finished outcomes evicted from the bounded result store (LRU)",
+    ),
+    MetricSpec(
+        "hyqsat_service_worker_retries_total", "counter", (), "jobs",
+        "Jobs requeued after their worker process died",
+    ),
+    MetricSpec(
+        "hyqsat_journal_records_total", "counter", ("kind",), "records",
+        "Journal records appended, by kind (submit|start|retry|done)",
+    ),
+    MetricSpec(
+        "hyqsat_journal_fsyncs_total", "counter", (), "fsyncs",
+        "Journal fsync batches flushed to stable storage",
+    ),
+    MetricSpec(
+        "hyqsat_journal_replayed_total", "counter", (), "records",
+        "Journaled acked outcomes replayed on recovery",
+    ),
+    MetricSpec(
+        "hyqsat_journal_torn_records_total", "counter", (), "records",
+        "Invalid journal tail records dropped during recovery",
+    ),
+    MetricSpec(
+        "hyqsat_device_health", "gauge", ("device",), "score",
+        "Per-device EWMA health score of the annealer fleet (0..1)",
+    ),
+    MetricSpec(
+        "hyqsat_device_quarantines_total", "counter", ("device",), "transitions",
+        "Fleet members moved into quarantine, by device",
     ),
 )
 

@@ -1,0 +1,107 @@
+"""Checkpoint store for resumable hybrid solves.
+
+A checkpoint is a JSON snapshot of a hybrid solve's complete search
+state — the CDCL engine's trail, clause database (original *and*
+learned), watches, heuristic scores, RNG state and restart counters
+(via ``capture_search_state`` on either engine), plus the hybrid
+layer's ``HybridStats`` — taken every ``checkpoint_every`` conflicts
+once the √K warm-up has completed.  A job that crashes, expires, or is
+preempted resumes mid-search from its last checkpoint, and because the
+snapshot is exact the resumed run is **bit-identical** to an
+uninterrupted one (pinned by ``tests/chaos/test_checkpoint_resume.py``
+on both engines).
+
+Files are written atomically (temp file + fsync + rename) and carry a
+CRC-32 of the canonical payload, so a crash mid-write leaves either
+the previous valid checkpoint or a detectably-corrupt temp file —
+never a half-written snapshot that silently resumes wrong.
+
+:class:`CheckpointManager` is the per-directory view the solver
+service uses (one ``<job_id>.ckpt`` per job); the module-level
+``save_checkpoint`` / ``load_checkpoint`` operate on explicit paths
+for the ``hyqsat solve --checkpoint-path`` case.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import zlib
+from typing import Optional
+
+#: Checkpoint file schema identifier; bump on breaking changes.
+CHECKPOINT_SCHEMA = "hyqsat-checkpoint/1"
+
+_ID_SANITISE = re.compile(r"[^A-Za-z0-9._-]")
+
+
+def save_checkpoint(path: str, state: dict) -> None:
+    """Atomically write ``state`` as a checksummed checkpoint file."""
+    canon = json.dumps(state, sort_keys=True, separators=(",", ":"))
+    check = format(zlib.crc32(canon.encode("utf-8")) & 0xFFFFFFFF, "08x")
+    document = json.dumps(
+        {"schema": CHECKPOINT_SCHEMA, "ck": check, "state": state},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(document)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path: str) -> Optional[dict]:
+    """Load a checkpoint, or ``None`` when missing, torn, or corrupt.
+
+    Corruption is never fatal: a solve with an unreadable checkpoint
+    simply starts from scratch (same answer, more work).
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(document, dict):
+        return None
+    if document.get("schema") != CHECKPOINT_SCHEMA:
+        return None
+    state = document.get("state")
+    canon = json.dumps(state, sort_keys=True, separators=(",", ":"))
+    expected = format(zlib.crc32(canon.encode("utf-8")) & 0xFFFFFFFF, "08x")
+    if document.get("ck") != expected:
+        return None
+    return state
+
+
+def discard_checkpoint(path: str) -> None:
+    """Remove a checkpoint (and any stale temp file); missing is fine."""
+    for target in (path, path + ".tmp"):
+        try:
+            os.remove(target)
+        except FileNotFoundError:
+            pass
+
+
+class CheckpointManager:
+    """Per-directory checkpoint store keyed by job id."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+
+    def path_for(self, job_id: str) -> str:
+        safe = _ID_SANITISE.sub("_", job_id) or "job"
+        return os.path.join(self.directory, f"{safe}.ckpt")
+
+    def save(self, job_id: str, state: dict) -> None:
+        save_checkpoint(self.path_for(job_id), state)
+
+    def load(self, job_id: str) -> Optional[dict]:
+        return load_checkpoint(self.path_for(job_id))
+
+    def discard(self, job_id: str) -> None:
+        discard_checkpoint(self.path_for(job_id))

@@ -63,6 +63,18 @@ class JobSpec:
     qa_budget_us: Optional[float] = None
     qa_breaker_threshold: int = 5
     no_resilience: bool = False
+    #: Anneal against a fleet of this many devices with health-scored
+    #: failover (0 or 1 = single device; see
+    #: :class:`~repro.service.scheduler.FleetDevice`).
+    fleet: int = 0
+    #: Hedge fleet anneals: when the primary's modelled call time
+    #: exceeds this many µs, a backup device anneals the same request
+    #: and the lower-energy result wins.  Requires ``fleet`` >= 2.
+    fleet_hedge_us: Optional[float] = None
+    #: Checkpoint the solve every N post-warmup conflicts (0 = off).
+    #: Not part of the dedup key: checkpointing never changes the
+    #: outcome, only crash recovery cost.
+    checkpoint_every: int = 0
     #: CDCL engine ("reference" or "fast").  Not part of the dedup key:
     #: the engines are gated bit-identical, so either may serve the
     #: other's cached result.
@@ -83,6 +95,15 @@ class JobSpec:
             )
         if self.deadline_s is not None and self.deadline_s <= 0:
             raise ValueError("deadline_s must be positive when set")
+        if self.fleet < 0:
+            raise ValueError("fleet must be >= 0")
+        if self.fleet_hedge_us is not None:
+            if self.fleet_hedge_us <= 0:
+                raise ValueError("fleet_hedge_us must be positive when set")
+            if self.fleet < 2:
+                raise ValueError("fleet_hedge_us requires fleet >= 2")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
         if self.qa_faults is not None:
             from repro.annealer.faults import parse_fault_spec
 
@@ -119,10 +140,15 @@ class JobSpec:
             self.seed, self.classic, self.noise, self.qa_faults,
             self.fault_seed, self.qa_retries, self.qa_deadline_us,
             self.qa_budget_us, self.qa_breaker_threshold,
-            self.no_resilience,
+            self.no_resilience, self.fleet, self.fleet_hedge_us,
         ))
         opt_hash = hashlib.sha256(options.encode()).hexdigest()[:12]
         return f"{fingerprint(formula)}:{opt_hash}"
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict view (all fields, JSON-able) — the journal's
+        record payload, compared field-for-field at recovery."""
+        return asdict(self)
 
     def to_json(self) -> str:
         """One job-JSONL line (defaults omitted for readability)."""
@@ -184,6 +210,22 @@ class JobOutcome:
     dedup_of: Optional[str] = None
     wait_seconds: float = 0.0
     run_seconds: float = 0.0
+    #: True when the solve resumed from a mid-search checkpoint.  A
+    #: resumed solve makes no live QA calls (checkpoints only exist
+    #: post-warm-up), so the service bills its restored counters into
+    #: the shared ledger by replay instead.
+    resumed: bool = False
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict view (all fields, JSON-able) — the journal's
+        ``done`` record payload."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobOutcome":
+        """Rebuild an outcome serialised by :meth:`as_dict` (journal
+        replay)."""
+        return cls(**data)
 
     def to_json(self) -> str:
         payload = {k: v for k, v in asdict(self).items() if v is not None}
@@ -210,7 +252,10 @@ class JobOutcome:
 def build_device(spec: JobSpec):
     """The device stack ``hyqsat solve`` would build for these options:
     a seeded (possibly faulty) :class:`AnnealerDevice`, wrapped in a
-    :class:`ResilientDevice` unless ``no_resilience``."""
+    :class:`ResilientDevice` unless ``no_resilience``; with ``fleet``
+    >= 2, that many such stacks behind a health-scored
+    :class:`~repro.service.scheduler.FleetDevice` (member 0 being
+    exactly the solo stack, so a healthy fleet stays bit-identical)."""
     from repro.annealer import AnnealerDevice, NoiseModel, parse_fault_spec
     from repro.core.config import (
         BreakerPolicy,
@@ -222,23 +267,41 @@ def build_device(spec: JobSpec):
     noise = NoiseModel.dwave_2000q() if spec.noise else NoiseModel.noiseless()
     faults = parse_fault_spec(spec.qa_faults) if spec.qa_faults else None
     fault_seed = spec.seed if spec.fault_seed is None else spec.fault_seed
-    device = AnnealerDevice(
-        noise=noise, seed=spec.seed, faults=faults, fault_seed=fault_seed
-    )
-    if not spec.no_resilience:
-        device = ResilientDevice(
-            device,
-            ResilienceConfig(
-                retry=RetryPolicy(max_attempts=spec.qa_retries),
-                breaker=BreakerPolicy(
-                    failure_threshold=spec.qa_breaker_threshold
-                ),
-                call_deadline_us=spec.qa_deadline_us,
-                qa_budget_us=spec.qa_budget_us,
-                seed=fault_seed,
-            ),
+
+    def one_stack(member_fault_seed: int):
+        device = AnnealerDevice(
+            noise=noise,
+            seed=spec.seed,
+            faults=faults,
+            fault_seed=member_fault_seed,
         )
-    return device
+        if not spec.no_resilience:
+            device = ResilientDevice(
+                device,
+                ResilienceConfig(
+                    retry=RetryPolicy(max_attempts=spec.qa_retries),
+                    breaker=BreakerPolicy(
+                        failure_threshold=spec.qa_breaker_threshold
+                    ),
+                    call_deadline_us=spec.qa_deadline_us,
+                    qa_budget_us=spec.qa_budget_us,
+                    seed=member_fault_seed,
+                ),
+            )
+        return device
+
+    if spec.fleet >= 2:
+        from repro.service.scheduler import FleetDevice, FleetPolicy
+
+        # Member i gets a decorrelated fault seed so one fault storm
+        # does not take out every member in lockstep.
+        members = [
+            one_stack(fault_seed + 1000003 * i) for i in range(spec.fleet)
+        ]
+        return FleetDevice(
+            members, FleetPolicy(hedge_after_us=spec.fleet_hedge_us)
+        )
+    return one_stack(fault_seed)
 
 
 def build_solver(
@@ -246,6 +309,7 @@ def build_solver(
     formula: Optional[CNF] = None,
     device=None,
     observability=None,
+    checkpoint_path: Optional[str] = None,
 ):
     """The solver a solo ``hyqsat solve`` run would construct.
 
@@ -253,7 +317,10 @@ def build_solver(
     ``classic`` jobs, a :class:`HyQSatSolver` otherwise.  ``device``
     overrides the default stack (the service passes a
     scheduler-wrapped device here); ``formula`` skips a re-parse when
-    the caller already loaded it.
+    the caller already loaded it.  With ``checkpoint_path`` set and
+    ``spec.checkpoint_every`` > 0, the hybrid solve checkpoints there
+    and resumes from any valid snapshot it finds (classic jobs never
+    checkpoint — the preset has no hybrid hook to snapshot from).
     """
     from repro.cdcl import minisat_solver
     from repro.core import HyQSatConfig, HyQSatSolver
@@ -264,10 +331,18 @@ def build_solver(
         return minisat_solver(formula, seed=spec.seed, engine=spec.engine)
     if device is None:
         device = build_device(spec)
+    checkpoint_every = (
+        spec.checkpoint_every if checkpoint_path is not None else 0
+    )
     return HyQSatSolver(
         formula,
         device=device,
-        config=HyQSatConfig(seed=spec.seed, engine=spec.engine),
+        config=HyQSatConfig(
+            seed=spec.seed,
+            engine=spec.engine,
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path if checkpoint_every else None,
+        ),
         observability=observability,
     )
 
@@ -300,7 +375,7 @@ def outcome_from_result(spec: JobSpec, result) -> JobOutcome:
     return outcome
 
 
-def run_job(spec: JobSpec, scheduler=None) -> JobOutcome:
+def run_job(spec: JobSpec, scheduler=None, checkpoint_dir=None) -> JobOutcome:
     """Execute one job start to finish (the worker entry point).
 
     Never raises: any error becomes a ``failed`` outcome so one bad
@@ -310,7 +385,10 @@ def run_job(spec: JobSpec, scheduler=None) -> JobOutcome:
     :class:`~repro.service.scheduler.ScheduledDevice` so its anneal
     requests go through the shared-QPU multiplexer; without one
     (process pools), the scheduler's accounting is replayed by the
-    service from the outcome's counters.
+    service from the outcome's counters.  With ``checkpoint_dir`` and
+    ``spec.checkpoint_every`` set, the solve checkpoints under
+    ``<checkpoint_dir>/<job_id>.ckpt`` and a retried/re-run job
+    resumes from its last snapshot.
     """
     started = time.perf_counter()
     try:
@@ -322,9 +400,22 @@ def run_job(spec: JobSpec, scheduler=None) -> JobOutcome:
             device = ScheduledDevice(
                 build_device(spec), scheduler, spec.job_id
             )
-        solver = build_solver(spec, formula=formula, device=device)
+        checkpoint_path = None
+        if checkpoint_dir is not None and spec.checkpoint_every > 0:
+            from repro.service.checkpoint import CheckpointManager
+
+            checkpoint_path = CheckpointManager(checkpoint_dir).path_for(
+                spec.job_id
+            )
+        solver = build_solver(
+            spec,
+            formula=formula,
+            device=device,
+            checkpoint_path=checkpoint_path,
+        )
         result = solver.solve()
         outcome = outcome_from_result(spec, result)
+        outcome.resumed = getattr(solver, "_resumed_from_checkpoint", False)
     except Exception as error:  # noqa: BLE001 — worker boundary
         outcome = JobOutcome(
             job_id=spec.job_id,

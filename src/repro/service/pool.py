@@ -94,6 +94,31 @@ class WorkerPool:
                 return _InlineFuture(error=error)
         return self._executor.submit(fn, *args, **kwargs)
 
+    def respawn(self) -> bool:
+        """Replace a *broken* process executor with a fresh one.
+
+        A worker process dying (OOM kill, ``kill -9``) poisons the
+        whole :class:`~concurrent.futures.ProcessPoolExecutor`: every
+        in-flight future raises ``BrokenExecutor`` and no new work is
+        accepted.  The service calls this before resubmitting the lost
+        jobs.  Only an actually-broken executor is replaced — a second
+        poisoned future arriving after a respawn must not discard the
+        healthy pool (and the resubmissions already queued on it).
+        Thread/inline pools never break; no-op.  Returns True when a
+        new executor was installed.
+        """
+        if self.mode != "process":
+            return False
+        with self._lock:
+            if not getattr(self._executor, "_broken", False):
+                return False
+            old = self._executor
+            self._executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.workers
+            )
+            old.shutdown(wait=False)
+            return True
+
     def shutdown(self, wait: bool = True, cancel_pending: bool = False) -> None:
         """Stop accepting work; optionally cancel queued tasks."""
         if self._executor is not None:

@@ -8,6 +8,10 @@ load at the door rather than growing without bound.  Deadlines are
 *queue* deadlines: a job whose ``deadline_s`` elapses while still
 queued is expired at pop time and never dispatched (a job already
 running is allowed to finish).
+
+All deadline arithmetic runs on an injectable monotonic ``clock``
+(default :func:`time.monotonic`), so expiry is immune to wall-clock
+adjustments and fully deterministic under a fake clock in tests.
 """
 
 from __future__ import annotations
@@ -16,7 +20,7 @@ import heapq
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.service.jobs import JobSpec
 
@@ -48,13 +52,20 @@ class JobQueue:
     """Bounded priority queue of :class:`JobSpec`.
 
     ``max_depth`` bounds the number of *queued* (not yet popped) jobs;
-    ``None`` means unbounded.  All methods are thread-safe.
+    ``None`` means unbounded.  ``clock`` is the monotonic time source
+    used for deadlines and wait accounting (tests inject a fake).
+    All methods are thread-safe.
     """
 
-    def __init__(self, max_depth: Optional[int] = None):
+    def __init__(
+        self,
+        max_depth: Optional[int] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ):
         if max_depth is not None and max_depth < 1:
             raise ValueError("max_depth must be >= 1 when set")
         self.max_depth = max_depth
+        self._clock = time.monotonic if clock is None else clock
         self.stats = QueueStats()
         self._heap: List[_Entry] = []
         self._by_id: dict = {}
@@ -87,7 +98,7 @@ class JobQueue:
             entry = _Entry(
                 sort_key=(spec.priority_rank, self._seq),
                 spec=spec,
-                submitted_at=time.monotonic() if now is None else now,
+                submitted_at=self._clock() if now is None else now,
             )
             self._seq += 1
             heapq.heappush(self._heap, entry)
@@ -122,11 +133,11 @@ class JobQueue:
         popped job's time in queue.  ``spec`` is ``None`` on timeout or
         when the queue is closed and drained.
         """
-        deadline = None if timeout is None else time.monotonic() + timeout
+        deadline = None if timeout is None else self._clock() + timeout
         expired: List[JobSpec] = []
         with self._not_empty:
             while True:
-                clock = time.monotonic() if now is None else now
+                clock = self._clock() if now is None else now
                 while self._heap:
                     entry = heapq.heappop(self._heap)
                     self._by_id.pop(entry.spec.job_id, None)
@@ -145,7 +156,7 @@ class JobQueue:
                 if self._closed:
                     return None, expired, 0.0
                 remaining = (
-                    None if deadline is None else deadline - time.monotonic()
+                    None if deadline is None else deadline - self._clock()
                 )
                 if remaining is not None and remaining <= 0:
                     return None, expired, 0.0

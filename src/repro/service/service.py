@@ -23,6 +23,7 @@ tests pin this property.
 
 from __future__ import annotations
 
+import concurrent.futures
 import queue as queue_module
 import threading
 import time
@@ -30,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.service.jobs import JobOutcome, JobSpec, run_job
+from repro.service.journal import JobJournal
 from repro.service.pool import WorkerPool
 from repro.service.queue import AdmissionError, JobQueue
 from repro.service.scheduler import QpuScheduler
@@ -51,6 +53,21 @@ class ServiceConfig:
     qpu_budget_us: Optional[float] = None
     #: Canonical-CNF result deduplication.
     dedup: bool = True
+    #: Crash-safe write-ahead job journal
+    #: (:class:`~repro.service.journal.JobJournal`); ``None`` disables
+    #: journaling.  Re-running the same command against an existing
+    #: journal replays acked outcomes instead of re-solving them.
+    journal_path: Optional[str] = None
+    #: Directory for per-job mid-search checkpoints
+    #: (:mod:`repro.service.checkpoint`); ``None`` disables them.  Only
+    #: jobs with ``checkpoint_every > 0`` in their spec checkpoint.
+    checkpoint_dir: Optional[str] = None
+    #: LRU cap on cached dedup outcomes in the
+    #: :class:`~repro.service.store.ResultStore` (``None`` = unbounded).
+    store_max_entries: Optional[int] = None
+    #: How many times a job lost to a dead worker process is returned
+    #: to the pool before it is failed.
+    max_worker_retries: int = 2
 
 
 @dataclass
@@ -90,11 +107,20 @@ class SolverService:
 
         self.config = config or ServiceConfig()
         self.queue = JobQueue(max_depth=self.config.max_depth)
-        self.store = ResultStore()
+        self.store = ResultStore(max_entries=self.config.store_max_entries)
         self.scheduler = QpuScheduler(budget_us=self.config.qpu_budget_us)
         self.pool = WorkerPool(
             workers=self.config.workers, mode=self.config.pool_mode
         )
+        #: Opening the journal performs crash recovery: the valid
+        #: record prefix is parsed and any torn tail truncated away.
+        self.journal: Optional[JobJournal] = (
+            JobJournal(self.config.journal_path)
+            if self.config.journal_path is not None
+            else None
+        )
+        #: job_id -> times resubmitted after a worker-process death.
+        self._worker_retries: Dict[str, int] = {}
         self.stats = ServiceStats()
         self.observability = observability or DISABLED
         if self.observability.metrics is not None:
@@ -146,7 +172,11 @@ class SolverService:
         primaries: Dict[str, JobOutcome] = {}
         free_slots = self.config.workers
 
-        def finalise(outcome: JobOutcome) -> None:
+        def finalise(outcome: JobOutcome, record: bool = True) -> None:
+            if record and self.journal is not None:
+                # The ack: fsynced before the consumer can observe the
+                # result, so "emitted" always implies "journaled".
+                self.journal.record_done(outcome)
             outcomes[outcome.job_id] = outcome
             self.stats.count(outcome.state)
             if obs.metrics is not None:
@@ -190,11 +220,40 @@ class SolverService:
             pool=self.config.pool_mode,
         )
         try:
-            # Admission: every spec either enters the queue or is
-            # rejected on the spot.
+            # Admission: every spec either replays from the journal,
+            # enters the queue, or is rejected on the spot.
             pending = 0
             for spec in specs:
+                if self.journal is not None:
+                    recovered = self.journal.recovered_outcome(spec)
+                    if recovered is not None:
+                        # Acked before the crash: re-emit the journaled
+                        # outcome exactly once, never re-solve — and
+                        # bill its QPU usage into this session's ledger
+                        # so modelled time is charged once overall.
+                        outcome = JobOutcome.from_dict(recovered)
+                        tracer.event(
+                            "service.recover",
+                            job_id=spec.job_id,
+                            state=outcome.state,
+                        )
+                        if obs.metrics is not None:
+                            obs.metrics.counter(
+                                "hyqsat_service_recoveries_total"
+                            ).inc()
+                        if not spec.classic and (
+                            outcome.qa_calls or outcome.qpu_time_us
+                        ):
+                            self.scheduler.replay(
+                                spec.job_id,
+                                outcome.qa_calls,
+                                outcome.qpu_time_us,
+                            )
+                        finalise(outcome, record=False)
+                        continue
                 try:
+                    if self.journal is not None:
+                        self.journal.record_submit(spec)
                     self.queue.push(spec)
                     pending += 1
                     tracer.event(
@@ -274,10 +333,13 @@ class SolverService:
                     live = (
                         self.pool.live_scheduling and not spec.classic
                     )
+                    if self.journal is not None:
+                        self.journal.record_start(spec.job_id)
                     future = self.pool.submit(
                         run_job,
                         spec,
                         self.scheduler if live else None,
+                        self.config.checkpoint_dir,
                     )
                     free_slots -= 1
                     inflight[spec.job_id] = (spec, future, waited, key)
@@ -303,11 +365,66 @@ class SolverService:
                     continue
                 spec, future, waited, key = inflight.pop(job_id)
                 free_slots += 1
-                outcome = future.result()  # run_job never raises
+                try:
+                    outcome = future.result()  # run_job never raises
+                except concurrent.futures.BrokenExecutor:
+                    # A worker process died mid-job and poisoned the
+                    # pool.  Respawn the executor (a no-op unless it is
+                    # actually broken) and return the job to the pool a
+                    # bounded number of times instead of hanging or
+                    # losing it.
+                    self.pool.respawn()
+                    retries = self._worker_retries.get(job_id, 0)
+                    if retries < self.config.max_worker_retries:
+                        self._worker_retries[job_id] = retries + 1
+                        if self.journal is not None:
+                            self.journal.record_retry(
+                                job_id, "worker process died"
+                            )
+                        tracer.event(
+                            "service.retry",
+                            job_id=job_id,
+                            attempt=retries + 1,
+                        )
+                        if obs.metrics is not None:
+                            obs.metrics.counter(
+                                "hyqsat_service_worker_retries_total"
+                            ).inc()
+                        live = (
+                            self.pool.live_scheduling and not spec.classic
+                        )
+                        future = self.pool.submit(
+                            run_job,
+                            spec,
+                            self.scheduler if live else None,
+                            self.config.checkpoint_dir,
+                        )
+                        free_slots -= 1
+                        inflight[job_id] = (spec, future, waited, key)
+                        future.add_done_callback(
+                            lambda _f, jid=job_id: self._completions.put(
+                                ("done", jid)
+                            )
+                        )
+                        continue
+                    outcome = JobOutcome(
+                        job_id=job_id,
+                        state="failed",
+                        error="worker process died (retries exhausted)",
+                        seed=spec.seed,
+                    )
                 outcome.wait_seconds = waited
                 if not self.pool.live_scheduling and not spec.classic:
                     # Process workers solved in another address space;
                     # fold their device usage into the shared ledger.
+                    self.scheduler.replay(
+                        job_id, outcome.qa_calls, outcome.qpu_time_us
+                    )
+                elif outcome.resumed and not spec.classic:
+                    # A checkpoint-resumed solve made no live QA calls
+                    # (checkpoints only exist post-warm-up): bill its
+                    # restored counters so the session ledger carries
+                    # the job's usage exactly once.
                     self.scheduler.replay(
                         job_id, outcome.qa_calls, outcome.qpu_time_us
                     )
@@ -325,6 +442,8 @@ class SolverService:
         else:
             self.pool.shutdown(wait=True)
         finally:
+            if self.journal is not None:
+                self.journal.close()
             self.stats.wall_seconds = time.perf_counter() - started
             self.stats.qpu_grants = self.scheduler.stats.grants
             self.stats.qpu_coalesced = self.scheduler.stats.coalesced
@@ -342,6 +461,30 @@ class SolverService:
                 metrics.gauge("hyqsat_service_qpu_busy_us").set(
                     self.scheduler.stats.busy_us
                 )
+                if self.store.evictions:
+                    metrics.counter(
+                        "hyqsat_service_store_evictions_total"
+                    ).inc(self.store.evictions)
+                if self.journal is not None:
+                    jstats = self.journal.stats
+                    for kind, count in sorted(
+                        jstats.records_by_kind.items()
+                    ):
+                        metrics.counter(
+                            "hyqsat_journal_records_total"
+                        ).labels(kind=kind).inc(count)
+                    if jstats.fsyncs:
+                        metrics.counter(
+                            "hyqsat_journal_fsyncs_total"
+                        ).inc(jstats.fsyncs)
+                    if jstats.replayed:
+                        metrics.counter(
+                            "hyqsat_journal_replayed_total"
+                        ).inc(jstats.replayed)
+                    if jstats.torn_records:
+                        metrics.counter(
+                            "hyqsat_journal_torn_records_total"
+                        ).inc(jstats.torn_records)
             batch_span.end(
                 done=self.stats.jobs_by_state.get("done", 0),
                 deduped=self.stats.jobs_by_state.get("deduped", 0),
@@ -359,6 +502,10 @@ def run_batch(
     max_depth: Optional[int] = None,
     qpu_budget_us: Optional[float] = None,
     dedup: bool = True,
+    journal_path: Optional[str] = None,
+    checkpoint_dir: Optional[str] = None,
+    store_max_entries: Optional[int] = None,
+    max_worker_retries: int = 2,
 ) -> Tuple[List[JobOutcome], "ServiceStats"]:
     """One-shot convenience: build a service, run ``specs``, return
     ``(outcomes, stats)`` (outcomes in submission order)."""
@@ -369,6 +516,10 @@ def run_batch(
             max_depth=max_depth,
             qpu_budget_us=qpu_budget_us,
             dedup=dedup,
+            journal_path=journal_path,
+            checkpoint_dir=checkpoint_dir,
+            store_max_entries=store_max_entries,
+            max_worker_retries=max_worker_retries,
         ),
         observability=observability,
     )

@@ -7,11 +7,18 @@ any later job with the same key becomes a *follower* and is handed the
 primary's outcome when it lands (state ``deduped``, ``dedup_of`` naming
 the primary).  Claims cover in-flight work, so two duplicates submitted
 together still solve only once.
+
+Memory is bounded: with ``max_entries`` set, finished outcomes are
+kept in an LRU (least-recently-*hit*) order and the oldest entry — and
+its claim — is evicted once the cap is exceeded, counting into
+``evictions`` (surfaced as ``hyqsat_service_store_evictions_total``).
+An evicted key simply re-solves on its next submission.
 """
 
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.service.jobs import JobOutcome
@@ -20,15 +27,29 @@ from repro.service.jobs import JobOutcome
 class ResultStore:
     """Thread-safe solve-key → outcome map with in-flight claims."""
 
-    def __init__(self) -> None:
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("max_entries must be >= 1 when set")
         self._lock = threading.Lock()
+        self.max_entries = max_entries
         #: key → primary job id (claimed the moment the primary is admitted)
         self._claims: Dict[str, str] = {}
-        #: key → primary outcome (set when the primary finishes)
-        self._done: Dict[str, JobOutcome] = {}
+        #: key → primary outcome (set when the primary finishes), oldest
+        #: hit first — the eviction order when max_entries is exceeded.
+        self._done: "OrderedDict[str, JobOutcome]" = OrderedDict()
         #: key → followers waiting on the primary: (job_id, callback)
         self._waiters: Dict[str, List[Tuple[str, Callable]]] = {}
         self.dedup_hits = 0
+        self.evictions = 0
+
+    def _evict_locked(self) -> None:
+        while (
+            self.max_entries is not None
+            and len(self._done) > self.max_entries
+        ):
+            key, _outcome = self._done.popitem(last=False)
+            self._claims.pop(key, None)
+            self.evictions += 1
 
     def lookup_or_claim(self, key: str, job_id: str) -> Optional[str]:
         """Claim ``key`` for ``job_id`` or report the existing primary.
@@ -46,9 +67,13 @@ class ResultStore:
             return primary
 
     def finished(self, key: str) -> Optional[JobOutcome]:
-        """The primary's outcome, if it already landed."""
+        """The primary's outcome, if it already landed (marks the key
+        most-recently-used for LRU purposes)."""
         with self._lock:
-            return self._done.get(key)
+            outcome = self._done.get(key)
+            if outcome is not None:
+                self._done.move_to_end(key)
+            return outcome
 
     def add_waiter(
         self, key: str, job_id: str, callback: Callable[[JobOutcome], None]
@@ -75,6 +100,8 @@ class ResultStore:
             waiters = self._waiters.pop(key, [])
             if outcome.state == "done":
                 self._done[key] = outcome
+                self._done.move_to_end(key)
+                self._evict_locked()
             else:
                 self._claims.pop(key, None)
             return waiters

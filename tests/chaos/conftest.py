@@ -1,0 +1,73 @@
+"""Shared fixtures for the chaos/durability test suite.
+
+These tests deliberately break things — kill workers, tear journal
+tails, quarantine whole device fleets — and assert the recovery
+invariants documented in ``tools/chaos.py``: no lost acked job, no
+duplicate completion, bit-identical results, QPU billed once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import numpy as np
+
+from repro.annealer.device import AnnealRequest
+from repro.benchgen.random_ksat import random_3sat
+from repro.embedding.hyqsat_embed import HyQSatEmbedder
+from repro.qubo.encoding import encode_formula
+from repro.qubo.normalization import normalize
+from repro.sat import to_dimacs
+from repro.service import JobSpec
+
+#: JobOutcome fields that must be bit-identical across recovery
+#: (wall-clock fields — run/wait seconds — legitimately differ).
+DET_FIELDS = (
+    "status",
+    "model",
+    "iterations",
+    "conflicts",
+    "qa_calls",
+    "qpu_time_us",
+    "qa_retries",
+    "qa_failures",
+    "breaker_state",
+    "qa_budget_spent_us",
+    "degraded",
+)
+
+
+def det_view(outcome) -> dict:
+    """The deterministic slice of a :class:`JobOutcome`."""
+    return {name: getattr(outcome, name) for name in DET_FIELDS}
+
+
+def tiny_specs(count: int = 6, num_vars: int = 12, num_clauses: int = 52):
+    """Small, fast hybrid jobs for in-process recovery sweeps."""
+    return [
+        JobSpec(
+            job_id=f"j{i}",
+            dimacs=to_dimacs(
+                random_3sat(num_vars, num_clauses, np.random.default_rng(40 + i))
+            ),
+            seed=i,
+        )
+        for i in range(count)
+    ]
+
+
+@pytest.fixture
+def tiny_request(small_hardware):
+    """A minimal embedded anneal request for direct device-level tests."""
+    from repro.sat.cnf import Clause
+
+    encoded = encode_formula([Clause([1, 2, 3]), Clause([-1, 2, -3])], 3)
+    normalized, scale = normalize(encoded.objective)
+    embedded = HyQSatEmbedder(small_hardware).embed(encoded)
+    return AnnealRequest(
+        objective=normalized,
+        embedding=embedded.embedding,
+        edge_couplers=embedded.edge_couplers,
+        energy_scale=scale,
+        num_reads=1,
+    )

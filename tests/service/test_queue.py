@@ -111,3 +111,38 @@ class TestCancel:
         queue.push(spec("a"))
         queue.pop(timeout=0)
         assert queue.cancel("a") is False
+
+
+class TestInjectedClock:
+    class FakeClock:
+        """A settable monotonic clock (seconds)."""
+
+        def __init__(self):
+            self.now = 0.0
+
+        def __call__(self):
+            return self.now
+
+        def advance(self, seconds):
+            self.now += seconds
+
+    def test_deadline_expiry_on_the_injected_clock(self):
+        clock = self.FakeClock()
+        queue = JobQueue(clock=clock)
+        queue.push(spec("slow", deadline_s=1.0))
+        queue.push(spec("fast", deadline_s=10.0))
+        clock.advance(5.0)
+        popped, expired, waited = queue.pop(timeout=0)
+        assert popped.job_id == "fast"
+        assert [s.job_id for s in expired] == ["slow"]
+        assert waited == 5.0
+        assert queue.stats.expired == 1
+
+    def test_no_expiry_before_the_clock_moves(self):
+        clock = self.FakeClock()
+        queue = JobQueue(clock=clock)
+        queue.push(spec("a", deadline_s=0.5))
+        popped, expired, waited = queue.pop(timeout=0)
+        assert popped.job_id == "a"
+        assert expired == []
+        assert waited == 0.0

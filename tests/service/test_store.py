@@ -70,3 +70,46 @@ class TestRelease:
         store.lookup_or_claim("k", "a")
         assert store.release("k", "not-a") == []
         assert store.lookup_or_claim("k", "b") == "a"
+
+
+class TestEviction:
+    def test_unbounded_store_never_evicts(self):
+        store = ResultStore()
+        for i in range(10):
+            key = f"k{i}"
+            store.lookup_or_claim(key, f"j{i}")
+            store.fulfil(key, done(f"j{i}"))
+        assert store.evictions == 0
+
+    def test_oldest_entry_is_evicted_at_the_cap(self):
+        store = ResultStore(max_entries=2)
+        for i in range(3):
+            key = f"k{i}"
+            store.lookup_or_claim(key, f"j{i}")
+            store.fulfil(key, done(f"j{i}"))
+        assert store.evictions == 1
+        assert store.finished("k0") is None
+        assert store.finished("k1") is not None
+        assert store.finished("k2") is not None
+        # The evicted key's claim is released: a resubmission becomes
+        # primary and re-solves instead of waiting forever.
+        assert store.lookup_or_claim("k0", "fresh") is None
+
+    def test_lookup_marks_entries_recently_used(self):
+        store = ResultStore(max_entries=2)
+        for i in range(2):
+            key = f"k{i}"
+            store.lookup_or_claim(key, f"j{i}")
+            store.fulfil(key, done(f"j{i}"))
+        # Touch k0 so k1 becomes the LRU entry.
+        assert store.finished("k0") is not None
+        store.lookup_or_claim("k2", "j2")
+        store.fulfil("k2", done("j2"))
+        assert store.finished("k1") is None
+        assert store.finished("k0") is not None
+
+    def test_max_entries_must_be_positive(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ResultStore(max_entries=0)

@@ -1,0 +1,345 @@
+"""Chaos harness for the durable solver service (docs/SERVICE.md).
+
+Injects the failures the durability tier is built for and checks the
+recovery invariants hold:
+
+- **no lost acked job** — every result emitted before a crash is
+  re-emitted after recovery;
+- **no duplicate completion** — each job id appears exactly once per
+  run's output;
+- **bit-identical results** — per job seed, recovered results match an
+  uninterrupted run on every deterministic field;
+- **QPU billed once** — the recovered session's modelled device ledger
+  equals the uninterrupted run's.
+
+Subcommands::
+
+    python tools/chaos.py crash-batch [--trials N] [--jobs N]
+    python tools/chaos.py torn-tail   [--trials N]
+    python tools/chaos.py fault-storm [--trials N]
+
+``crash-batch`` SIGKILLs a real ``hyqsat batch`` subprocess mid-run
+and re-runs the same command; ``torn-tail`` truncates/bit-flips the
+journal at randomized offsets in-process; ``fault-storm`` drives a
+device fleet through heavy injected fault traffic.  Exits non-zero on
+the first violated invariant.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = str(REPO_ROOT / "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)
+
+#: JobOutcome fields that must be bit-identical across recovery
+#: (wall-clock fields — run/wait seconds — are legitimately different).
+SOLVER_FIELDS = (
+    "status",
+    "model",
+    "iterations",
+    "conflicts",
+    "qa_calls",
+    "qpu_time_us",
+    "qa_retries",
+    "qa_failures",
+    "breaker_state",
+    "qa_budget_spent_us",
+    "degraded",
+)
+
+#: ``resumed`` is recovery metadata: a restarted run legitimately
+#: reports True where the uninterrupted reference reports False.
+_NONDET_JSON_KEYS = ("run_seconds", "wait_seconds", "resumed")
+
+
+def det_view(outcome) -> Dict:
+    """The deterministic slice of a JobOutcome object."""
+    return {name: getattr(outcome, name) for name in SOLVER_FIELDS}
+
+
+def det_json_view(record: Dict) -> Dict:
+    """The deterministic slice of a result JSONL record."""
+    return {k: v for k, v in record.items() if k not in _NONDET_JSON_KEYS}
+
+
+def _fail(message: str) -> None:
+    raise AssertionError(message)
+
+
+def _write_instances(directory: str, count: int, num_vars: int, seed: int):
+    import numpy as np
+
+    from repro.benchgen.random_ksat import random_3sat
+    from repro.sat.dimacs import write_dimacs
+
+    clauses = int(round(num_vars * 4.3))
+    for index in range(count):
+        formula = random_3sat(
+            num_vars, clauses, np.random.default_rng(seed + index)
+        )
+        write_dimacs(formula, os.path.join(directory, f"i{index:02d}.cnf"))
+
+
+# ---------------------------------------------------------------------------
+# crash-batch: SIGKILL a hyqsat batch subprocess, re-run, compare
+# ---------------------------------------------------------------------------
+
+
+def _read_results(path: str) -> List[Dict]:
+    if not os.path.exists(path):
+        return []
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def _batch_cmd(directory: str, output: str, journal: str, jobs: int,
+               seed: int) -> List[str]:
+    return [
+        sys.executable, "-m", "repro.cli", "batch", directory,
+        "--journal", journal,
+        "--checkpoint-dir", os.path.join(directory, "ckpts"),
+        "--checkpoint-every", "20",
+        "--jobs", str(jobs),
+        "--seed", str(seed),
+        "-o", output,
+    ]
+
+
+def crash_batch(trials: int, jobs: int, num_vars: int, count: int) -> int:
+    env = dict(os.environ, PYTHONPATH=SRC)
+    violations = 0
+    for trial in range(trials):
+        seed = 1000 * trial
+        with tempfile.TemporaryDirectory() as tmp:
+            _write_instances(tmp, count, num_vars, seed)
+            ref_out = os.path.join(tmp, "ref.jsonl")
+            subprocess.run(
+                _batch_cmd(tmp, ref_out, os.path.join(tmp, "ref.journal"),
+                           jobs, seed),
+                env=env, check=True, capture_output=True,
+            )
+            reference = {r["id"]: det_json_view(r)
+                         for r in _read_results(ref_out)}
+
+            journal = os.path.join(tmp, "crash.journal")
+            crash_out = os.path.join(tmp, "crash1.jsonl")
+            proc = subprocess.Popen(
+                _batch_cmd(tmp, crash_out, journal, jobs, seed),
+                env=env,
+                stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+            )
+            # Let at least one result get acked, then kill -9 mid-run.
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                if len(_read_results(crash_out)) >= 1 + trial % 2:
+                    break
+                if proc.poll() is not None:
+                    break
+                time.sleep(0.02)
+            killed = proc.poll() is None
+            if killed:
+                proc.send_signal(signal.SIGKILL)
+            proc.wait()
+            acked = {r["id"]: det_json_view(r)
+                     for r in _read_results(crash_out)}
+
+            restart_out = os.path.join(tmp, "crash2.jsonl")
+            restart = subprocess.run(
+                _batch_cmd(tmp, restart_out, journal, jobs, seed),
+                env=env, capture_output=True, text=True,
+            )
+            results = _read_results(restart_out)
+            ids = [r["id"] for r in results]
+            recovered = {r["id"]: det_json_view(r) for r in results}
+
+            label = f"crash-batch trial {trial} (killed={killed})"
+            try:
+                if restart.returncode != 0:
+                    _fail(f"{label}: restart exited "
+                          f"{restart.returncode}: {restart.stderr}")
+                if len(ids) != len(set(ids)):
+                    _fail(f"{label}: duplicate completions: {ids}")
+                if set(recovered) != set(reference):
+                    _fail(f"{label}: job set mismatch: "
+                          f"{sorted(recovered)} != {sorted(reference)}")
+                for job_id, view in acked.items():
+                    if recovered[job_id] != view:
+                        _fail(f"{label}: acked job {job_id} changed "
+                              "after recovery")
+                for job_id, view in reference.items():
+                    if recovered[job_id] != view:
+                        _fail(f"{label}: job {job_id} not bit-identical "
+                              "to the uninterrupted run")
+                billed = _qpu_busy_us(restart.stderr)
+                expected = sum(v["qpu_time_us"] for v in reference.values())
+                if abs(billed - expected) > 1e-6:
+                    _fail(f"{label}: QPU billed {billed}us, "
+                          f"expected {expected}us (double billing?)")
+            except AssertionError as error:
+                print(f"FAIL {error}")
+                violations += 1
+            else:
+                print(f"ok   {label}: {len(acked)} acked pre-crash, "
+                      f"{len(results)} recovered, billed once")
+    return violations
+
+
+def _qpu_busy_us(stderr_text: str) -> float:
+    for line in stderr_text.splitlines():
+        for token in line.split():
+            if token.startswith("qpu_busy_us="):
+                return float(token.split("=", 1)[1])
+    return float("nan")
+
+
+# ---------------------------------------------------------------------------
+# torn-tail: randomized journal truncation / corruption sweep
+# ---------------------------------------------------------------------------
+
+
+def torn_tail(trials: int) -> int:
+    import numpy as np
+
+    from repro.benchgen.random_ksat import random_3sat
+    from repro.sat import to_dimacs
+    from repro.service import JobSpec, run_batch
+
+    def specs():
+        return [
+            JobSpec(
+                job_id=f"j{i}",
+                dimacs=to_dimacs(
+                    random_3sat(12, 52, np.random.default_rng(40 + i))
+                ),
+                seed=i,
+            )
+            for i in range(6)
+        ]
+
+    violations = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = os.path.join(tmp, "journal.jsonl")
+        reference, _ = run_batch(specs(), journal_path=journal)
+        ref_views = [det_view(o) for o in reference]
+        pristine = open(journal, "rb").read()
+
+        rng = np.random.default_rng(2026)
+        for trial in range(trials):
+            mode = "truncate" if trial % 2 == 0 else "corrupt"
+            offset = int(rng.integers(0, len(pristine)))
+            mutated = (
+                pristine[:offset]
+                if mode == "truncate"
+                else pristine[:offset]
+                + bytes([pristine[offset] ^ 0x5A])
+                + pristine[offset + 1:]
+            )
+            with open(journal, "wb") as handle:
+                handle.write(mutated)
+            outcomes, _ = run_batch(specs(), journal_path=journal)
+            label = f"torn-tail trial {trial} ({mode}@{offset})"
+            ids = [o.job_id for o in outcomes]
+            if len(ids) != len(set(ids)):
+                print(f"FAIL {label}: duplicate completions")
+                violations += 1
+            elif [det_view(o) for o in outcomes] != ref_views:
+                print(f"FAIL {label}: results diverged from reference")
+                violations += 1
+        if violations == 0:
+            print(f"ok   torn-tail: {trials} trials, all bit-identical")
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# fault-storm: a device fleet under heavy injected faults
+# ---------------------------------------------------------------------------
+
+
+def fault_storm(trials: int) -> int:
+    import numpy as np
+
+    from repro.benchgen.random_ksat import random_3sat
+    from repro.sat import to_dimacs
+    from repro.service import JobSpec, run_batch
+
+    violations = 0
+    for trial in range(trials):
+        specs = [
+            JobSpec(
+                job_id=f"storm{i}",
+                dimacs=to_dimacs(
+                    random_3sat(
+                        20, 86, np.random.default_rng(700 + 10 * trial + i)
+                    )
+                ),
+                seed=i,
+                qa_faults="dropout=0.6,timeout=0.2",
+                fault_seed=trial,
+                fleet=3,
+            )
+            for i in range(4)
+        ]
+        first, _ = run_batch(specs)
+        second, _ = run_batch(specs)
+        label = f"fault-storm trial {trial}"
+        bad = [o.job_id for o in first if o.state != "done"]
+        if bad:
+            print(f"FAIL {label}: jobs not done under storm: {bad}")
+            violations += 1
+        elif [det_view(o) for o in first] != [det_view(o) for o in second]:
+            print(f"FAIL {label}: storm results not deterministic")
+            violations += 1
+        else:
+            print(f"ok   {label}: {len(specs)} jobs done, deterministic")
+    return violations
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_crash = sub.add_parser("crash-batch", help="kill -9 a batch mid-run")
+    p_crash.add_argument("--trials", type=int, default=2)
+    p_crash.add_argument("--jobs", type=int, default=2)
+    p_crash.add_argument("--vars", type=int, default=90)
+    p_crash.add_argument("--count", type=int, default=4)
+
+    p_torn = sub.add_parser("torn-tail", help="journal corruption sweep")
+    p_torn.add_argument("--trials", type=int, default=50)
+
+    p_storm = sub.add_parser("fault-storm", help="fleet under heavy faults")
+    p_storm.add_argument("--trials", type=int, default=3)
+
+    args = parser.parse_args(argv)
+    if args.command == "crash-batch":
+        violations = crash_batch(args.trials, args.jobs, args.vars, args.count)
+    elif args.command == "torn-tail":
+        violations = torn_tail(args.trials)
+    else:
+        violations = fault_storm(args.trials)
+    if violations:
+        print(f"chaos: {violations} invariant violation(s)")
+        return 1
+    print("chaos: all invariants held")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
