@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test ci bench bench-full bench-obs bench-service bench-cdcl bench-cdcl-full bench-recovery chaos docs-check paper-tables
+.PHONY: test ci bench bench-full bench-obs bench-service bench-gateway bench-cdcl bench-cdcl-full bench-recovery chaos docs-check paper-tables
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -30,6 +30,12 @@ bench-obs:
 # run is not bit-identical to the solo baseline.
 bench-service:
 	$(PYTHON) -m benchmarks.bench_service --quick
+
+# Gateway benchmark; writes BENCH_gateway.json and fails unless wire
+# results are bit-identical to solo replays of the routed placements
+# and modelled fleet throughput at 4 devices is >= 1.7x one device.
+bench-gateway:
+	$(PYTHON) -m benchmarks.bench_gateway --quick
 
 # CDCL engine benchmark; writes BENCH_cdcl.json and fails unless the
 # native kernel is >= 10x the reference propagation rate with

@@ -1,0 +1,258 @@
+"""Gateway benchmark: fleet throughput scaling + wire bit-identity.
+
+Two gates over one seeded workload (uniform random 3-SAT near the
+threshold):
+
+1. **Bit-identity over the wire** — every job submitted through a
+   real :class:`~repro.gateway.server.GatewayServer` socket must
+   produce the same solver outcome as a solo
+   :func:`~repro.service.jobs.run_job` of the identical spec pinned
+   to the placement the fleet router chose (the ``routed`` event
+   names it).  The network tier may add latency, never different
+   answers.
+2. **Fleet scale-out throughput** — the measured per-job profiles
+   replay through :func:`~repro.gateway.des.simulate_fleet_makespan`
+   at m = 1/2/4 devices (each device bringing its own
+   ``WORKERS_PER_DEVICE`` host workers, speed factors drawn from the
+   calibration-drift model).  Modelled throughput at m=4 must be at
+   least ``FLEET_SPEEDUP_FLOOR``x the m=1 deployment.
+
+Writes ``BENCH_gateway.json`` and exits non-zero if either gate
+fails.  Run with ``make bench-gateway`` or::
+
+    PYTHONPATH=src python -m benchmarks.bench_gateway --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import threading
+import time
+from typing import Dict, List
+
+import numpy as np
+
+from repro.annealer.faults import FaultModel
+from repro.benchgen.random_ksat import random_3sat
+from repro.gateway.client import GatewayClient
+from repro.gateway.des import QpuLane, drift_speed_factors, simulate_fleet_makespan
+from repro.gateway.server import GatewayConfig, GatewayServer
+from repro.sat import to_dimacs
+from repro.service import JobSpec, run_job
+
+#: Required modelled throughput gain from 1 device to 4 devices.
+FLEET_SPEEDUP_FLOOR = 1.7
+
+#: Host workers accompanying each fleet device in the scale-out model.
+WORKERS_PER_DEVICE = 2
+
+#: Outcome fields compared for bit-identity (as bench_service.py).
+SOLVER_FIELDS = (
+    "status", "model", "iterations", "conflicts",
+    "qa_calls", "qpu_time_us",
+)
+
+DEVICE_COUNTS = (1, 2, 4)
+
+#: Drift channel for the heterogeneous-calibration speed factors.
+DRIFT_FAULTS = FaultModel(drift_onset_prob=0.3)
+
+
+def build_jobs(num_jobs: int, num_vars: int, seed: int) -> List[Dict]:
+    clauses = int(round(num_vars * 4.3))
+    jobs = []
+    for index in range(num_jobs):
+        formula = random_3sat(
+            num_vars, clauses, np.random.default_rng(seed + index)
+        )
+        jobs.append(
+            {"id": f"job{index:02d}", "dimacs": to_dimacs(formula), "seed": index}
+        )
+    return jobs
+
+
+def run_gateway(jobs: List[Dict], fleet: str, workers: int):
+    """Submit every job through a real socket; return (outcomes,
+    placements, stats, wall_seconds)."""
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+
+    async def make() -> GatewayServer:
+        server = GatewayServer(
+            GatewayConfig(port=0, workers=workers, fleet=fleet, burst=1000)
+        )
+        await server.start()
+        return server
+
+    server = asyncio.run_coroutine_threadsafe(make(), loop).result(30)
+    placements: Dict[str, Dict] = {}
+    start = time.perf_counter()
+    try:
+        with GatewayClient(port=server.port, timeout_s=600.0) as client:
+            for job in jobs:
+                client.submit(job)
+
+            def watch(message: Dict) -> None:
+                if message.get("event") == "routed":
+                    placements[message["id"]] = message["attrs"]
+
+            outcomes = client.drain([j["id"] for j in jobs], on_message=watch)
+        wall_s = time.perf_counter() - start
+        stats = server.stats
+    finally:
+        asyncio.run_coroutine_threadsafe(server.shutdown(), loop).result(60)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(5)
+        loop.close()
+    return outcomes, placements, stats, wall_s
+
+
+def solo_view(jobs: List[Dict], placements: Dict[str, Dict]) -> Dict[str, Dict]:
+    """Replay each job solo with the routed placement pinned."""
+    baseline = {}
+    for job in jobs:
+        placed = placements[job["id"]]
+        outcome = run_job(
+            JobSpec(
+                job_id=job["id"],
+                dimacs=job["dimacs"],
+                seed=job["seed"],
+                topology=placed["topology"],
+                grid=placed["grid"],
+            )
+        )
+        baseline[job["id"]] = {
+            name: getattr(outcome, name) for name in SOLVER_FIELDS
+        }
+    return baseline
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="8 jobs of 20 vars")
+    parser.add_argument("--jobs", type=int, default=None, help="job count")
+    parser.add_argument("--vars", type=int, default=None, help="variables per job")
+    parser.add_argument("--seed", type=int, default=300)
+    parser.add_argument("--fleet", default="chimera:8,pegasus:8,chimera:16")
+    parser.add_argument("--output", default="BENCH_gateway.json")
+    args = parser.parse_args(argv)
+
+    num_jobs = args.jobs or (8 if args.quick else 12)
+    num_vars = args.vars or (20 if args.quick else 30)
+    jobs = build_jobs(num_jobs, num_vars, args.seed)
+
+    # -- gateway run over a real socket ---------------------------------
+    outcomes, placements, stats, wall_s = run_gateway(
+        jobs, args.fleet, workers=WORKERS_PER_DEVICE
+    )
+    missing = [j["id"] for j in jobs if j["id"] not in placements]
+    if missing:
+        print(f"FAIL: no routed event for {missing}", file=sys.stderr)
+        return 1
+
+    # -- solo replays with the routed placement pinned ------------------
+    baseline = solo_view(jobs, placements)
+    identical = all(
+        {name: outcomes[job_id].get(name) for name in SOLVER_FIELDS}
+        == baseline[job_id]
+        for job_id in baseline
+    )
+
+    # -- fleet scale-out on the modelled clock --------------------------
+    profiles = [
+        (
+            outcomes[j["id"]].get("run_seconds", 0.0),
+            outcomes[j["id"]].get("qa_calls", 0),
+            outcomes[j["id"]].get("qpu_time_us", 0.0),
+        )
+        for j in jobs
+    ]
+    fleet_rows = []
+    for devices in DEVICE_COUNTS:
+        factors = drift_speed_factors(devices, DRIFT_FAULTS, seed=args.seed)
+        lanes = [
+            QpuLane(f"qpu{i}", speed=factor)
+            for i, factor in enumerate(factors)
+        ]
+        makespan_s = simulate_fleet_makespan(
+            profiles, workers=WORKERS_PER_DEVICE * devices, lanes=lanes
+        )
+        fleet_rows.append(
+            {
+                "devices": devices,
+                "workers": WORKERS_PER_DEVICE * devices,
+                "speed_factors": [round(f, 4) for f in factors],
+                "modelled_makespan_s": round(makespan_s, 3),
+                "jobs_per_s": round(num_jobs / makespan_s, 3),
+            }
+        )
+    base_rate = fleet_rows[0]["jobs_per_s"]
+    for row in fleet_rows:
+        row["speedup_vs_1_device"] = round(row["jobs_per_s"] / base_rate, 3)
+
+    at_4 = next(r for r in fleet_rows if r["devices"] == 4)
+    report = {
+        "workload": {
+            "jobs": num_jobs,
+            "vars_per_job": num_vars,
+            "seed": args.seed,
+            "fleet": args.fleet,
+            "statuses": sorted(
+                {o.get("status") for o in outcomes.values() if o.get("status")}
+            ),
+        },
+        "gateway": {
+            "measured_wall_s": round(wall_s, 3),
+            "jobs": dict(stats.jobs),
+            "routed_devices": sorted(
+                {p["device"] for p in placements.values()}
+            ),
+            "routing_fallbacks": sum(
+                1 for p in placements.values() if not p["fits"]
+            ),
+            "bit_identical": identical,
+        },
+        "fleet_scaling": fleet_rows,
+        "acceptance": {
+            "fleet_speedup_floor": FLEET_SPEEDUP_FLOOR,
+            "speedup_at_4_devices": at_4["speedup_vs_1_device"],
+            "bit_identical_all": identical,
+            "pass": bool(
+                identical
+                and at_4["speedup_vs_1_device"] >= FLEET_SPEEDUP_FLOOR
+            ),
+        },
+    }
+
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+
+    print(
+        f"gateway: {num_jobs} jobs over the wire in {wall_s:.2f}s, "
+        f"routed to {report['gateway']['routed_devices']}, "
+        f"bit_identical={identical}"
+    )
+    for row in fleet_rows:
+        print(
+            f"{row['devices']} device(s) x {WORKERS_PER_DEVICE} workers: "
+            f"{row['jobs_per_s']:.2f} jobs/s modelled "
+            f"({row['speedup_vs_1_device']:.2f}x)"
+        )
+    print(f"wrote {args.output}")
+    if not report["acceptance"]["pass"]:
+        print(
+            f"FAIL: need >= {FLEET_SPEEDUP_FLOOR}x at 4 devices with "
+            "bit-identical wire results",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,8 @@ Subcommands::
     hyqsat submit <file.cnf> [--queue jobs.jsonl] [--priority P]
     hyqsat serve <jobs.jsonl|dir|-> [--jobs N] [-o results.jsonl]
     hyqsat batch <dir> [--jobs N] [-o results.jsonl]
+    hyqsat gateway [--port N] [--fleet chimera:8,pegasus:8] [--jobs N]
+    hyqsat connect <file.cnf ...> [--port N] [--api-key KEY]
 
 ``solve`` runs HyQSAT (or the classic CDCL baseline) on a DIMACS file;
 ``generate`` materialises a benchmark instance; ``embed`` reports
@@ -19,6 +21,12 @@ embedding statistics; ``suite`` reproduces a small Table I slice;
 ``trace-report`` summarises a ``--trace`` JSONL file.  The solve-time
 observability flags (``--trace``, ``--profile``, ``--metrics``) are
 documented in docs/TELEMETRY.md.
+
+``gateway``/``connect`` are the network surface (docs/GATEWAY.md):
+``gateway`` serves the solver over TCP — a versioned JSONL protocol
+with streaming results, backpressure, per-tenant rate limits, and a
+heterogeneous QPU fleet with topology-aware routing — and ``connect``
+is its client (submit, stream, cancel, ping).
 
 ``submit``/``serve``/``batch`` are the solver-service surface
 (docs/SERVICE.md): ``submit`` appends one job line to a job JSONL
@@ -87,6 +95,8 @@ def _jobspec_from_args(
             engine=getattr(args, "engine", "reference"),
             fleet=getattr(args, "qa_fleet", 0),
             fleet_hedge_us=getattr(args, "qa_hedge_us", None),
+            topology=getattr(args, "topology", None),
+            grid=getattr(args, "grid", None),
             checkpoint_every=getattr(args, "checkpoint_every", 0),
         )
     except ValueError as error:
@@ -549,6 +559,194 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# Gateway commands (docs/GATEWAY.md)
+# ---------------------------------------------------------------------------
+
+
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.gateway import GatewayConfig, GatewayServer
+
+    observability = _service_observability(args)
+    try:
+        config = GatewayConfig(
+            host=args.host,
+            port=args.port,
+            workers=max(1, args.jobs),
+            max_depth=args.max_depth,
+            fleet=args.fleet,
+            rate_per_s=args.rate_per_s,
+            burst=args.burst,
+            tenant_budget_us=args.tenant_budget_us,
+            api_keys=tuple(
+                key for key in (args.api_keys or "").split(",") if key
+            ),
+            retry_after_s=args.retry_after_s,
+            drain_grace_s=args.drain_grace_s,
+            qpu_budget_us=args.qpu_budget_us,
+        )
+        server = GatewayServer(config, observability=observability)
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+    async def _serve() -> None:
+        import signal
+
+        await server.start()
+        fleet = ",".join(
+            f"{q.topology}:{q.grid}" for q in server.fleet
+        )
+        print(
+            f"c gateway listening on {config.host}:{server.port} "
+            f"fleet={fleet} workers={config.workers}",
+            flush=True,
+        )
+        # The drain must run on the loop that owns the server's tasks,
+        # so SIGINT/SIGTERM flip an event here instead of raising
+        # KeyboardInterrupt out of asyncio.run (which would close this
+        # loop with the dispatcher still bound to it).
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+
+        def _request_drain() -> None:
+            stop.set()
+            # Restore default handling: a second interrupt abandons
+            # the drain via KeyboardInterrupt.
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.remove_signal_handler(signum)
+                except (NotImplementedError, RuntimeError):
+                    pass
+
+        handled = True
+        try:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                loop.add_signal_handler(signum, _request_drain)
+        except NotImplementedError:  # platforms without loop signals
+            handled = False
+        serve_task = loop.create_task(server.serve_forever())
+        if handled:
+            await stop.wait()
+            await server.shutdown()  # closes the listener; serve_task ends
+        await serve_task
+
+    try:
+        asyncio.run(_serve())
+        states = " ".join(
+            f"{state}={count}"
+            for state, count in sorted(server.stats.jobs.items())
+        )
+        print(
+            f"c gateway drained connections={server.stats.connections} "
+            f"{states}".rstrip(),
+            file=sys.stderr,
+        )
+    except KeyboardInterrupt:
+        # Second interrupt mid-drain (or no signal-handler support):
+        # abandon the drain and exit without the summary.
+        print("c gateway interrupted, drain abandoned", file=sys.stderr)
+    _emit_observability(observability, args)
+    return 0
+
+
+def _cmd_connect(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.gateway import GatewayClient, GatewayError, GatewayReject
+
+    try:
+        client = GatewayClient(
+            host=args.host,
+            port=args.port,
+            api_key=args.api_key,
+            timeout_s=args.timeout_s,
+        )
+    except (GatewayError, OSError) as error:
+        print(f"c connect failed: {error}", file=sys.stderr)
+        return 2
+    out = sys.stdout if args.output in (None, "-") else open(
+        args.output, "w", encoding="utf-8"
+    )
+    owns_out = out is not sys.stdout
+    code = 0
+    try:
+        with client:
+            if args.ping:
+                pong = client.ping()
+                print(f"c pong nonce={pong.get('nonce')}")
+                return 0
+            if args.cancel:
+                try:
+                    message = client.cancel(args.cancel)
+                    print(f"c cancelled {message.get('id')}")
+                except GatewayReject as reject:
+                    print(f"c reject {reject}", file=sys.stderr)
+                    return 1
+                return 0
+            if not args.paths:
+                raise SystemExit("connect: no CNF files given")
+            submitted = []
+            for index, path in enumerate(args.paths):
+                with open(path, "r", encoding="utf-8") as handle:
+                    dimacs = handle.read()
+                stem = os.path.splitext(os.path.basename(path))[0]
+                seed = args.seed + index
+                spec = _jobspec_from_args(
+                    args, job_id=f"{stem}-s{seed}", dimacs=dimacs, seed=seed
+                )
+                job = json.loads(spec.to_json())
+                try:
+                    ack = client.submit(job)
+                    print(
+                        f"c ack id={ack['id']} queue_depth={ack['queue_depth']}",
+                        file=sys.stderr,
+                    )
+                    submitted.append(spec.job_id)
+                except GatewayReject as reject:
+                    hint = (
+                        f" retry_after_s={reject.retry_after_s}"
+                        if reject.retry_after_s is not None
+                        else ""
+                    )
+                    print(f"c reject {reject}{hint}", file=sys.stderr)
+                    code = 1
+
+            def show(message) -> None:
+                if message["type"] == "event":
+                    attrs = " ".join(
+                        f"{k}={v}"
+                        for k, v in sorted(message.get("attrs", {}).items())
+                    )
+                    print(
+                        f"c event id={message['id']} {message['event']} "
+                        f"{attrs}".rstrip(),
+                        file=sys.stderr,
+                    )
+
+            results = client.drain(submitted, on_message=show) if submitted else {}
+            for job_id in submitted:
+                outcome = results.get(job_id, {})
+                line = dict(outcome)
+                line["id"] = line.pop("job_id", job_id)
+                out.write(json.dumps(line, sort_keys=True) + "\n")
+                out.flush()
+                if outcome.get("state") != "done" or outcome.get("status") == "unknown":
+                    code = 1
+    except GatewayError as error:
+        print(f"c gateway error: {error}", file=sys.stderr)
+        code = 2
+    except KeyboardInterrupt:
+        print("c interrupted", file=sys.stderr)
+        code = 130
+    finally:
+        if owns_out:
+            out.close()
+    return code
+
+
+# ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
 
@@ -607,6 +805,21 @@ def _add_job_option_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="call the (possibly faulty) device bare, without the "
         "retry/breaker proxy",
+    )
+    parser.add_argument(
+        "--topology",
+        choices=["chimera", "pegasus"],
+        default=None,
+        help="QA hardware topology (default: chimera; pegasus adds "
+        "odd + cross-cell couplers for shorter chains)",
+    )
+    parser.add_argument(
+        "--grid",
+        type=int,
+        default=None,
+        metavar="N",
+        help="hardware grid size, N x N cells (default: 16, the "
+        "D-Wave 2000Q scale)",
     )
     _add_durability_flags(parser)
 
@@ -838,6 +1051,154 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_service_flags(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_gateway = sub.add_parser(
+        "gateway",
+        help="serve the solver over TCP (JSONL protocol; docs/GATEWAY.md)",
+    )
+    p_gateway.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    p_gateway.add_argument(
+        "--port",
+        type=int,
+        default=7465,
+        help="bind port (0 = pick an ephemeral port, printed at start)",
+    )
+    p_gateway.add_argument(
+        "--jobs", type=int, default=2, help="concurrent solver workers"
+    )
+    p_gateway.add_argument(
+        "--max-depth",
+        type=int,
+        default=64,
+        help="admission queue cap; beyond it submissions are rejected "
+        "with backpressure + retry-after",
+    )
+    p_gateway.add_argument(
+        "--fleet",
+        default="chimera:16",
+        metavar="SPEC",
+        help="heterogeneous QPU fleet as topology:grid atoms, e.g. "
+        "'chimera:8,chimera:16,pegasus:8' (default chimera:16)",
+    )
+    p_gateway.add_argument(
+        "--rate-per-s",
+        type=float,
+        default=20.0,
+        help="per-tenant steady-state submissions per second",
+    )
+    p_gateway.add_argument(
+        "--burst",
+        type=int,
+        default=40,
+        help="per-tenant token-bucket burst capacity",
+    )
+    p_gateway.add_argument(
+        "--tenant-budget-us",
+        type=float,
+        default=None,
+        help="per-tenant QA quota in modelled device microseconds "
+        "(default unmetered)",
+    )
+    p_gateway.add_argument(
+        "--api-keys",
+        default=None,
+        metavar="K1,K2",
+        help="comma-separated accepted API keys; omit for an open "
+        "gateway (anonymous tenant)",
+    )
+    p_gateway.add_argument(
+        "--retry-after-s",
+        type=float,
+        default=None,
+        help="fixed retry-after hint on rejections (default: estimated "
+        "from queue depth and recent run times)",
+    )
+    p_gateway.add_argument(
+        "--drain-grace-s",
+        type=float,
+        default=30.0,
+        help="seconds to let queued and running jobs finish at shutdown",
+    )
+    p_gateway.add_argument(
+        "--qpu-budget-us",
+        type=float,
+        default=None,
+        help="per-device modelled QPU budget shared by that device's jobs",
+    )
+    p_gateway.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a JSONL trace of gateway sessions (gateway.session spans)",
+    )
+    p_gateway.add_argument(
+        "--metrics",
+        default=None,
+        metavar="FILE",
+        help="export the gateway metrics registry to FILE at shutdown",
+    )
+    p_gateway.add_argument(
+        "--metrics-format",
+        choices=["prom", "json"],
+        default="prom",
+        help="metrics export format (default: prom)",
+    )
+    p_gateway.set_defaults(func=_cmd_gateway)
+
+    p_connect = sub.add_parser(
+        "connect",
+        help="submit CNF files to a running gateway and stream results",
+    )
+    p_connect.add_argument(
+        "paths", nargs="*", help="DIMACS CNF files (one job each)"
+    )
+    p_connect.add_argument(
+        "--host", default="127.0.0.1", help="gateway address"
+    )
+    p_connect.add_argument("--port", type=int, default=7465, help="gateway port")
+    p_connect.add_argument(
+        "--api-key", default=None, help="tenant API key for the hello"
+    )
+    p_connect.add_argument(
+        "--timeout-s",
+        type=float,
+        default=300.0,
+        help="socket timeout while waiting for results",
+    )
+    p_connect.add_argument(
+        "--priority",
+        choices=["interactive", "batch", "background"],
+        default="batch",
+        help="priority class for submitted jobs",
+    )
+    p_connect.add_argument(
+        "--deadline-s",
+        type=float,
+        default=None,
+        help="queue deadline; jobs still queued past it expire",
+    )
+    p_connect.add_argument(
+        "--cancel",
+        default=None,
+        metavar="ID",
+        help="cancel a queued job by id instead of submitting",
+    )
+    p_connect.add_argument(
+        "--ping",
+        action="store_true",
+        help="liveness check: send ping, print the pong, exit",
+    )
+    p_connect.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="result JSONL destination (default stdout)",
+    )
+    _add_job_option_flags(p_connect)
+    p_connect.set_defaults(func=_cmd_connect)
 
     p_batch = sub.add_parser(
         "batch", help="solve every *.cnf in a directory via the service"

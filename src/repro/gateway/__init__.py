@@ -1,0 +1,69 @@
+"""The network-facing solver gateway (docs/GATEWAY.md).
+
+The service tier (PRs 5/7) is in-process: ``hyqsat serve`` runs a job
+file and exits.  The gateway makes that stack long-running and
+network-facing — the deployment shape Krüger & Mauerer's QA software
+component model assumes (PAPERS.md) — speaking a versioned JSONL
+protocol over TCP:
+
+- :mod:`repro.gateway.protocol` — wire messages, error codes, and the
+  version string (the in-code twin of docs/GATEWAY.md);
+- :mod:`repro.gateway.limits` — per-tenant token-bucket rate limits
+  and modelled-microsecond QA quotas;
+- :mod:`repro.gateway.fleet` — the heterogeneous QPU fleet and its
+  topology-aware router (smallest device whose embedding fits);
+- :mod:`repro.gateway.des` — the k-workers x m-QPUs makespan model
+  with calibration-drift speed factors;
+- :mod:`repro.gateway.server` — the asyncio server behind
+  ``hyqsat gateway``;
+- :mod:`repro.gateway.client` — the blocking client behind
+  ``hyqsat connect``.
+"""
+
+from repro.gateway.client import GatewayClient, GatewayError, GatewayReject
+from repro.gateway.des import (
+    QpuLane,
+    drift_speed_factors,
+    simulate_fleet_makespan,
+)
+from repro.gateway.fleet import (
+    FleetRouter,
+    GatewayQpu,
+    RoutingDecision,
+    parse_fleet_spec,
+)
+from repro.gateway.limits import TenantLedger, TenantPolicy, TokenBucket
+from repro.gateway.protocol import (
+    CLIENT_MESSAGE_TYPES,
+    ERROR_CODES,
+    PROTOCOL_VERSION,
+    SERVER_MESSAGE_TYPES,
+    STREAM_EVENTS,
+    ProtocolError,
+)
+from repro.gateway.server import GatewayConfig, GatewayServer, GatewayStats
+
+__all__ = [
+    "CLIENT_MESSAGE_TYPES",
+    "ERROR_CODES",
+    "FleetRouter",
+    "GatewayClient",
+    "GatewayConfig",
+    "GatewayError",
+    "GatewayQpu",
+    "GatewayReject",
+    "GatewayServer",
+    "GatewayStats",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "QpuLane",
+    "RoutingDecision",
+    "SERVER_MESSAGE_TYPES",
+    "STREAM_EVENTS",
+    "TenantLedger",
+    "TenantPolicy",
+    "TokenBucket",
+    "drift_speed_factors",
+    "parse_fleet_spec",
+    "simulate_fleet_makespan",
+]

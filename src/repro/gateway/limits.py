@@ -1,0 +1,133 @@
+"""Per-tenant admission limits: request rate and QA-time quota.
+
+Every connection authenticates (or not) as a *tenant* — the API key
+from its ``hello``, or the anonymous tenant when the gateway runs
+open.  Two independent limits protect the fleet from any one tenant:
+
+- a **token bucket** on submissions (``rate_per_s`` steady state,
+  ``burst`` capacity), refilled continuously on an injectable
+  monotonic clock so tests replay deterministically;
+- a **QA-time quota** in modelled device microseconds: the sum of
+  ``qpu_time_us`` actually consumed by the tenant's finished jobs,
+  checked at admission.  Like every QPU figure in this repo it is
+  *modelled* device time, not wall clock (see docs/SERVICE.md).
+
+Both answer at admission time with an :data:`~repro.gateway.protocol.ERROR_CODES`
+code (``rate_limited`` / ``quota_exhausted``) so the server can turn
+a denial into a ``reject`` with retry-after, keeping the connection
+alive — admission control, not punishment.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Per-tenant limits (one policy shared by all tenants).
+
+    ``rate_per_s`` / ``burst`` bound submissions; ``qa_budget_us``
+    caps total modelled QA microseconds (None = unmetered).
+    """
+
+    rate_per_s: float = 20.0
+    burst: int = 40
+    qa_budget_us: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+        if self.qa_budget_us is not None and self.qa_budget_us <= 0:
+            raise ValueError("qa_budget_us must be positive when set")
+
+
+class TokenBucket:
+    """Continuous-refill token bucket on an injectable clock."""
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        burst: int,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.rate_per_s = rate_per_s
+        self.burst = burst
+        self._clock = clock
+        self._tokens = float(burst)
+        self._last = clock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._last)
+        self._tokens = min(float(self.burst), self._tokens + elapsed * self.rate_per_s)
+        self._last = now
+
+    def try_acquire(self) -> Tuple[bool, float]:
+        """Take one token: ``(True, 0.0)`` or ``(False, retry_after_s)``."""
+        self._refill(self._clock())
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True, 0.0
+        return False, (1.0 - self._tokens) / self.rate_per_s
+
+    @property
+    def tokens(self) -> float:
+        self._refill(self._clock())
+        return self._tokens
+
+
+class TenantLedger:
+    """Admission state for every tenant the gateway has seen.
+
+    Buckets and spend counters are created lazily per tenant key;
+    anonymous traffic shares the ``None`` tenant, so an open gateway
+    still has one global rate limit.
+    """
+
+    def __init__(
+        self,
+        policy: TenantPolicy,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.policy = policy
+        self._clock = clock
+        self._buckets: Dict[Optional[str], TokenBucket] = {}
+        self._spent_us: Dict[Optional[str], float] = {}
+
+    def _bucket(self, tenant: Optional[str]) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(
+                self.policy.rate_per_s, self.policy.burst, self._clock
+            )
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def admit(self, tenant: Optional[str]) -> Tuple[Optional[str], float]:
+        """Check one submission: ``(None, 0.0)`` admits; otherwise an
+        error code (``rate_limited`` / ``quota_exhausted``) and, for
+        rate denials, the seconds until a token frees up."""
+        budget = self.policy.qa_budget_us
+        if budget is not None and self.spent_us(tenant) >= budget:
+            return "quota_exhausted", 0.0
+        ok, retry_after = self._bucket(tenant).try_acquire()
+        if not ok:
+            return "rate_limited", retry_after
+        return None, 0.0
+
+    def charge(self, tenant: Optional[str], qpu_time_us: float) -> None:
+        """Bill a finished job's modelled QA time to its tenant."""
+        if qpu_time_us > 0:
+            self._spent_us[tenant] = self.spent_us(tenant) + qpu_time_us
+
+    def spent_us(self, tenant: Optional[str]) -> float:
+        return self._spent_us.get(tenant, 0.0)
+
+    def remaining_us(self, tenant: Optional[str]) -> Optional[float]:
+        if self.policy.qa_budget_us is None:
+            return None
+        return max(0.0, self.policy.qa_budget_us - self.spent_us(tenant))

@@ -46,6 +46,7 @@ from repro.observability.schema import (
     PHASES,
     SPAN_CHILDREN,
     SPAN_NAMES,
+    declare_gateway_metrics,
     declare_solver_metrics,
     metric_names_in_doc,
 )
@@ -166,6 +167,7 @@ __all__ = [
     "Span",
     "TRACE_SCHEMA_VERSION",
     "Tracer",
+    "declare_gateway_metrics",
     "declare_solver_metrics",
     "metric_names_in_doc",
     "profile_rows",

@@ -36,7 +36,12 @@ from repro.observability.metrics import (
 #: Legal span nesting of one hybrid solve.  Key = parent span name
 #: (None = trace root), value = allowed child span names.
 SPAN_CHILDREN: Dict[Optional[str], FrozenSet[str]] = {
-    None: frozenset({"solve", "service.batch"}),
+    None: frozenset({"solve", "service.batch", "gateway.session"}),
+    # One gateway connection, hello to disconnect.  Like
+    # ``service.job`` spans it is emitted from a single thread (the
+    # gateway's event loop); per-job telemetry hangs off it as events,
+    # never child spans, because jobs outlive connections.
+    "gateway.session": frozenset(),
     # One service run (a batch or a serve session).  ``service.job``
     # spans are emitted retrospectively by the service coordinator as
     # each job finalises (the tracer is single-threaded, so worker
@@ -85,6 +90,11 @@ EVENT_PARENTS: Dict[str, FrozenSet[str]] = {
     "service.retry": frozenset({"service.batch"}),
     "device.quarantine": frozenset({"anneal"}),
     "device.failover": frozenset({"anneal"}),
+    "gateway.connect": frozenset({"gateway.session"}),
+    "gateway.disconnect": frozenset({"gateway.session"}),
+    "gateway.submit": frozenset({"gateway.session"}),
+    "gateway.reject": frozenset({"gateway.session"}),
+    "gateway.cancel": frozenset({"gateway.session"}),
 }
 
 EVENT_NAMES: FrozenSet[str] = frozenset(EVENT_PARENTS)
@@ -297,6 +307,51 @@ METRICS: Tuple[MetricSpec, ...] = (
         "hyqsat_device_quarantines_total", "counter", ("device",), "transitions",
         "Fleet members moved into quarantine, by device",
     ),
+    # -- gateway & heterogeneous fleet ------------------------------------
+    MetricSpec(
+        "hyqsat_gateway_connections_total", "counter", (), "connections",
+        "Client connections accepted since start",
+    ),
+    MetricSpec(
+        "hyqsat_gateway_active_connections", "gauge", (), "connections",
+        "Connections currently open",
+    ),
+    MetricSpec(
+        "hyqsat_gateway_messages_total", "counter", ("type",), "messages",
+        "Client messages received, by wire type (invalid = unparseable)",
+    ),
+    MetricSpec(
+        "hyqsat_gateway_stream_events_total", "counter", ("type",), "messages",
+        "Server messages sent, by wire type",
+    ),
+    MetricSpec(
+        "hyqsat_gateway_jobs_total", "counter", ("state",), "jobs",
+        "Gateway jobs reaching a terminal state, by state",
+    ),
+    MetricSpec(
+        "hyqsat_gateway_rate_limited_total", "counter", (), "submissions",
+        "Submissions rejected by a tenant's token bucket",
+    ),
+    MetricSpec(
+        "hyqsat_gateway_quota_denied_total", "counter", (), "submissions",
+        "Submissions rejected on an exhausted tenant QA budget",
+    ),
+    MetricSpec(
+        "hyqsat_gateway_backpressure_rejects_total", "counter", (), "submissions",
+        "Submissions shed because the admission queue was full",
+    ),
+    MetricSpec(
+        "hyqsat_fleet_devices", "gauge", (), "devices",
+        "QPUs in the gateway's heterogeneous fleet",
+    ),
+    MetricSpec(
+        "hyqsat_fleet_routed_total", "counter", ("device",), "jobs",
+        "Jobs placed per fleet device by the topology-aware router",
+    ),
+    MetricSpec(
+        "hyqsat_fleet_routing_fallbacks_total", "counter", (), "jobs",
+        "Jobs that fit no device fully and took the best partial embedding",
+    ),
 )
 
 METRIC_NAMES: FrozenSet[str] = frozenset(spec.name for spec in METRICS)
@@ -330,6 +385,17 @@ def declare_solver_metrics(registry: MetricsRegistry) -> MetricsRegistry:
         else:  # pragma: no cover - catalog typo guard
             raise ValueError(f"unknown metric kind {spec.kind!r}")
     return registry
+
+
+def declare_gateway_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Register the catalog for a gateway process (idempotent).
+
+    The catalog is one namespace, so this is the same full
+    registration as :func:`declare_solver_metrics` — a separate entry
+    point only so gateway code reads as declaring its own group and
+    keeps working if the groups ever split.
+    """
+    return declare_solver_metrics(registry)
 
 
 # ---------------------------------------------------------------------------

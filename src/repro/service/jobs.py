@@ -71,6 +71,13 @@ class JobSpec:
     #: exceeds this many µs, a backup device anneals the same request
     #: and the lower-energy result wins.  Requires ``fleet`` >= 2.
     fleet_hedge_us: Optional[float] = None
+    #: QA hardware topology ("chimera" or "pegasus"; None = chimera).
+    #: The gateway's fleet router pins this when it places a job, so
+    #: the placement is replayable as a solo ``hyqsat solve`` run.
+    topology: Optional[str] = None
+    #: Hardware grid size (``grid x grid`` cells; None = 16, the
+    #: D-Wave 2000Q scale the paper targets).
+    grid: Optional[int] = None
     #: Checkpoint the solve every N post-warmup conflicts (0 = off).
     #: Not part of the dedup key: checkpointing never changes the
     #: outcome, only crash recovery cost.
@@ -102,6 +109,16 @@ class JobSpec:
                 raise ValueError("fleet_hedge_us must be positive when set")
             if self.fleet < 2:
                 raise ValueError("fleet_hedge_us requires fleet >= 2")
+        if self.topology is not None:
+            from repro.topology import TOPOLOGIES
+
+            if self.topology not in TOPOLOGIES:
+                raise ValueError(
+                    f"unknown topology {self.topology!r}; "
+                    f"known: {sorted(TOPOLOGIES)}"
+                )
+        if self.grid is not None and self.grid < 1:
+            raise ValueError("grid must be >= 1 when set")
         if self.checkpoint_every < 0:
             raise ValueError("checkpoint_every must be >= 0")
         if self.qa_faults is not None:
@@ -141,6 +158,7 @@ class JobSpec:
             self.fault_seed, self.qa_retries, self.qa_deadline_us,
             self.qa_budget_us, self.qa_breaker_threshold,
             self.no_resilience, self.fleet, self.fleet_hedge_us,
+            self.topology, self.grid,
         ))
         opt_hash = hashlib.sha256(options.encode()).hexdigest()[:12]
         return f"{fingerprint(formula)}:{opt_hash}"
@@ -267,6 +285,11 @@ def build_device(spec: JobSpec):
     noise = NoiseModel.dwave_2000q() if spec.noise else NoiseModel.noiseless()
     faults = parse_fault_spec(spec.qa_faults) if spec.qa_faults else None
     fault_seed = spec.seed if spec.fault_seed is None else spec.fault_seed
+    hardware = None
+    if spec.topology is not None or spec.grid is not None:
+        from repro.topology import build_hardware
+
+        hardware = build_hardware(spec.topology or "chimera", spec.grid or 16)
 
     def one_stack(member_fault_seed: int):
         device = AnnealerDevice(
@@ -274,6 +297,7 @@ def build_device(spec: JobSpec):
             seed=spec.seed,
             faults=faults,
             fault_seed=member_fault_seed,
+            hardware=hardware,
         )
         if not spec.no_resilience:
             device = ResilientDevice(

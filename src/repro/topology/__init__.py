@@ -6,6 +6,12 @@ K4,4 between 4 "vertical" and 4 "horizontal" qubits (Figure 3).
 :class:`~repro.topology.chimera.ChimeraGraph` models arbitrary grid
 sizes (Table III scales to 64x64) and exposes the vertical/horizontal
 *line* abstraction HyQSAT's embedder is built on.
+:class:`~repro.topology.pegasus.PegasusGraph` densifies the same
+lattice Pegasus-style (odd + cross-cell couplers) to probe the
+Table III claim that denser topologies shorten embedding chains.
+
+:func:`build_hardware` is the single factory the service and gateway
+layers use to turn a ``(topology, grid)`` pair into a hardware graph.
 """
 
 from repro.topology.chimera import (
@@ -14,5 +20,39 @@ from repro.topology.chimera import (
     QubitCoord,
     VerticalLine,
 )
+from repro.topology.pegasus import PegasusGraph
 
-__all__ = ["ChimeraGraph", "HorizontalLine", "QubitCoord", "VerticalLine"]
+#: Topology name -> graph class, the registry behind ``--topology``.
+TOPOLOGIES = {
+    "chimera": ChimeraGraph,
+    "pegasus": PegasusGraph,
+}
+
+
+def build_hardware(topology: str = "chimera", grid: int = 16, shore: int = 4):
+    """Build a ``grid x grid`` hardware graph of the named topology.
+
+    The single construction path shared by ``build_device``, the
+    gateway fleet, and the CLI so a ``(topology, grid)`` pair always
+    means the same graph (the bit-identity contract depends on this).
+    """
+    try:
+        cls = TOPOLOGIES[topology]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology {topology!r}; expected one of {sorted(TOPOLOGIES)}"
+        ) from None
+    if grid < 1:
+        raise ValueError(f"grid must be >= 1, got {grid}")
+    return cls(rows=grid, cols=grid, shore=shore)
+
+
+__all__ = [
+    "ChimeraGraph",
+    "HorizontalLine",
+    "PegasusGraph",
+    "QubitCoord",
+    "TOPOLOGIES",
+    "VerticalLine",
+    "build_hardware",
+]

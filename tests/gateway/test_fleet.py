@@ -1,0 +1,95 @@
+"""Fleet spec parsing and topology-aware routing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.benchgen.random_ksat import random_3sat
+from repro.gateway.fleet import FleetRouter, GatewayQpu, parse_fleet_spec
+from repro.service.scheduler import QpuScheduler
+
+
+class TestParseFleetSpec:
+    def test_single_atom_with_default_grid(self):
+        (qpu,) = parse_fleet_spec("chimera")
+        assert qpu == GatewayQpu(name="chimera16", topology="chimera", grid=16)
+        assert qpu.num_qubits == 2048
+
+    def test_mixed_fleet(self):
+        names = [q.name for q in parse_fleet_spec("chimera:8,pegasus:8,chimera:16")]
+        assert names == ["chimera8", "pegasus8", "chimera16"]
+
+    def test_repeats_get_suffixes(self):
+        names = [q.name for q in parse_fleet_spec("chimera:8,chimera:8,chimera:8")]
+        assert names == ["chimera8", "chimera8-2", "chimera8-3"]
+
+    @pytest.mark.parametrize("spec", ["zephyr:8", "chimera:zero", "chimera:0", "", ","])
+    def test_rejects_bad_specs(self, spec):
+        with pytest.raises(ValueError):
+            parse_fleet_spec(spec)
+
+    def test_describe_matches_welcome_shape(self):
+        (qpu,) = parse_fleet_spec("pegasus:4")
+        assert qpu.describe() == {
+            "device": "pegasus4",
+            "topology": "pegasus",
+            "grid": 4,
+            "qubits": 128,
+        }
+
+
+@pytest.fixture(scope="module")
+def router():
+    return FleetRouter(parse_fleet_spec("chimera:4,pegasus:4,chimera:8"))
+
+
+class TestRouting:
+    def test_small_formula_lands_on_smallest_device(self, router):
+        formula = random_3sat(6, 12, np.random.default_rng(1))
+        decision = router.route(formula)
+        assert decision.fits
+        # pegasus4 and chimera4 tie on qubit count; the denser lattice
+        # is probed first and fits, so the job must not reach chimera8.
+        assert decision.qpu.grid == 4
+
+    def test_medium_formula_escalates_to_larger_device(self, router):
+        formula = random_3sat(10, 30, np.random.default_rng(1))
+        decision = router.route(formula)
+        assert decision.fits
+        assert decision.qpu.name == "chimera8"
+        assert decision.embedded_clauses == decision.total_clauses == 30
+
+    def test_oversized_formula_falls_back_to_best_partial(self, router):
+        formula = random_3sat(30, 129, np.random.default_rng(1))
+        decision = router.route(formula)
+        assert not decision.fits
+        assert 0 < decision.embedded_clauses < decision.total_clauses
+        assert decision.qpu.name == "chimera8"  # most clauses placed
+        assert router.stats.fallbacks >= 1
+
+    def test_probe_cache_hits_on_identical_formula(self, router):
+        formula = random_3sat(6, 12, np.random.default_rng(1))
+        before = dict(router._probe_cache)
+        first = router.route(formula)
+        second = router.route(formula)
+        assert first == second
+        assert router._probe_cache.keys() >= before.keys()
+        # Second route added no probes: every (fingerprint, device)
+        # pair was already memoised.
+        assert len(router._probe_cache) == len(before) or router.stats.routed
+
+    def test_routing_counts_accumulate(self, router):
+        total = sum(router.stats.routed.values())
+        assert total >= 3
+
+    def test_each_device_owns_a_scheduler(self, router):
+        schedulers = {id(router.scheduler_for(q)) for q in router.qpus}
+        assert len(schedulers) == len(router.qpus)
+        assert all(
+            isinstance(router.scheduler_for(q), QpuScheduler) for q in router.qpus
+        )
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ValueError):
+            FleetRouter([])

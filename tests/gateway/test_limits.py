@@ -1,0 +1,106 @@
+"""Tenant limits: token bucket and QA-quota ledger on a fake clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gateway.limits import TenantLedger, TenantPolicy, TokenBucket
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_denial(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate_per_s=10.0, burst=3, clock=clock)
+        for _ in range(3):
+            ok, retry = bucket.try_acquire()
+            assert ok and retry == 0.0
+        ok, retry = bucket.try_acquire()
+        assert not ok
+        assert retry == pytest.approx(0.1)
+
+    def test_continuous_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate_per_s=2.0, burst=1, clock=clock)
+        assert bucket.try_acquire()[0]
+        assert not bucket.try_acquire()[0]
+        clock.advance(0.5)  # exactly one token at 2/s
+        assert bucket.try_acquire()[0]
+        assert not bucket.try_acquire()[0]
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate_per_s=100.0, burst=5, clock=clock)
+        clock.advance(1000.0)
+        assert bucket.tokens == pytest.approx(5.0)
+
+    def test_retry_after_is_exact(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate_per_s=4.0, burst=1, clock=clock)
+        bucket.try_acquire()
+        _, retry = bucket.try_acquire()
+        clock.advance(retry)
+        assert bucket.try_acquire()[0]
+
+
+class TestTenantPolicy:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"rate_per_s": 0.0},
+            {"rate_per_s": -1.0},
+            {"burst": 0},
+            {"qa_budget_us": 0.0},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            TenantPolicy(**kwargs)
+
+
+class TestTenantLedger:
+    def test_tenants_get_independent_buckets(self):
+        clock = FakeClock()
+        ledger = TenantLedger(TenantPolicy(rate_per_s=1.0, burst=1), clock=clock)
+        assert ledger.admit("a") == (None, 0.0)
+        denial, retry = ledger.admit("a")
+        assert denial == "rate_limited" and retry > 0
+        assert ledger.admit("b") == (None, 0.0)  # b's bucket untouched
+
+    def test_anonymous_traffic_shares_one_bucket(self):
+        clock = FakeClock()
+        ledger = TenantLedger(TenantPolicy(rate_per_s=1.0, burst=1), clock=clock)
+        assert ledger.admit(None)[0] is None
+        assert ledger.admit(None)[0] == "rate_limited"
+
+    def test_quota_checked_before_rate(self):
+        clock = FakeClock()
+        ledger = TenantLedger(
+            TenantPolicy(rate_per_s=100.0, burst=100, qa_budget_us=50.0),
+            clock=clock,
+        )
+        assert ledger.admit("a")[0] is None
+        ledger.charge("a", 50.0)
+        assert ledger.admit("a")[0] == "quota_exhausted"
+        assert ledger.remaining_us("a") == 0.0
+        # The other tenant still has its full budget.
+        assert ledger.admit("b")[0] is None
+        assert ledger.remaining_us("b") == 50.0
+
+    def test_charge_accumulates_and_ignores_zero(self):
+        ledger = TenantLedger(TenantPolicy(), clock=FakeClock())
+        ledger.charge("a", 10.0)
+        ledger.charge("a", 0.0)
+        ledger.charge("a", 5.0)
+        assert ledger.spent_us("a") == pytest.approx(15.0)
+        assert ledger.remaining_us("a") is None  # unmetered policy

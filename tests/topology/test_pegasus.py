@@ -1,0 +1,156 @@
+"""Pegasus-style lattice: adjacency invariants and the Table III
+chain-length claim.
+
+The densified lattice must stay a strict supergraph of the same-size
+Chimera (so every Chimera embedding remains valid) while its extra
+couplers give the minorminer-like baseline strictly shorter chains on
+the BFS clause queues the frontend really produces.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.benchgen import random_3sat
+from repro.core.clause_queue import ClauseQueueGenerator
+from repro.embedding import MinorminerLikeEmbedder
+from repro.qubo import encode_formula
+from repro.topology import ChimeraGraph, PegasusGraph, TOPOLOGIES, build_hardware
+
+
+@pytest.fixture(scope="module")
+def p2():
+    return PegasusGraph(2, 2, 4)
+
+
+class TestGeometry:
+    def test_same_qubit_count_as_chimera(self):
+        for grid in (2, 4, 8):
+            assert (
+                PegasusGraph(grid, grid, 4).num_qubits
+                == ChimeraGraph(grid, grid, 4).num_qubits
+            )
+
+    def test_id_coord_roundtrip(self, p2):
+        for qubit in range(p2.num_qubits):
+            assert p2.qubit_id(p2.coord(qubit)) == qubit
+
+    @pytest.mark.parametrize("grid", (2, 4, 8))
+    def test_chimera_couplers_strict_subset(self, grid):
+        chimera = ChimeraGraph(grid, grid, 4)
+        pegasus = PegasusGraph(grid, grid, 4)
+        for qubit in range(chimera.num_qubits):
+            assert set(chimera.neighbors(qubit)) <= set(pegasus.neighbors(qubit))
+        assert pegasus.num_couplers > chimera.num_couplers
+
+    def test_odd_couplers_pair_consecutive_units(self, p2):
+        from repro.topology.chimera import QubitCoord
+
+        q0 = p2.qubit_id(QubitCoord(0, 0, 0, 0))
+        q1 = p2.qubit_id(QubitCoord(0, 0, 0, 1))
+        q2 = p2.qubit_id(QubitCoord(0, 0, 0, 2))
+        assert p2.has_coupler(q0, q1)  # unit pair 0<->1
+        assert not p2.has_coupler(q1, q2)  # 1<->2 spans pairs
+        assert p2.has_coupler(q2, p2.qubit_id(QubitCoord(0, 0, 0, 3)))
+
+    def test_cross_cell_internal_couplers(self, p2):
+        from repro.topology.chimera import QubitCoord
+
+        vert = p2.qubit_id(QubitCoord(0, 0, 0, 0))
+        for unit in range(4):
+            below = p2.qubit_id(QubitCoord(1, 0, 1, unit))
+            assert p2.has_coupler(vert, below)
+        # Bottom-row vertical qubits have no cell below.
+        bottom = p2.qubit_id(QubitCoord(1, 0, 0, 0))
+        assert all(p2.coord(n).row <= 1 for n in p2.neighbors(bottom))
+
+    def test_interior_degree_is_11(self):
+        p4 = PegasusGraph(4, 4, 4)
+        from repro.topology.chimera import QubitCoord
+
+        interior = p4.qubit_id(QubitCoord(1, 1, 0, 0))
+        # Chimera interior degree 6 (+1 odd, +4 cross-cell) = 11.
+        assert len(p4.neighbors(interior)) == 11
+
+    def test_denser_than_chimera(self):
+        chimera = ChimeraGraph(8, 8, 4)
+        chimera_density = chimera.num_couplers / chimera.num_working_qubits
+        assert PegasusGraph(8, 8, 4).density > 1.5 * chimera_density
+
+    def test_broken_qubits_respected(self):
+        pegasus = PegasusGraph(2, 2, 4, broken_qubits=[0, 5])
+        assert not pegasus.is_working(0)
+        for qubit in range(pegasus.num_qubits):
+            neighbors = pegasus.neighbors(qubit)
+            assert 0 not in neighbors and 5 not in neighbors
+        assert not pegasus.has_coupler(0, 1)
+
+    def test_repr_names_class(self, p2):
+        assert repr(p2).startswith("PegasusGraph(")
+
+
+class TestAdjacencyProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 2 * 2 * 8 - 1), st.integers(0, 2 * 2 * 8 - 1))
+    def test_symmetry_and_neighbor_consistency(self, q1, q2):
+        pegasus = PegasusGraph(2, 2, 4)
+        assert pegasus.has_coupler(q1, q2) == pegasus.has_coupler(q2, q1)
+        assert pegasus.has_coupler(q1, q2) == (q2 in pegasus.neighbors(q1))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 2 * 2 * 8 - 1))
+    def test_no_self_loops_and_coords_valid(self, qubit):
+        pegasus = PegasusGraph(2, 2, 4)
+        assert qubit not in pegasus.neighbors(qubit)
+        for neighbor in pegasus.neighbors(qubit):
+            coord = pegasus.coord(neighbor)
+            assert 0 <= coord.row < 2 and 0 <= coord.col < 2
+            assert coord.unit < pegasus.shore
+
+
+class TestFactory:
+    def test_registry_names(self):
+        assert set(TOPOLOGIES) == {"chimera", "pegasus"}
+
+    def test_build_hardware_dispatch(self):
+        assert isinstance(build_hardware("pegasus", 4), PegasusGraph)
+        chimera = build_hardware("chimera", 4)
+        assert isinstance(chimera, ChimeraGraph)
+        assert not isinstance(chimera, PegasusGraph)
+        assert chimera.rows == chimera.cols == 4
+
+    def test_build_hardware_validation(self):
+        with pytest.raises(ValueError):
+            build_hardware("zephyr", 4)
+        with pytest.raises(ValueError):
+            build_hardware("chimera", 0)
+
+
+def _bfs_queue(num_clauses: int, seed: int):
+    """A BFS-local clause queue, as the frontend really produces."""
+    rng = np.random.default_rng(seed)
+    formula = random_3sat(20, 86, rng)
+    generator = ClauseQueueGenerator(formula, seed=seed)
+    queue = generator.generate([1.0] * formula.num_clauses, num_clauses)
+    return encode_formula([formula.clauses[i] for i in queue], formula.num_vars)
+
+
+class TestChainLengths:
+    """Table III's mechanism: denser topology -> shorter chains."""
+
+    @pytest.mark.parametrize("size,seed", [(8, 0), (8, 1), (10, 1), (12, 0)])
+    def test_pegasus_chains_strictly_shorter(self, size, seed):
+        encoding = _bfs_queue(size, seed=size * 10 + seed)
+        edges = list(encoding.objective.quadratic.keys())
+        variables = encoding.objective.variables
+        results = {}
+        for name in ("chimera", "pegasus"):
+            embedder = MinorminerLikeEmbedder(
+                build_hardware(name, 6), max_passes=20, timeout_seconds=45.0, seed=0
+            )
+            results[name] = embedder.embed(edges, variables)
+        assert results["chimera"].success and results["pegasus"].success
+        assert (
+            results["pegasus"].avg_chain_length
+            < results["chimera"].avg_chain_length
+        )

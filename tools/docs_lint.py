@@ -1,6 +1,6 @@
 """Docs lint: broken links, phantom flags, undocumented solve flags.
 
-Three checks over the repo's markdown set (README.md, DESIGN.md,
+Four checks over the repo's markdown set (README.md, DESIGN.md,
 EXPERIMENTS.md, CONTRIBUTING.md, ROADMAP.md, docs/*.md):
 
 1. **Relative links** — every ``[text](path)`` pointing inside the
@@ -12,6 +12,9 @@ EXPERIMENTS.md, CONTRIBUTING.md, ROADMAP.md, docs/*.md):
 3. **Solve-flag coverage** — every optional flag of ``hyqsat solve``
    must appear in README.md's flag table (the other direction of the
    same drift).
+4. **Stale bytecode** — no package directory under ``src/`` may hold
+   only ``__pycache__`` bytecode with no ``.py`` sources (a leftover
+   from a deleted module that keeps importing locally).
 
 Run with ``make docs-check`` or::
 
@@ -42,6 +45,7 @@ DOC_FILES = (
     "CHANGES.md",
     "docs/TELEMETRY.md",
     "docs/SERVICE.md",
+    "docs/GATEWAY.md",
 )
 
 _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
@@ -131,11 +135,36 @@ def check_solve_flag_coverage(problems: List[str]) -> None:
             problems.append(f"README.md: solve flag {flag} missing from flag table")
 
 
+def check_stale_bytecode(problems: List[str]) -> None:
+    """Flag source dirs under src/ holding only bytecode.
+
+    A package directory whose sole contents are ``__pycache__`` /
+    ``.pyc`` files is a leftover from a deleted or renamed module —
+    imports appear to work locally while the source is gone (the
+    original ``repro/gateway`` stub shipped exactly this way).
+    """
+    src = REPO_ROOT / "src"
+    for directory in sorted(p for p in src.rglob("*") if p.is_dir()):
+        if directory.name == "__pycache__":
+            continue
+        entries = list(directory.iterdir())
+        if not entries:
+            continue
+        has_source = any(
+            p.suffix == ".py" or (p.is_dir() and p.name != "__pycache__")
+            for p in entries
+        )
+        if not has_source:
+            rel = directory.relative_to(REPO_ROOT)
+            problems.append(f"{rel}: only bytecode, no .py sources (stale package?)")
+
+
 def main() -> int:
     problems: List[str] = []
     check_links(problems)
     check_flag_references(problems)
     check_solve_flag_coverage(problems)
+    check_stale_bytecode(problems)
     for problem in problems:
         print(problem)
     if problems:
