@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test ci bench bench-full bench-obs bench-service bench-gateway bench-cdcl bench-cdcl-full bench-recovery chaos docs-check paper-tables
+.PHONY: test ci bench bench-full bench-obs bench-service bench-gateway bench-cache bench-cdcl bench-cdcl-full bench-recovery chaos docs-check paper-tables
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -36,6 +36,13 @@ bench-service:
 # and modelled fleet throughput at 4 devices is >= 1.7x one device.
 bench-gateway:
 	$(PYTHON) -m benchmarks.bench_gateway --quick
+
+# Persistent-cache benchmark; writes BENCH_cache.json and fails
+# unless cached results replay bit-identically (solver fields, zero
+# QPU billing) and the zipf job-stream replay through the gateway DES
+# models >= 3x throughput with the cache on.
+bench-cache:
+	$(PYTHON) -m benchmarks.bench_cache --quick
 
 # CDCL engine benchmark; writes BENCH_cdcl.json and fails unless the
 # native kernel is >= 10x the reference propagation rate with

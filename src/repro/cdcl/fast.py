@@ -521,6 +521,31 @@ class FastCdclSolver:
         else:
             self._lib.kernel_attach_clause(self._sp, ci)
 
+    def learned_clause_lits(
+        self, max_len: int = 8, limit: int = 256
+    ) -> List[List[int]]:
+        """Short learned clauses as signed DIMACS literal lists (same
+        contract as :meth:`CdclSolver.learned_clause_lits`)."""
+        s = self._s
+        pool = self._arr["pool"]
+        c_start = self._arr["c_start"]
+        c_size = self._arr["c_size"]
+        c_dead = self._arr["c_dead"]
+        short: List[List[int]] = []
+        for ci in self._arr["learned_list"][: s.n_learned]:
+            ci = int(ci)
+            size = int(c_size[ci])
+            if c_dead[ci] or size > max_len:
+                continue
+            start = int(c_start[ci])
+            short.append(
+                [int(ilit) for ilit in pool[start : start + size]]
+            )
+        short.sort(key=len)
+        return [
+            [_dec(ilit).value for ilit in lits] for lits in short[:limit]
+        ]
+
     def push(self) -> int:
         """Open a clause group; returns the new depth."""
         self._lib.kernel_backtrack(self._sp, 0)

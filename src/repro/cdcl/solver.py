@@ -388,6 +388,26 @@ class CdclSolver:
         ]
         self._attach(record)
 
+    def learned_clause_lits(
+        self, max_len: int = 8, limit: int = 256
+    ) -> List[List[int]]:
+        """Short learned clauses as signed DIMACS literal lists.
+
+        Every returned clause is implied by the original formula, so a
+        cache layer may replay them into any clause-superset instance
+        (``add_clause`` seeding).  Shortest first, at most ``limit``
+        clauses of at most ``max_len`` literals.
+        """
+        short = [
+            rec.lits
+            for rec in self._learned
+            if len(rec.lits) <= max_len
+        ]
+        short.sort(key=len)
+        return [
+            [_dec(ilit).value for ilit in lits] for lits in short[:limit]
+        ]
+
     def push(self) -> int:
         """Open a clause group; returns the new depth.
 

@@ -429,7 +429,10 @@ def _run_service(args: argparse.Namespace, specs) -> int:
             dedup=not args.no_dedup,
             journal_path=args.journal,
             checkpoint_dir=args.checkpoint_dir,
-            store_max_entries=args.store_cap,
+            store_max_entries=args.store_cap or None,
+            cache_path=None if args.no_cache else args.cache_db,
+            cache_cap=args.cache_cap,
+            cache_ttl_s=args.cache_ttl_s,
         ),
         observability=observability,
     )
@@ -460,6 +463,14 @@ def _run_service(args: argparse.Namespace, specs) -> int:
             f"wall_seconds={stats.wall_seconds:.3f}",
             file=summary,
         )
+        if service.cache is not None:
+            print(
+                f"c cache_hits={stats.cache_hits} "
+                f"cache_misses={stats.cache_misses} "
+                f"cache_subsumption_hits={stats.cache_subsumption_hits} "
+                f"cache_warm_starts={stats.cache_warm_starts}",
+                file=summary,
+            )
     if interrupted:
         print("c interrupted; results flushed so far are valid", file=summary)
     _emit_observability(observability, args)
@@ -559,6 +570,71 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 
 
 # ---------------------------------------------------------------------------
+# Cache maintenance commands (docs/SERVICE.md, "Result cache")
+# ---------------------------------------------------------------------------
+
+
+def _open_cache(args: argparse.Namespace):
+    import os
+
+    from repro.cache import PersistentResultStore
+
+    if not os.path.exists(args.db):
+        raise SystemExit(f"no cache database at {args.db}")
+    return PersistentResultStore(args.db)
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    store = _open_cache(args)
+    try:
+        info = store.describe()
+    finally:
+        store.close()
+    if args.json:
+        print(json_module.dumps(info, sort_keys=True))
+    else:
+        for key in (
+            "path", "results", "instances", "clause_banks",
+            "lifetime_hits", "db_bytes", "max_entries", "ttl_s",
+        ):
+            print(f"c {key}={info[key]}")
+    return 0
+
+
+def _cmd_cache_gc(args: argparse.Namespace) -> int:
+    store = _open_cache(args)
+    try:
+        dropped = store.gc(max_entries=args.cap, ttl_s=args.ttl_s)
+        remaining = store.entry_count()
+    finally:
+        store.close()
+    print(f"c evicted={dropped} remaining={remaining}")
+    return 0
+
+
+def _cmd_cache_export(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    store = _open_cache(args)
+    out = sys.stdout if args.output in (None, "-") else open(
+        args.output, "w", encoding="utf-8"
+    )
+    rows = 0
+    try:
+        for row in store.export_rows():
+            out.write(json_module.dumps(row, sort_keys=True) + "\n")
+            rows += 1
+    finally:
+        store.close()
+        if out is not sys.stdout:
+            out.close()
+    print(f"c exported={rows}", file=sys.stderr)
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # Gateway commands (docs/GATEWAY.md)
 # ---------------------------------------------------------------------------
 
@@ -585,6 +661,8 @@ def _cmd_gateway(args: argparse.Namespace) -> int:
             retry_after_s=args.retry_after_s,
             drain_grace_s=args.drain_grace_s,
             qpu_budget_us=args.qpu_budget_us,
+            cache_db=args.cache_db,
+            cache_cap=args.cache_cap,
         )
         server = GatewayServer(config, observability=observability)
     except ValueError as error:
@@ -854,6 +932,8 @@ def _add_durability_flags(parser: argparse.ArgumentParser) -> None:
 
 def _add_service_flags(parser: argparse.ArgumentParser) -> None:
     """Service-runtime flags shared by ``serve`` and ``batch``."""
+    from repro.service.service import DEFAULT_STORE_CAP
+
     parser.add_argument(
         "--jobs", type=int, default=1, help="concurrent worker slots"
     )
@@ -905,9 +985,40 @@ def _add_service_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--store-cap",
         type=int,
+        default=DEFAULT_STORE_CAP,
+        metavar="N",
+        help="LRU cap on cached in-memory dedup results "
+        f"(default {DEFAULT_STORE_CAP}, from ServiceConfig; 0 = unbounded)",
+    )
+    parser.add_argument(
+        "--cache-db",
+        default=None,
+        metavar="FILE",
+        help="persistent result cache (SQLite, survives restarts): "
+        "exact hits replay bit-identically, subsumption hits "
+        "re-validate cached models, near-misses warm-start from "
+        "banked learned clauses (docs/SERVICE.md)",
+    )
+    parser.add_argument(
+        "--cache-cap",
+        type=int,
         default=None,
         metavar="N",
-        help="LRU cap on cached dedup results (default unbounded)",
+        help="LRU cap on exact-result rows in --cache-db "
+        "(default unbounded)",
+    )
+    parser.add_argument(
+        "--cache-ttl-s",
+        type=float,
+        default=None,
+        metavar="S",
+        help="expire --cache-db rows not hit for S seconds "
+        "(default never)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore --cache-db (run with the in-memory store only)",
     )
     parser.add_argument(
         "--trace",
@@ -1128,6 +1239,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-device modelled QPU budget shared by that device's jobs",
     )
     p_gateway.add_argument(
+        "--cache-db",
+        default=None,
+        metavar="FILE",
+        help="persistent result cache shared across restarts and "
+        "gateway processes (SQLite; see docs/SERVICE.md)",
+    )
+    p_gateway.add_argument(
+        "--cache-cap",
+        type=int,
+        default=None,
+        metavar="N",
+        help="LRU cap on exact-result rows in --cache-db "
+        "(default unbounded)",
+    )
+    p_gateway.add_argument(
         "--trace",
         default=None,
         metavar="FILE",
@@ -1223,6 +1349,52 @@ def build_parser() -> argparse.ArgumentParser:
     _add_durability_flags(p_batch)
     _add_service_flags(p_batch)
     p_batch.set_defaults(func=_cmd_batch)
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect or maintain a persistent result cache "
+        "(docs/SERVICE.md)",
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_cstats = cache_sub.add_parser(
+        "stats", help="print cache size, hit counts, and policy"
+    )
+    p_cstats.add_argument("db", help="cache SQLite file (--cache-db value)")
+    p_cstats.add_argument(
+        "--json", action="store_true", help="emit one JSON object"
+    )
+    p_cstats.set_defaults(func=_cmd_cache_stats)
+    p_cgc = cache_sub.add_parser(
+        "gc", help="apply LRU/TTL eviction now and drop orphan rows"
+    )
+    p_cgc.add_argument("db", help="cache SQLite file")
+    p_cgc.add_argument(
+        "--cap",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evict down to at most N exact-result rows",
+    )
+    p_cgc.add_argument(
+        "--ttl-s",
+        type=float,
+        default=None,
+        metavar="S",
+        help="evict rows not hit within the last S seconds",
+    )
+    p_cgc.set_defaults(func=_cmd_cache_gc)
+    p_cexport = cache_sub.add_parser(
+        "export", help="dump every cached result as JSONL"
+    )
+    p_cexport.add_argument("db", help="cache SQLite file")
+    p_cexport.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="JSONL destination (default stdout)",
+    )
+    p_cexport.set_defaults(func=_cmd_cache_export)
     return parser
 
 

@@ -297,6 +297,13 @@ class HyQSatSolver:
         # Warm CDCL instance kept across solve() calls when
         # config.warm_start is on (learned-clause retention).
         self._cdcl = None
+        # Clauses to seed a *fresh* engine with through the incremental
+        # API (cache warm start); never re-applied to a reused warm
+        # engine or a checkpoint-resumed search.
+        self._preseed: Optional[List[List[int]]] = None
+        #: The CDCL engine of the most recent :meth:`solve` call —
+        #: the cache layer harvests learned clauses from it.
+        self.last_engine = None
 
         self._frontend = Frontend(
             formula,
@@ -343,6 +350,19 @@ class HyQSatSolver:
         solver._ksat_reduction = reduction
         return solver
 
+    def preseed_clauses(self, clauses: List[List[int]]) -> None:
+        """Seed the next fresh solve with extra clauses (signed DIMACS
+        literal lists) via the incremental ``add_clause`` API.
+
+        Intended for the persistent cache's learned-clause bank: the
+        caller guarantees every clause is implied by the formula (e.g.
+        learned from a clause-subset instance), so seeding changes the
+        search trajectory but never the answer.  Ignored on warm
+        ``solve`` re-entries and checkpoint resumes, which already
+        carry their own learned state.
+        """
+        self._preseed = [list(lits) for lits in clauses] or None
+
     def set_observability(self, observability) -> None:
         """Attach (or replace) the tracing/metrics bundle after
         construction, propagating it to the frontend and the device."""
@@ -386,6 +406,7 @@ class HyQSatSolver:
         if tracer.enabled:
             tracer.set_qpu_clock(self._qpu_now_us)
 
+        fresh_engine = False
         if self.config.warm_start and self._cdcl is not None:
             # Warm re-solve: keep the learned clauses, activities, and
             # saved phases accumulated by previous calls.
@@ -397,6 +418,7 @@ class HyQSatSolver:
                 config=self.solver_config,
                 observability=obs if obs.enabled else None,
             )
+            fresh_engine = True
         self._cdcl = solver if self.config.warm_start else None
         if resume_state is not None:
             try:
@@ -418,6 +440,11 @@ class HyQSatSolver:
                     observability=obs if obs.enabled else None,
                 )
                 self._cdcl = solver if self.config.warm_start else None
+                fresh_engine = True
+        if fresh_engine and resume_state is None and self._preseed:
+            for lits in self._preseed:
+                solver.add_clause(lits)
+        self.last_engine = solver
         props_before = solver.stats.propagations
         conflicts_before = solver.stats.conflicts
         with tracer.span(
@@ -637,6 +664,12 @@ class HyQSatSolver:
         queue_start = time.perf_counter()
         with tracer.span("select") as select_span:
             unsat = solver.unsatisfied_original_clauses()
+            if self._preseed:
+                # Incrementally seeded clauses sit past the formula's
+                # clause range; they steer propagation only — the QA
+                # queue deploys original clauses.
+                num_clauses = self.formula.num_clauses
+                unsat = [ci for ci in unsat if ci < num_clauses]
             if not unsat:
                 select_span.set(unsat=0, queue_len=0)
                 return None
@@ -656,8 +689,11 @@ class HyQSatSolver:
                 queue, snapshot = self._last_queue, self._last_snapshot
             else:
                 if config.use_activity_queue:
+                    activity = solver.counters.activity
+                    if self._preseed:
+                        activity = activity[: self.formula.num_clauses]
                     queue = self._queue_gen.generate(
-                        solver.counters.activity,
+                        activity,
                         self._capacity,
                         candidates=unsat,
                     )

@@ -45,9 +45,13 @@ SERVER_MESSAGE_TYPES: Tuple[str, ...] = (
 )
 
 #: Per-job progress events streamed inside ``event`` messages.
+#: ``done`` precedes every ``result`` and carries ``state`` plus
+#: ``cached`` (true = served from the persistent result cache, no
+#: modelled QPU time billed).
 STREAM_EVENTS: Tuple[str, ...] = (
     "routed",
     "started",
+    "done",
 )
 
 #: Error codes carried by ``reject`` (job-level, connection stays up)

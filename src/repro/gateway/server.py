@@ -66,6 +66,11 @@ class GatewayConfig:
     drain_grace_s: float = 30.0
     #: Shared per-device modelled QPU budget (None = unmetered).
     qpu_budget_us: Optional[float] = None
+    #: SQLite file of the persistent result cache
+    #: (:class:`~repro.cache.PersistentResultStore`); None = no cache.
+    cache_db: Optional[str] = None
+    #: LRU cap on exact-result rows in the cache (None = unbounded).
+    cache_cap: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -74,6 +79,8 @@ class GatewayConfig:
             raise ValueError("max_depth must be >= 1 when set")
         if self.drain_grace_s < 0:
             raise ValueError("drain_grace_s must be >= 0")
+        if self.cache_cap is not None and self.cache_cap < 1:
+            raise ValueError("cache_cap must be >= 1 when set")
 
 
 @dataclass
@@ -133,6 +140,17 @@ class GatewayServer:
             )
         )
         self.stats = GatewayStats()
+        #: Persistent result cache shared by every tenant (None when
+        #: disabled).  Lookups/records run on executor threads; the
+        #: store is internally locked and the SQLite file is WAL-mode,
+        #: so a fleet of gateways may share one path.
+        self.cache = None
+        if config.cache_db is not None:
+            from repro.cache import PersistentResultStore
+
+            self.cache = PersistentResultStore(
+                config.cache_db, max_entries=config.cache_cap
+            )
         self._executor = ThreadPoolExecutor(
             max_workers=config.workers, thread_name_prefix="gateway-worker"
         )
@@ -195,6 +213,43 @@ class GatewayServer:
         if self._inflight:
             await asyncio.wait(self._inflight, timeout=self.config.drain_grace_s)
         self._executor.shutdown(wait=False, cancel_futures=True)
+        if self.cache is not None:
+            self._flush_cache_metrics()
+            self.cache.close()
+
+    def _flush_cache_metrics(self) -> None:
+        """Fold the cache's counters into ``hyqsat_cache_*`` (event
+        loop thread, once, at drain time)."""
+        metrics = self.observability.metrics
+        if metrics is None or self.cache is None:
+            return
+        cstats = self.cache.stats
+        if cstats.hits:
+            metrics.counter("hyqsat_cache_hits_total").inc(cstats.hits)
+        if cstats.misses:
+            metrics.counter("hyqsat_cache_misses_total").inc(cstats.misses)
+        for kind, count in sorted(cstats.subsumption_hits.items()):
+            metrics.counter(
+                "hyqsat_cache_subsumption_hits_total"
+            ).labels(kind=kind).inc(count)
+        if cstats.warm_starts:
+            metrics.counter("hyqsat_cache_warm_starts_total").inc(
+                cstats.warm_starts
+            )
+        if cstats.warm_start_conflicts_saved:
+            metrics.counter(
+                "hyqsat_cache_warm_start_conflicts_saved_total"
+            ).inc(cstats.warm_start_conflicts_saved)
+        if cstats.evictions:
+            metrics.counter("hyqsat_cache_evictions_total").inc(
+                cstats.evictions
+            )
+        try:
+            metrics.gauge("hyqsat_cache_entries").set(
+                self.cache.entry_count()
+            )
+        except Exception:  # noqa: BLE001 — DB already closed
+            pass
 
     # ------------------------------------------------------------------
     # Observability helpers (event loop thread only)
@@ -497,13 +552,25 @@ class GatewayServer:
                 (1 - _RUN_EWMA_ALPHA) * self._run_ewma_s
                 + _RUN_EWMA_ALPHA * outcome.run_seconds
             )
-        self.ledger.charge(
-            getattr(self._owners.get(outcome.job_id), "tenant", None),
-            outcome.qpu_time_us,
-        )
+        if not outcome.cached:
+            # Cache hits replay stored counters; the original solve
+            # already billed that modelled QPU time — never twice.
+            self.ledger.charge(
+                getattr(self._owners.get(outcome.job_id), "tenant", None),
+                outcome.qpu_time_us,
+            )
         conn = self._owners.pop(outcome.job_id, None)
         if conn is not None:
             conn.job_ids.discard(outcome.job_id)
+            await self._send(
+                conn,
+                protocol.event(
+                    outcome.job_id,
+                    "done",
+                    state=outcome.state,
+                    cached=bool(outcome.cached),
+                ),
+            )
             payload = {
                 key: value
                 for key, value in outcome.as_dict().items()
@@ -514,6 +581,46 @@ class GatewayServer:
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
+
+    def _run_with_cache(self, spec: JobSpec, scheduler) -> JobOutcome:
+        """Executor-side solve wrapper: cache lookup -> solve -> record.
+
+        Runs entirely on a worker thread (the store is internally
+        locked); cache failures degrade to a plain solve, never an
+        error.  A hit returns without solving — and without touching
+        the scheduler, so modelled QPU time is never double-billed.
+        """
+        if self.cache is None or spec.classic:
+            return run_job(spec, scheduler)
+        key = None
+        formula = None
+        warm = None
+        try:
+            formula = spec.load_formula()
+            key = spec.solve_key(formula)
+            hit = self.cache.lookup(key, spec, formula)
+            if hit is not None:
+                return hit
+            warm = self.cache.warm_clauses(formula)
+        except Exception:  # noqa: BLE001 — cache is advisory
+            key = formula = warm = None
+        outcome = run_job(
+            spec,
+            scheduler,
+            warm_clauses=warm.clauses if warm is not None else None,
+            collect_learned=True,
+        )
+        if warm is not None and outcome.warm_clauses:
+            self.cache.note_warm_start(
+                warm.donor_conflicts, outcome.conflicts or 0
+            )
+        if key is not None and formula is not None:
+            try:
+                self.cache.record(key, formula, outcome)
+            except Exception:  # noqa: BLE001
+                pass
+        outcome.learned = None
+        return outcome
 
     async def _dispatch_loop(self) -> None:
         """Pop admitted jobs and run them on the thread pool, at most
@@ -567,7 +674,7 @@ class GatewayServer:
             if conn is not None:
                 await self._send(conn, protocol.event(spec.job_id, "started"))
             outcome = await loop.run_in_executor(
-                self._executor, run_job, spec, scheduler
+                self._executor, self._run_with_cache, spec, scheduler
             )
             outcome.wait_seconds = waited_s
             self._pending -= 1
@@ -626,7 +733,7 @@ class GatewayServer:
             else self.router.scheduler_for(decision.qpu)
         )
         outcome = await loop.run_in_executor(
-            self._executor, run_job, spec, scheduler
+            self._executor, self._run_with_cache, spec, scheduler
         )
         outcome.wait_seconds = waited_s
         self._pending -= 1

@@ -88,6 +88,8 @@ EVENT_PARENTS: Dict[str, FrozenSet[str]] = {
     "service.cancel": frozenset({"service.batch"}),
     "service.recover": frozenset({"service.batch"}),
     "service.retry": frozenset({"service.batch"}),
+    "service.cache_hit": frozenset({"service.batch"}),
+    "service.warm_start": frozenset({"service.batch"}),
     "device.quarantine": frozenset({"anneal"}),
     "device.failover": frozenset({"anneal"}),
     "gateway.connect": frozenset({"gateway.session"}),
@@ -306,6 +308,36 @@ METRICS: Tuple[MetricSpec, ...] = (
     MetricSpec(
         "hyqsat_device_quarantines_total", "counter", ("device",), "transitions",
         "Fleet members moved into quarantine, by device",
+    ),
+    # -- persistent result cache ------------------------------------------
+    MetricSpec(
+        "hyqsat_cache_hits_total", "counter", (), "lookups",
+        "Exact solve-key hits served bit-identically from the persistent cache",
+    ),
+    MetricSpec(
+        "hyqsat_cache_misses_total", "counter", (), "lookups",
+        "Cache lookups that found no exact or subsumption answer",
+    ),
+    MetricSpec(
+        "hyqsat_cache_subsumption_hits_total", "counter", ("kind",), "lookups",
+        "Subsumption-layer hits, by certificate kind (model|unsat)",
+    ),
+    MetricSpec(
+        "hyqsat_cache_warm_starts_total", "counter", (), "jobs",
+        "Solves seeded with a clause-bank donor's learned clauses",
+    ),
+    MetricSpec(
+        "hyqsat_cache_warm_start_conflicts_saved_total", "counter", (),
+        "conflicts",
+        "Conflicts saved by warm starts (donor conflicts minus actual)",
+    ),
+    MetricSpec(
+        "hyqsat_cache_evictions_total", "counter", (), "entries",
+        "Exact-result rows dropped by the cache's LRU cap or TTL",
+    ),
+    MetricSpec(
+        "hyqsat_cache_entries", "gauge", (), "entries",
+        "Exact-result rows currently in the persistent cache",
     ),
     # -- gateway & heterogeneous fleet ------------------------------------
     MetricSpec(

@@ -233,6 +233,21 @@ class JobOutcome:
     #: post-warm-up), so the service bills its restored counters into
     #: the shared ledger by replay instead.
     resumed: bool = False
+    #: True when the outcome was served from the persistent result
+    #: cache (no solve ran, no QPU time was billed); ``cache_kind``
+    #: says how — "exact" (bit-identical stored outcome replay),
+    #: "model" (a cached model re-validated against this instance) or
+    #: "unsat" (UNSAT inherited from a cached clause-subset).
+    cached: Optional[bool] = None
+    cache_kind: Optional[str] = None
+    #: Number of banked learned clauses this solve was seeded with
+    #: (cache warm start).  Warm-started outcomes are never stored for
+    #: exact replay — their search counters differ from a cold solve's.
+    warm_clauses: Optional[int] = None
+    #: Short learned clauses harvested for the cache's clause bank
+    #: (signed DIMACS literals).  Stripped before the outcome reaches
+    #: result JSONL / the journal; only the cache layer reads it.
+    learned: Optional[List[List[int]]] = None
 
     def as_dict(self) -> Dict[str, Any]:
         """Plain-dict view (all fields, JSON-able) — the journal's
@@ -399,7 +414,13 @@ def outcome_from_result(spec: JobSpec, result) -> JobOutcome:
     return outcome
 
 
-def run_job(spec: JobSpec, scheduler=None, checkpoint_dir=None) -> JobOutcome:
+def run_job(
+    spec: JobSpec,
+    scheduler=None,
+    checkpoint_dir=None,
+    warm_clauses: Optional[List[List[int]]] = None,
+    collect_learned: bool = False,
+) -> JobOutcome:
     """Execute one job start to finish (the worker entry point).
 
     Never raises: any error becomes a ``failed`` outcome so one bad
@@ -413,6 +434,12 @@ def run_job(spec: JobSpec, scheduler=None, checkpoint_dir=None) -> JobOutcome:
     ``spec.checkpoint_every`` set, the solve checkpoints under
     ``<checkpoint_dir>/<job_id>.ckpt`` and a retried/re-run job
     resumes from its last snapshot.
+
+    ``warm_clauses`` seeds the solve with cache-banked learned clauses
+    through the incremental API (hybrid jobs only; sound because the
+    cache only donates clauses implied by a clause-subset of this
+    instance).  ``collect_learned`` harvests the solve's own short
+    learned clauses into ``outcome.learned`` for the bank.
     """
     started = time.perf_counter()
     try:
@@ -437,9 +464,22 @@ def run_job(spec: JobSpec, scheduler=None, checkpoint_dir=None) -> JobOutcome:
             device=device,
             checkpoint_path=checkpoint_path,
         )
+        if warm_clauses and not spec.classic:
+            solver.preseed_clauses(warm_clauses)
         result = solver.solve()
         outcome = outcome_from_result(spec, result)
         outcome.resumed = getattr(solver, "_resumed_from_checkpoint", False)
+        if warm_clauses and not spec.classic:
+            outcome.warm_clauses = len(warm_clauses)
+        if collect_learned and not spec.classic:
+            from repro.cache import CLAUSE_BANK_MAX_CLAUSES, CLAUSE_BANK_MAX_LEN
+
+            engine = getattr(solver, "last_engine", None)
+            if engine is not None and outcome.status in ("sat", "unsat"):
+                outcome.learned = engine.learned_clause_lits(
+                    max_len=CLAUSE_BANK_MAX_LEN,
+                    limit=CLAUSE_BANK_MAX_CLAUSES,
+                ) or None
     except Exception as error:  # noqa: BLE001 — worker boundary
         outcome = JobOutcome(
             job_id=spec.job_id,

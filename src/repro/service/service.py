@@ -37,6 +37,11 @@ from repro.service.queue import AdmissionError, JobQueue
 from repro.service.scheduler import QpuScheduler
 from repro.service.store import ResultStore
 
+#: Default LRU cap on the in-memory dedup store — the single source of
+#: truth ``hyqsat serve`` and ``hyqsat batch`` both resolve their
+#: ``--store-cap`` default from (docs/SERVICE.md).
+DEFAULT_STORE_CAP = 4096
+
 
 @dataclass
 class ServiceConfig:
@@ -64,10 +69,24 @@ class ServiceConfig:
     checkpoint_dir: Optional[str] = None
     #: LRU cap on cached dedup outcomes in the
     #: :class:`~repro.service.store.ResultStore` (``None`` = unbounded).
-    store_max_entries: Optional[int] = None
+    store_max_entries: Optional[int] = DEFAULT_STORE_CAP
     #: How many times a job lost to a dead worker process is returned
     #: to the pool before it is failed.
     max_worker_retries: int = 2
+    #: SQLite file of the persistent (L2) result cache
+    #: (:class:`~repro.cache.PersistentResultStore`); ``None`` disables
+    #: the cache entirely.
+    cache_path: Optional[str] = None
+    #: LRU cap on exact-result rows in the persistent cache
+    #: (``None`` = unbounded).
+    cache_cap: Optional[int] = None
+    #: TTL in seconds on exact-result rows (``None`` = no expiry).
+    cache_ttl_s: Optional[float] = None
+    #: Clause-signature subsumption lookups (model revalidation /
+    #: UNSAT inheritance); exact hits work regardless.
+    cache_subsume: bool = True
+    #: Learned-clause-bank warm starts for near-miss instances.
+    cache_warm_start: bool = True
 
 
 @dataclass
@@ -80,6 +99,10 @@ class ServiceStats:
     qpu_coalesced: int = 0
     qpu_busy_us: float = 0.0
     wall_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_subsumption_hits: int = 0
+    cache_warm_starts: int = 0
 
     def count(self, state: str) -> None:
         self.jobs_by_state[state] = self.jobs_by_state.get(state, 0) + 1
@@ -108,6 +131,20 @@ class SolverService:
         self.config = config or ServiceConfig()
         self.queue = JobQueue(max_depth=self.config.max_depth)
         self.store = ResultStore(max_entries=self.config.store_max_entries)
+        #: Persistent L2 cache under the in-memory store (``None`` when
+        #: disabled).  Opened on the coordinator thread; workers never
+        #: touch it.
+        self.cache = None
+        if self.config.cache_path is not None:
+            from repro.cache import PersistentResultStore
+
+            self.cache = PersistentResultStore(
+                self.config.cache_path,
+                max_entries=self.config.cache_cap,
+                ttl_s=self.config.cache_ttl_s,
+                subsume=self.config.cache_subsume,
+                warm_start=self.config.cache_warm_start,
+            )
         self.scheduler = QpuScheduler(budget_us=self.config.qpu_budget_us)
         self.pool = WorkerPool(
             workers=self.config.workers, mode=self.config.pool_mode
@@ -164,8 +201,9 @@ class SolverService:
         tracer = obs.tracer
         started = time.perf_counter()
         outcomes: Dict[str, JobOutcome] = {}
-        #: dispatched job_id -> (spec, future, waited_s, dedup key)
-        inflight: Dict[str, Tuple[JobSpec, object, float, Optional[str]]] = {}
+        #: dispatched job_id ->
+        #: (spec, future, waited_s, dedup key, formula, warm start)
+        inflight: Dict[str, Tuple] = {}
         #: dedup key -> parked duplicate (spec, waited_s) pairs
         followers: Dict[str, List[Tuple[JobSpec, float]]] = {}
         #: dedup key -> finished primary outcome
@@ -300,12 +338,17 @@ class SolverService:
                         break
                     pending -= 1
                     key: Optional[str] = None
-                    if self.config.dedup and not spec.classic:
+                    formula = None
+                    want_key = (
+                        self.config.dedup or self.cache is not None
+                    ) and not spec.classic
+                    if want_key:
                         try:
-                            key = spec.solve_key()
+                            formula = spec.load_formula()
+                            key = spec.solve_key(formula)
                         except Exception:  # noqa: BLE001 — unreadable
                             key = None  # let run_job surface the error
-                    if key is not None:
+                    if key is not None and self.config.dedup:
                         primary_id = self.store.lookup_or_claim(
                             key, spec.job_id
                         )
@@ -330,6 +373,32 @@ class SolverService:
                                     (spec, waited)
                                 )
                             continue
+                    warm = None
+                    if self.cache is not None and formula is not None:
+                        # L2: exact replay or a subsumption
+                        # certificate — either way no solve runs and no
+                        # QPU time is billed.
+                        hit = None
+                        try:
+                            hit = self.cache.lookup(key, spec, formula)
+                        except Exception:  # noqa: BLE001 — cache is
+                            hit = None  # advisory, never fatal
+                        if hit is not None:
+                            hit.wait_seconds = waited
+                            tracer.event(
+                                "service.cache_hit",
+                                job_id=spec.job_id,
+                                kind=hit.cache_kind,
+                            )
+                            finalise(hit)
+                            if key is not None:
+                                settle_followers(key, hit)
+                                self.store.fulfil(key, hit)
+                            continue
+                        try:
+                            warm = self.cache.warm_clauses(formula)
+                        except Exception:  # noqa: BLE001
+                            warm = None
                     live = (
                         self.pool.live_scheduling and not spec.classic
                     )
@@ -340,9 +409,13 @@ class SolverService:
                         spec,
                         self.scheduler if live else None,
                         self.config.checkpoint_dir,
+                        warm.clauses if warm is not None else None,
+                        self.cache is not None and not spec.classic,
                     )
                     free_slots -= 1
-                    inflight[spec.job_id] = (spec, future, waited, key)
+                    inflight[spec.job_id] = (
+                        spec, future, waited, key, formula, warm
+                    )
                     future.add_done_callback(
                         lambda _f, jid=spec.job_id: self._completions.put(
                             ("done", jid)
@@ -363,7 +436,9 @@ class SolverService:
                         )
                     )
                     continue
-                spec, future, waited, key = inflight.pop(job_id)
+                spec, future, waited, key, formula, warm = inflight.pop(
+                    job_id
+                )
                 free_slots += 1
                 try:
                     outcome = future.result()  # run_job never raises
@@ -398,9 +473,13 @@ class SolverService:
                             spec,
                             self.scheduler if live else None,
                             self.config.checkpoint_dir,
+                            warm.clauses if warm is not None else None,
+                            self.cache is not None and not spec.classic,
                         )
                         free_slots -= 1
-                        inflight[job_id] = (spec, future, waited, key)
+                        inflight[job_id] = (
+                            spec, future, waited, key, formula, warm
+                        )
                         future.add_done_callback(
                             lambda _f, jid=job_id: self._completions.put(
                                 ("done", jid)
@@ -428,6 +507,30 @@ class SolverService:
                     self.scheduler.replay(
                         job_id, outcome.qa_calls, outcome.qpu_time_us
                     )
+                if self.cache is not None and not spec.classic:
+                    if outcome.warm_clauses and warm is not None:
+                        saved = max(
+                            0,
+                            warm.donor_conflicts
+                            - (outcome.conflicts or 0),
+                        )
+                        self.cache.note_warm_start(
+                            warm.donor_conflicts, outcome.conflicts or 0
+                        )
+                        tracer.event(
+                            "service.warm_start",
+                            job_id=job_id,
+                            clauses=outcome.warm_clauses,
+                            conflicts_saved=saved,
+                        )
+                    if key is not None and formula is not None:
+                        try:
+                            self.cache.record(key, formula, outcome)
+                        except Exception:  # noqa: BLE001 — advisory
+                            pass
+                # The clause-bank payload is cache-internal: strip it
+                # before the outcome reaches the journal / JSONL.
+                outcome.learned = None
                 finalise(outcome)
                 if key is not None:
                     settle_followers(key, outcome)
@@ -444,6 +547,13 @@ class SolverService:
         finally:
             if self.journal is not None:
                 self.journal.close()
+            if self.cache is not None:
+                self.stats.cache_hits = self.cache.stats.hits
+                self.stats.cache_misses = self.cache.stats.misses
+                self.stats.cache_subsumption_hits = sum(
+                    self.cache.stats.subsumption_hits.values()
+                )
+                self.stats.cache_warm_starts = self.cache.stats.warm_starts
             self.stats.wall_seconds = time.perf_counter() - started
             self.stats.qpu_grants = self.scheduler.stats.grants
             self.stats.qpu_coalesced = self.scheduler.stats.coalesced
@@ -465,6 +575,40 @@ class SolverService:
                     metrics.counter(
                         "hyqsat_service_store_evictions_total"
                     ).inc(self.store.evictions)
+                if self.cache is not None:
+                    cstats = self.cache.stats
+                    if cstats.hits:
+                        metrics.counter(
+                            "hyqsat_cache_hits_total"
+                        ).inc(cstats.hits)
+                    if cstats.misses:
+                        metrics.counter(
+                            "hyqsat_cache_misses_total"
+                        ).inc(cstats.misses)
+                    for kind, count in sorted(
+                        cstats.subsumption_hits.items()
+                    ):
+                        metrics.counter(
+                            "hyqsat_cache_subsumption_hits_total"
+                        ).labels(kind=kind).inc(count)
+                    if cstats.warm_starts:
+                        metrics.counter(
+                            "hyqsat_cache_warm_starts_total"
+                        ).inc(cstats.warm_starts)
+                    if cstats.warm_start_conflicts_saved:
+                        metrics.counter(
+                            "hyqsat_cache_warm_start_conflicts_saved_total"
+                        ).inc(cstats.warm_start_conflicts_saved)
+                    if cstats.evictions:
+                        metrics.counter(
+                            "hyqsat_cache_evictions_total"
+                        ).inc(cstats.evictions)
+                    try:
+                        metrics.gauge("hyqsat_cache_entries").set(
+                            self.cache.entry_count()
+                        )
+                    except Exception:  # noqa: BLE001 — closing DB
+                        pass
                 if self.journal is not None:
                     jstats = self.journal.stats
                     for kind, count in sorted(
@@ -485,6 +629,8 @@ class SolverService:
                         metrics.counter(
                             "hyqsat_journal_torn_records_total"
                         ).inc(jstats.torn_records)
+            if self.cache is not None:
+                self.cache.close()
             batch_span.end(
                 done=self.stats.jobs_by_state.get("done", 0),
                 deduped=self.stats.jobs_by_state.get("deduped", 0),
@@ -504,8 +650,13 @@ def run_batch(
     dedup: bool = True,
     journal_path: Optional[str] = None,
     checkpoint_dir: Optional[str] = None,
-    store_max_entries: Optional[int] = None,
+    store_max_entries: Optional[int] = DEFAULT_STORE_CAP,
     max_worker_retries: int = 2,
+    cache_path: Optional[str] = None,
+    cache_cap: Optional[int] = None,
+    cache_ttl_s: Optional[float] = None,
+    cache_subsume: bool = True,
+    cache_warm_start: bool = True,
 ) -> Tuple[List[JobOutcome], "ServiceStats"]:
     """One-shot convenience: build a service, run ``specs``, return
     ``(outcomes, stats)`` (outcomes in submission order)."""
@@ -520,6 +671,11 @@ def run_batch(
             checkpoint_dir=checkpoint_dir,
             store_max_entries=store_max_entries,
             max_worker_retries=max_worker_retries,
+            cache_path=cache_path,
+            cache_cap=cache_cap,
+            cache_ttl_s=cache_ttl_s,
+            cache_subsume=cache_subsume,
+            cache_warm_start=cache_warm_start,
         ),
         observability=observability,
     )

@@ -1,0 +1,90 @@
+"""Crash survival: a cache populated by a process that dies on
+SIGKILL — no close(), no WAL checkpoint — must serve exact hits to the
+next process without re-solving."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.benchgen.random_ksat import random_3sat
+from repro.sat import to_dimacs
+from repro.service import JobSpec
+from repro.service.service import run_batch
+
+from tests.service.conftest import solver_view
+
+#: The populator solves, reports, then hangs until SIGKILL.
+POPULATE_SCRIPT = textwrap.dedent(
+    """
+    import json, sys, time
+    from repro.service import JobSpec
+    from repro.service.service import run_batch
+
+    cnf_dir, db_path = sys.argv[1], sys.argv[2]
+    from pathlib import Path
+    specs = [
+        JobSpec(job_id=path.stem, path=str(path), seed=index)
+        for index, path in enumerate(sorted(Path(cnf_dir).glob("*.cnf")))
+    ]
+    outcomes, stats = run_batch(specs, cache_path=db_path)
+    print(json.dumps({o.job_id: o.as_dict() for o in outcomes}), flush=True)
+    time.sleep(600)  # hold the connection open until SIGKILL
+    """
+)
+
+
+def test_hit_after_sigkill(tmp_path):
+    cnf_dir = tmp_path / "instances"
+    cnf_dir.mkdir()
+    for i in range(3):
+        text = to_dimacs(random_3sat(20, 91, np.random.default_rng(100 + i)))
+        (cnf_dir / f"inst{i}.cnf").write_text(text)
+    db_path = tmp_path / "cache.sqlite"
+
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-c", POPULATE_SCRIPT, str(cnf_dir), str(db_path)],
+        stdout=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+    try:
+        line = proc.stdout.readline()
+        fresh = json.loads(line)
+        assert set(fresh) == {"inst0", "inst1", "inst2"}
+        # The populator is still alive: its SQLite connection was
+        # never closed, the WAL never checkpointed.
+        assert proc.poll() is None
+        proc.send_signal(signal.SIGKILL)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait(30)
+
+    # A fresh process (this one) must get exact hits, not re-solves.
+    specs = [
+        JobSpec(job_id=f"inst{i}", path=str(cnf_dir / f"inst{i}.cnf"), seed=i)
+        for i in range(3)
+    ]
+    start = time.perf_counter()
+    cached, stats = run_batch(specs, cache_path=str(db_path))
+    elapsed = time.perf_counter() - start
+    assert stats.cache_hits == 3 and stats.cache_misses == 0
+    for outcome in cached:
+        assert outcome.cached is True and outcome.cache_kind == "exact"
+        before = fresh[outcome.job_id]
+        for name, value in solver_view(outcome).items():
+            assert value == before.get(name), name
+    # Sanity: serving 3 uf20-91 hits is far faster than solving them.
+    assert elapsed < 30.0

@@ -101,6 +101,8 @@ class TestCliCoverage:
             "retry_after_s": "--retry-after-s",
             "drain_grace_s": "--drain-grace-s",
             "qpu_budget_us": "--qpu-budget-us",
+            "cache_db": "--cache-db",
+            "cache_cap": "--cache-cap",
         }
         assert set(expected) == set(GatewayConfig.__dataclass_fields__)
         missing = [flag for flag in expected.values() if flag not in flags]

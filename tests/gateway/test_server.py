@@ -115,10 +115,13 @@ class TestSolveRoundTrip:
             seen = []
             results = client.drain(["j1"], on_message=seen.append)
         kinds = [m["event"] for m in seen if m["type"] == "event"]
-        assert kinds == ["routed", "started"]
+        assert kinds == ["routed", "started", "done"]
         routed = next(m for m in seen if m.get("event") == "routed")
         assert routed["attrs"]["device"] in {"chimera4", "chimera8"}
         assert routed["attrs"]["fits"] in (True, False)
+        done = next(m for m in seen if m.get("event") == "done")
+        assert done["attrs"]["state"] == "done"
+        assert done["attrs"]["cached"] is False
         outcome = results["j1"]
         assert outcome["state"] == "done"
         assert outcome["status"] in ("sat", "unsat")
@@ -154,7 +157,7 @@ class TestSolveRoundTrip:
             seen = []
             outcome = client.drain(["pin"], on_message=seen.append)["pin"]
         kinds = [m["event"] for m in seen if m["type"] == "event"]
-        assert kinds == ["started"]  # no routed event for a pinned job
+        assert kinds == ["started", "done"]  # no routed event for a pinned job
         assert outcome["state"] == "done"
 
     def test_multiple_jobs_one_connection(self, gateway_factory):
@@ -192,6 +195,39 @@ class TestSolveRoundTrip:
             with pytest.raises(GatewayReject) as exc:
                 client.cancel("never-submitted")
             assert exc.value.code == "unknown_job"
+
+
+class TestResultCache:
+    def test_second_submit_served_from_cache(self, gateway_factory, tmp_path):
+        server = gateway_factory(cache_db=str(tmp_path / "gw.sqlite"))
+        with GatewayClient(port=server.port) as client:
+            client.submit({"id": "c1", "dimacs": DIMACS, "seed": 5})
+            first = client.drain(["c1"])["c1"]
+            client.submit({"id": "c2", "dimacs": DIMACS, "seed": 5})
+            seen = []
+            second = client.drain(["c2"], on_message=seen.append)["c2"]
+        done = next(m for m in seen if m.get("event") == "done")
+        assert done["attrs"]["cached"] is True
+        assert second["cached"] is True and second["cache_kind"] == "exact"
+        for field in (
+            "status", "model", "iterations", "conflicts",
+            "qa_calls", "qpu_time_us",
+        ):
+            assert second.get(field) == first.get(field), field
+        assert server.cache.stats.hits == 1
+
+    def test_cache_hits_never_charge_the_ledger(
+        self, gateway_factory, tmp_path
+    ):
+        server = gateway_factory(cache_db=str(tmp_path / "gw.sqlite"))
+        with GatewayClient(port=server.port) as client:
+            client.submit({"id": "b1", "dimacs": DIMACS, "seed": 5})
+            client.drain(["b1"])
+            spent_after_first = server.ledger.spent_us(None)
+            assert spent_after_first > 0
+            client.submit({"id": "b2", "dimacs": DIMACS, "seed": 5})
+            client.drain(["b2"])
+        assert server.ledger.spent_us(None) == spent_after_first
 
 
 class StubConnection:

@@ -1,0 +1,136 @@
+"""Fingerprint properties under permutation and the incremental API.
+
+The persistent result cache keys everything on
+:func:`repro.sat.cnf.fingerprint` (via ``JobSpec.solve_key``), so
+these pin the invariants the cache's soundness rests on: permutation
+invariance, sensitivity to actual content changes, stability across a
+push/add_clause/pop cycle, and collision-freedom over the same
+204-instance sweep corpus the engine-identity gate uses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.benchgen.random_ksat import random_3sat
+from repro.cdcl.solver import CdclSolver
+from repro.sat import to_dimacs
+from repro.sat.cnf import CNF, Clause, Lit, fingerprint
+from repro.service import JobSpec
+
+#: The engine-identity sweep sizes (tests/cdcl/test_fast_identity.py).
+SIZES = [(12, 41), (16, 68), (20, 85), (20, 120), (24, 103), (24, 144)]
+
+
+def permuted(formula: CNF, rng) -> CNF:
+    """Same formula, clauses shuffled and literals rotated."""
+    clauses = [
+        Clause(
+            [clause.lits[(i + 1) % len(clause.lits)]
+             for i in range(len(clause.lits))]
+        )
+        for clause in formula.clauses
+    ]
+    order = rng.permutation(len(clauses))
+    return CNF([clauses[i] for i in order], num_vars=formula.num_vars)
+
+
+class TestPermutationInvariance:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_clause_and_literal_order_do_not_matter(self, seed):
+        formula = random_3sat(16, 68, np.random.default_rng(500 + seed))
+        shuffled = permuted(formula, np.random.default_rng(seed))
+        assert fingerprint(formula) == fingerprint(shuffled)
+
+    def test_solve_key_inherits_the_invariance(self):
+        formula = random_3sat(12, 41, np.random.default_rng(77))
+        shuffled = permuted(formula, np.random.default_rng(78))
+        key_a = JobSpec(job_id="a", dimacs=to_dimacs(formula)).solve_key()
+        key_b = JobSpec(job_id="b", dimacs=to_dimacs(shuffled)).solve_key()
+        assert key_a == key_b
+
+    def test_content_changes_do_change_the_hash(self):
+        formula = random_3sat(12, 41, np.random.default_rng(77))
+        extended = CNF(
+            list(formula.clauses) + [Clause([Lit(1), Lit(2)])],
+            num_vars=formula.num_vars,
+        )
+        widened = CNF(list(formula.clauses), num_vars=formula.num_vars + 1)
+        assert fingerprint(extended) != fingerprint(formula)
+        assert fingerprint(widened) != fingerprint(formula)
+
+
+class TestIncrementalRoundTrip:
+    """push/add_clause/pop must return the solver to a state whose
+    answers match the original fingerprint's — the property that lets
+    the cache keep serving results recorded before an incremental
+    session."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_pop_restores_the_original_answer(self, seed):
+        formula = random_3sat(14, 55, np.random.default_rng(600 + seed))
+        fp_before = fingerprint(formula)
+
+        solver = CdclSolver(formula)
+        first = solver.solve()
+
+        solver.push()
+        solver.add_clause([1, 2])
+        solver.add_clause([-3, 4, 5])
+        solver.solve()
+        solver.pop()
+
+        again = solver.solve()
+        assert again.status == first.status
+        if first.model is not None:
+            assert again.model.satisfies(formula)
+
+        # The CNF object was never mutated: its fingerprint (the
+        # cache key) still identifies the base instance.
+        assert fingerprint(formula) == fp_before
+
+    def test_extended_formula_fingerprints_differently(self):
+        """The clause group added under push corresponds to a
+        *different* cache identity — assert the two keys cannot
+        collide, so a cached base result can never be served for the
+        extended instance by mistake."""
+        formula = random_3sat(14, 55, np.random.default_rng(42))
+        extra = Clause([Lit(1), Lit(2)])
+        extended = CNF(
+            list(formula.clauses) + [extra], num_vars=formula.num_vars
+        )
+        assert fingerprint(extended) != fingerprint(formula)
+        # Popping back to the base list restores the original hash.
+        popped = CNF(
+            list(formula.clauses) + [extra], num_vars=formula.num_vars
+        )
+        popped = CNF(popped.clauses[:-1], num_vars=formula.num_vars)
+        assert fingerprint(popped) == fingerprint(formula)
+
+
+class TestCollisionSmoke:
+    def test_sweep_corpus_has_no_collisions(self):
+        """17 seeds x 6 sizes x 2 ratios = 204 distinct instances;
+        fingerprints and solve keys must all be distinct."""
+        fingerprints = {}
+        keys = set()
+        for seed in range(17):
+            for num_vars, num_clauses in SIZES:
+                for bump in (0, 7):
+                    formula = random_3sat(
+                        num_vars,
+                        num_clauses + bump,
+                        np.random.default_rng(100 * seed + bump),
+                    )
+                    fp = fingerprint(formula)
+                    assert fp not in fingerprints, (
+                        f"collision with {fingerprints[fp]}"
+                    )
+                    fingerprints[fp] = (seed, num_vars, num_clauses, bump)
+                    keys.add(
+                        JobSpec(
+                            job_id="x", dimacs=to_dimacs(formula)
+                        ).solve_key()
+                    )
+        assert len(fingerprints) == 204
+        assert len(keys) == 204

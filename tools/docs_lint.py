@@ -1,6 +1,6 @@
 """Docs lint: broken links, phantom flags, undocumented solve flags.
 
-Four checks over the repo's markdown set (README.md, DESIGN.md,
+Five checks over the repo's markdown set (README.md, DESIGN.md,
 EXPERIMENTS.md, CONTRIBUTING.md, ROADMAP.md, docs/*.md):
 
 1. **Relative links** — every ``[text](path)`` pointing inside the
@@ -15,6 +15,12 @@ EXPERIMENTS.md, CONTRIBUTING.md, ROADMAP.md, docs/*.md):
 4. **Stale bytecode** — no package directory under ``src/`` may hold
    only ``__pycache__`` bytecode with no ``.py`` sources (a leftover
    from a deleted module that keeps importing locally).
+5. **Metric-group coverage** — every metric *group* (name prefix such
+   as ``hyqsat_cache_*``) declared in ``observability.schema`` must
+   have at least one member documented in docs/TELEMETRY.md.  The
+   per-metric exactness check lives in
+   ``tests/observability/test_contract.py``; this catches a whole new
+   group landing in the schema with no documentation section at all.
 
 Run with ``make docs-check`` or::
 
@@ -59,7 +65,7 @@ FLAG_ALLOWLIST: Set[str] = {
     "--output",          # benchmark scripts
     "--baseline",        # benchmarks.bench_observability
     "--help",
-    "--dispatch",        # planned flag (ROADMAP open item 3), not shipped yet
+    "--dispatch",        # planned flag (ROADMAP open item 1), not shipped yet
 }
 
 
@@ -159,12 +165,41 @@ def check_stale_bytecode(problems: List[str]) -> None:
             problems.append(f"{rel}: only bytecode, no .py sources (stale package?)")
 
 
+def _metric_groups() -> Set[str]:
+    """Metric-name prefixes declared in the schema (first two
+    underscore-separated components, e.g. ``hyqsat_cache``)."""
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.observability.schema import METRIC_NAMES
+
+    return {"_".join(name.split("_", 2)[:2]) for name in METRIC_NAMES}
+
+
+def check_metric_group_coverage(problems: List[str]) -> None:
+    doc = REPO_ROOT / "docs" / "TELEMETRY.md"
+    if not doc.exists():
+        problems.append("docs/TELEMETRY.md: missing")
+        return
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.observability.schema import metric_names_in_doc
+
+    documented = metric_names_in_doc(doc.read_text(encoding="utf-8"))
+    documented_groups = {
+        "_".join(name.split("_", 2)[:2]) for name in documented
+    }
+    for group in sorted(_metric_groups() - documented_groups):
+        problems.append(
+            f"docs/TELEMETRY.md: metric group {group}_* from "
+            "observability.schema has no documented members"
+        )
+
+
 def main() -> int:
     problems: List[str] = []
     check_links(problems)
     check_flag_references(problems)
     check_solve_flag_coverage(problems)
     check_stale_bytecode(problems)
+    check_metric_group_coverage(problems)
     for problem in problems:
         print(problem)
     if problems:
